@@ -1,0 +1,197 @@
+// Benchmarks regenerating the experiment tables of EXPERIMENTS.md. Each
+// BenchmarkT* corresponds to one table (and so to one claim in DESIGN.md
+// §3); cmd/xbench prints the same rows in tabular form.
+//
+//	go test -bench=. -benchmem
+package xability_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"xability"
+	"xability/internal/action"
+	"xability/internal/baseline"
+	"xability/internal/core"
+	"xability/internal/exper"
+	"xability/internal/reduce"
+	"xability/internal/simnet"
+	"xability/internal/workload"
+)
+
+// BenchmarkT1VerdictMatrix regenerates Table T1 (claim E7): x-ability
+// verdict and side-effect audit for the x-ability protocol and the two
+// baselines across nice and failover runs.
+func BenchmarkT1VerdictMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exper.TableT1(int64(i + 1))
+		if len(rows) != 5 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkT2Spectrum regenerates Table T2 (claim E5): the run-time
+// primary-backup ↔ active-replication spectrum under false suspicion.
+func BenchmarkT2Spectrum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exper.TableT2(int64(i + 1))
+		if rows[0].Executions != 1 {
+			b.Fatalf("nice run executed %d times", rows[0].Executions)
+		}
+	}
+}
+
+// BenchmarkT3Cost regenerates Table T3 (claim E8): latency and message
+// complexity per protocol and replication degree.
+func BenchmarkT3Cost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exper.TableT3(int64(i+1), 10)
+	}
+}
+
+// BenchmarkT4Consensus regenerates Table T4 (claim E9): assumed local
+// consensus objects vs the message-passing protocol.
+func BenchmarkT4Consensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exper.TableT4(int64(i+1), 20)
+	}
+}
+
+// BenchmarkT6CheckerScale regenerates Table T6 (claim E10): greedy checker
+// time across history sizes.
+func BenchmarkT6CheckerScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exper.TableT6()
+		for _, r := range rows {
+			if !r.XAble {
+				b.Fatal("synthetic history failed to verify")
+			}
+		}
+	}
+}
+
+// --- Per-scenario protocol benches (finer-grained than the tables). ---
+
+func benchProtocolRun(b *testing.B, mode core.ConsensusMode, requests int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		bank := workload.NewBank(4, 1000*requests)
+		c := core.NewCluster(core.ClusterConfig{
+			Replicas:  3,
+			Seed:      int64(i + 1),
+			Net:       simnet.Config{MaxDelay: 50 * time.Microsecond},
+			Consensus: mode,
+			Registry:  workload.Registry(),
+			Setup:     bank.Setup(),
+		})
+		for _, r := range workload.Generate(workload.Spec{Requests: requests, Accounts: 4}, int64(i+1)) {
+			c.Client.SubmitUntilSuccess(r)
+		}
+		c.Stop()
+	}
+}
+
+// BenchmarkScenarioNiceLocal measures nice-run throughput with the assumed
+// consensus objects (experiment E4's happy path).
+func BenchmarkScenarioNiceLocal(b *testing.B) { benchProtocolRun(b, core.ConsensusLocal, 10) }
+
+// BenchmarkScenarioNiceCT measures the same runs over the Chandra–Toueg
+// substrate (E9 end-to-end).
+func BenchmarkScenarioNiceCT(b *testing.B) { benchProtocolRun(b, core.ConsensusCT, 5) }
+
+// BenchmarkScenarioCrashRecovery measures a crash-failover request
+// end-to-end (E4's recovery path).
+func BenchmarkScenarioCrashRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bank := workload.NewBank(1, 1000)
+		c := core.NewCluster(core.ClusterConfig{
+			Replicas: 3,
+			Seed:     int64(i + 1),
+			Net:      simnet.Config{MaxDelay: 50 * time.Microsecond},
+			Registry: workload.Registry(),
+			Setup:    bank.Setup(),
+		})
+		c.Env.SetFailures("debit", 1.0, 4, 0)
+		go func() {
+			time.Sleep(time.Millisecond)
+			c.CrashServer(0)
+			c.ClientSuspect("replica-0", true)
+		}()
+		c.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct-0"))
+		c.Stop()
+	}
+}
+
+// BenchmarkBaselinePrimaryBackup measures the primary-backup baseline on
+// the T3 workload for comparison.
+func BenchmarkBaselinePrimaryBackup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := baseline.NewCluster(baseline.ClusterConfig{
+			Scheme: baseline.PrimaryBackup, Replicas: 3, Seed: int64(i + 1),
+			Net:     simnet.Config{MaxDelay: 50 * time.Microsecond},
+			Handler: func(req action.Request) action.Value { return "ok" },
+		})
+		for _, r := range workload.Generate(workload.Spec{Requests: 10, Accounts: 4}, int64(i+1)) {
+			c.Client.SubmitUntilSuccess(r)
+		}
+		c.Stop()
+	}
+}
+
+// BenchmarkBaselineActive measures the active-replication baseline.
+func BenchmarkBaselineActive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := baseline.NewCluster(baseline.ClusterConfig{
+			Scheme: baseline.Active, Replicas: 3, Seed: int64(i + 1),
+			Net:     simnet.Config{MaxDelay: 50 * time.Microsecond},
+			Handler: func(req action.Request) action.Value { return "ok" },
+		})
+		for _, r := range workload.Generate(workload.Spec{Requests: 10, Accounts: 4}, int64(i+1)) {
+			c.Client.SubmitUntilSuccess(r)
+		}
+		c.Stop()
+	}
+}
+
+// BenchmarkCheckerScale sweeps checker input sizes individually (the
+// disaggregated form of T6), reporting events/op.
+func BenchmarkCheckerScale(b *testing.B) {
+	reg := workload.Registry()
+	for _, requests := range []int{10, 100, 500} {
+		for _, dup := range []int{1, 3} {
+			h, specs := exper.SyntheticHistory(reg, requests, dup)
+			b.Run(fmt.Sprintf("requests=%d/dup=%d", requests, dup), func(b *testing.B) {
+				n := reduce.New(reg)
+				b.ReportMetric(float64(len(h)), "events")
+				for i := 0; i < b.N; i++ {
+					if ok, _ := n.XAbleTo(h, specs); !ok {
+						b.Fatal("not x-able")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFacadeCall measures one end-to-end Call through the public API.
+func BenchmarkFacadeCall(b *testing.B) {
+	reg := xability.NewRegistry()
+	reg.MustRegister("ping", xability.Idempotent)
+	svc := xability.NewService(xability.ServiceConfig{
+		Replicas: 3,
+		Seed:     1,
+		Registry: reg,
+		Setup: func(m *xability.Machine) {
+			_ = m.HandleIdempotent("ping", func(ctx *xability.Ctx) xability.Value { return "pong" })
+		},
+	})
+	defer svc.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := svc.Call(xability.NewRequest("ping", xability.Value(fmt.Sprintf("%d", i)))); v != "pong" {
+			b.Fatal(v)
+		}
+	}
+}

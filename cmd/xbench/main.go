@@ -1,0 +1,78 @@
+// Command xbench regenerates the experiment tables of EXPERIMENTS.md
+// (T1–T4, T6; T5 is produced by examples/threetier). Each table validates
+// one of the paper's claims — see DESIGN.md §3 for the claim-to-table map.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xability/internal/exper"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "base seed for all experiments")
+		tables = flag.String("tables", "1,2,3,4,6", "comma-separated table numbers to run")
+		reqs   = flag.Int("requests", 20, "requests per cost measurement (T3)")
+		insts  = flag.Int("instances", 50, "consensus instances (T4)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, t := range strings.Split(*tables, ",") {
+		want[strings.TrimSpace(t)] = true
+	}
+
+	if want["1"] {
+		fmt.Println("T1 — x-ability verdicts and side-effect audit (claim E7: baselines duplicate, the protocol does not)")
+		fmt.Printf("  %-16s %-16s %-8s %-10s %-8s\n", "protocol", "scenario", "x-able", "in-force", "replied")
+		for _, r := range exper.TableT1(*seed) {
+			fmt.Printf("  %-16s %-16s %-8v %-10d %-8v\n", r.Protocol, r.Scenario, r.XAble, r.EffectsInForce, r.Replied)
+		}
+		fmt.Println()
+	}
+
+	if want["2"] {
+		fmt.Println("T2 — run-time spectrum under false suspicion (claim E5: primary-backup ↔ active drift)")
+		fmt.Printf("  %-10s %-12s %-8s %-8s\n", "pulses", "executions", "cancels", "x-able")
+		for _, r := range exper.TableT2(*seed) {
+			fmt.Printf("  %-10d %-12d %-8d %-8v\n", r.SuspicionPulses, r.Executions, r.Cancels, r.XAble)
+		}
+		fmt.Println()
+	}
+
+	if want["3"] {
+		fmt.Println("T3 — protocol cost, nice runs (claim E8)")
+		fmt.Printf("  %-18s %-10s %-14s %-10s\n", "protocol", "replicas", "mean latency", "msgs/req")
+		for _, r := range exper.TableT3(*seed, *reqs) {
+			fmt.Printf("  %-18s %-10d %-14v %-10.1f\n", r.Protocol, r.Replicas, r.MeanLatency, r.MsgsPerReq)
+		}
+		fmt.Println()
+	}
+
+	if want["4"] {
+		fmt.Println("T4 — consensus substrate (claim E9: assumed object vs real protocol)")
+		fmt.Printf("  %-16s %-10s %-12s\n", "provider", "proposers", "per-decision")
+		for _, r := range exper.TableT4(*seed, *insts) {
+			fmt.Printf("  %-16s %-10d %-12v\n", r.Provider, r.Proposers, r.PerDecide)
+		}
+		fmt.Println()
+	}
+
+	if want["6"] {
+		fmt.Println("T6 — checker scalability (claim E10)")
+		fmt.Printf("  %-10s %-6s %-8s %-12s %-8s\n", "requests", "dup", "events", "normalize", "x-able")
+		for _, r := range exper.TableT6() {
+			fmt.Printf("  %-10d %-6d %-8d %-12v %-8v\n", r.Requests, r.DupFactor, r.Events, r.Normalize, r.XAble)
+		}
+		fmt.Println()
+	}
+
+	if len(want) == 0 {
+		fmt.Fprintln(os.Stderr, "no tables selected")
+		os.Exit(2)
+	}
+}

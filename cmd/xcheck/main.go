@@ -1,0 +1,131 @@
+// Command xcheck is the mechanical x-ability checker: it reads an event
+// history, reduces it under the rules of Figure 4, and reports whether it
+// is x-able for a given request — printing the reduction trace on demand.
+//
+// History files are text, one event per line:
+//
+//	S <action> <value>
+//	C <action> <value>
+//
+// with "nil" for the distinguished nil value and '#' comments. Undoable
+// actions' derived cancel/commit events use the "<action>!cancel" /
+// "<action>!commit" names.
+//
+// Example — a retried idempotent action:
+//
+//	$ cat h.txt
+//	S read k
+//	S read k
+//	C read v
+//	$ xcheck -idempotent read -action read -input k -trace h.txt
+//	x-able: true (output v)
+//	rule 18 (idempotent): absorb dangling start of (read, k)
+//	  before: S(read, k) S(read, k) C(read, v)
+//	  after:  S(read, k) C(read, v)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xability/internal/action"
+	"xability/internal/event"
+	"xability/internal/reduce"
+)
+
+func main() {
+	var (
+		idem    = flag.String("idempotent", "", "comma-separated idempotent action names")
+		undo    = flag.String("undoable", "", "comma-separated undoable action names")
+		act     = flag.String("action", "", "request action to check x-ability against")
+		input   = flag.String("input", "", "request input value")
+		reqID   = flag.String("id", "", "request ID tag (optional)")
+		showSig = flag.Bool("signature", false, "print the history's signature set (eqs. 24–25)")
+		doTrace = flag.Bool("trace", false, "print the reduction trace")
+		normal  = flag.Bool("normalize", false, "print the normal form and exit")
+	)
+	flag.Parse()
+
+	reg := action.NewRegistry()
+	for _, a := range splitNames(*idem) {
+		reg.MustRegister(a, action.KindIdempotent)
+	}
+	for _, a := range splitNames(*undo) {
+		reg.MustRegister(a, action.KindUndoable)
+	}
+
+	var h event.History
+	var err error
+	if flag.NArg() == 0 || flag.Arg(0) == "-" {
+		h, err = event.Unmarshal(os.Stdin)
+	} else {
+		f, ferr := os.Open(flag.Arg(0))
+		if ferr != nil {
+			fatal(ferr)
+		}
+		defer f.Close()
+		h, err = event.Unmarshal(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	n := reduce.New(reg)
+	var trace []reduce.TraceStep
+	if *doTrace {
+		n.Trace = &trace
+	}
+
+	if *normal {
+		fmt.Println(n.Normalize(h))
+		printTrace(trace)
+		return
+	}
+	if *act == "" {
+		fatal(fmt.Errorf("missing -action (or use -normalize)"))
+	}
+	req := action.NewRequest(action.Name(*act), action.Value(*input)).WithID(*reqID)
+	ok, ov := n.XAble(h, req)
+	if ok {
+		fmt.Printf("x-able: true (output %s)\n", action.Display(ov))
+	} else {
+		fmt.Println("x-able: false")
+	}
+	if *showSig {
+		n.Trace = nil // the signature scan re-normalizes; avoid duplicate trace
+		sigs := n.Signature(h, req)
+		out := make([]string, len(sigs))
+		for i, s := range sigs {
+			out[i] = string(s)
+		}
+		fmt.Printf("signature: {%s}\n", strings.Join(out, ", "))
+	}
+	printTrace(trace)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func printTrace(trace []reduce.TraceStep) {
+	for _, s := range trace {
+		fmt.Printf("%v: %s\n  before: %v\n  after:  %v\n", s.Rule, s.Desc, s.Before, s.After)
+	}
+}
+
+func splitNames(s string) []action.Name {
+	var out []action.Name
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, action.Name(part))
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xcheck:", err)
+	os.Exit(2)
+}

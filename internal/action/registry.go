@@ -1,0 +1,112 @@
+package action
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry records the fault-tolerance classification of a vocabulary of
+// actions: which names belong to the paper's Idempotent set and which to the
+// Undoable set (§3.1). Derived cancel/commit names are classified
+// automatically (they are idempotent by definition) and must not be
+// registered directly.
+//
+// A Registry is safe for concurrent use. The zero value is ready to use.
+type Registry struct {
+	mu   sync.RWMutex
+	kind map[Name]Kind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register classifies a user-defined action name. It returns an error for
+// invalid names, derived names, or re-registration under a different kind.
+func (r *Registry) Register(a Name, k Kind) error {
+	if err := Validate(a); err != nil {
+		return err
+	}
+	if k != KindIdempotent && k != KindUndoable {
+		return fmt.Errorf("action: cannot register %q as %v; only idempotent and undoable actions are registered directly", a, k)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.kind == nil {
+		r.kind = make(map[Name]Kind)
+	}
+	if prev, ok := r.kind[a]; ok && prev != k {
+		return fmt.Errorf("action: %q already registered as %v, cannot re-register as %v", a, prev, k)
+	}
+	r.kind[a] = k
+	return nil
+}
+
+// MustRegister is Register that panics on error; intended for package-level
+// vocabulary construction in examples and tests.
+func (r *Registry) MustRegister(a Name, k Kind) {
+	if err := r.Register(a, k); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterIdempotent registers a as an idempotent action.
+func (r *Registry) RegisterIdempotent(a Name) error { return r.Register(a, KindIdempotent) }
+
+// RegisterUndoable registers a as an undoable action; its cancel and commit
+// actions become implicitly available.
+func (r *Registry) RegisterUndoable(a Name) error { return r.Register(a, KindUndoable) }
+
+// Kind classifies any name, including derived cancel/commit names. The
+// boolean reports whether the (base) name is known to the registry.
+func (r *Registry) Kind(a Name) (Kind, bool) {
+	base, derived := Base(a)
+	if derived == KindCancel || derived == KindCommit {
+		r.mu.RLock()
+		_, ok := r.kind[base]
+		r.mu.RUnlock()
+		return derived, ok
+	}
+	r.mu.RLock()
+	k, ok := r.kind[a]
+	r.mu.RUnlock()
+	return k, ok
+}
+
+// IsIdempotent reports whether a behaves idempotently under retry: true for
+// registered idempotent actions and for all cancel/commit actions of
+// registered undoable actions ("Cancellation and commit actions are
+// idempotent", §3.1).
+func (r *Registry) IsIdempotent(a Name) bool {
+	k, ok := r.Kind(a)
+	return ok && (k == KindIdempotent || k == KindCancel || k == KindCommit)
+}
+
+// IsUndoable reports whether a is a registered undoable action.
+func (r *Registry) IsUndoable(a Name) bool {
+	k, ok := r.Kind(a)
+	return ok && k == KindUndoable
+}
+
+// Names returns the registered (base) names in sorted order.
+func (r *Registry) Names() []Name {
+	r.mu.RLock()
+	names := make([]Name, 0, len(r.kind))
+	for a := range r.kind {
+		names = append(names, a)
+	}
+	r.mu.RUnlock()
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// Clone returns an independent copy of the registry.
+func (r *Registry) Clone() *Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := &Registry{kind: make(map[Name]Kind, len(r.kind))}
+	for a, k := range r.kind {
+		c.kind[a] = k
+	}
+	return c
+}

@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xability/internal/action"
+	"xability/internal/env"
+	"xability/internal/fd"
+	"xability/internal/simnet"
+	"xability/internal/trace"
+)
+
+// Scheme selects the baseline protocol.
+type Scheme int
+
+const (
+	// PrimaryBackup runs the [BMST93]-style scheme.
+	PrimaryBackup Scheme = iota
+	// Active runs the [Sch93]-style scheme.
+	Active
+)
+
+// ClusterConfig describes a baseline deployment.
+type ClusterConfig struct {
+	Scheme   Scheme
+	Replicas int
+	Seed     int64
+	Net      simnet.Config
+	Handler  Handler
+	// SyncDelay widens primary-backup's duplication window (tests).
+	SyncDelay time.Duration
+}
+
+// Cluster is an assembled baseline service with the same observable
+// surface as core.Cluster: a client, a shared environment, an observer.
+type Cluster struct {
+	Net      *simnet.Network
+	Observer *trace.Observer
+	Env      *env.Env
+	Client   *Client
+
+	pbs  []*PBServer
+	acts []*ActiveServer
+	dets map[simnet.ProcessID]*fd.Scripted
+	cdet *fd.Scripted
+}
+
+// NewCluster assembles and starts a baseline service.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Net.Seed == 0 {
+		cfg.Net.Seed = cfg.Seed
+	}
+	net := simnet.New(cfg.Net)
+	obs := trace.New()
+	world := env.New(obs, cfg.Seed)
+	c := &Cluster{Net: net, Observer: obs, Env: world, dets: make(map[simnet.ProcessID]*fd.Scripted)}
+
+	ids := make([]simnet.ProcessID, cfg.Replicas)
+	for i := range ids {
+		ids[i] = simnet.ProcessID(fmt.Sprintf("replica-%d", i))
+	}
+	clientID := simnet.ProcessID("client")
+
+	for _, id := range ids {
+		ep := net.Register(id)
+		det := fd.NewScripted(net)
+		c.dets[id] = det
+		switch cfg.Scheme {
+		case Active:
+			srv := NewActiveServer(ActiveConfig{
+				ID: id, Endpoint: ep, Order: ids, Env: world, Handler: cfg.Handler, Network: net,
+			})
+			srv.Start()
+			c.acts = append(c.acts, srv)
+		default:
+			srv := NewPBServer(PBConfig{
+				ID: id, Endpoint: ep, Order: ids, Detector: det, Env: world,
+				Handler: cfg.Handler, Network: net, SyncDelay: cfg.SyncDelay,
+			})
+			srv.Start()
+			c.pbs = append(c.pbs, srv)
+		}
+	}
+
+	c.cdet = fd.NewScripted(net)
+	c.Client = &Client{
+		id:       clientID,
+		ep:       net.Register(clientID),
+		replicas: ids,
+		det:      c.cdet,
+		poll:     200 * time.Microsecond,
+	}
+	return c
+}
+
+// ClientDetector returns the client's scripted failure detector.
+func (c *Cluster) ClientDetector() *fd.Scripted { return c.cdet }
+
+// Detector returns the scripted detector of a replica.
+func (c *Cluster) Detector(id simnet.ProcessID) *fd.Scripted { return c.dets[id] }
+
+// CrashServer crashes replica i.
+func (c *Cluster) CrashServer(i int) {
+	if len(c.pbs) > 0 {
+		c.pbs[i].Crash()
+	} else {
+		c.acts[i].Crash()
+	}
+}
+
+// PB returns the primary-backup server i (nil for active clusters).
+func (c *Cluster) PB(i int) *PBServer {
+	if len(c.pbs) == 0 {
+		return nil
+	}
+	return c.pbs[i]
+}
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() {
+	for _, s := range c.pbs {
+		s.Stop()
+	}
+	for _, s := range c.acts {
+		s.Stop()
+	}
+	c.Net.Close()
+}
+
+// Client is the baseline client stub: same retry discipline as the
+// x-ability client (submit to replica i, fail over on suspicion), but
+// without any idempotence guarantee from the service — which is the point.
+type Client struct {
+	id       simnet.ProcessID
+	ep       *simnet.Endpoint
+	replicas []simnet.ProcessID
+	det      *fd.Scripted
+	poll     time.Duration
+
+	i        int
+	seq      int
+	attempts int
+	requests []action.Request
+	replies  []action.Value
+}
+
+// ErrSubmitFailed mirrors core.ErrSubmitFailed for baselines.
+var ErrSubmitFailed = errors.New("baseline: submit failed (replica suspected)")
+
+// Submit sends a tagged request to the current replica and awaits a result
+// or a suspicion.
+func (c *Client) Submit(req action.Request) (action.Value, error) {
+	target := c.replicas[c.i]
+	c.attempts++
+	c.ep.Send(target, msgSubmit, submitPayload{Req: req, Client: c.id})
+	for {
+		for {
+			msg, ok := c.ep.TryRecv()
+			if !ok {
+				break
+			}
+			if msg.Type != msgResult {
+				continue
+			}
+			if p, ok := msg.Payload.(resultPayload); ok && p.ReqID == req.ID {
+				return p.Value, nil
+			}
+		}
+		if c.det.Suspect(target) {
+			c.i = (c.i + 1) % len(c.replicas)
+			return "", ErrSubmitFailed
+		}
+		time.Sleep(c.poll)
+	}
+}
+
+// SubmitUntilSuccess retries Submit until a reply arrives and logs the
+// request/reply pair.
+func (c *Client) SubmitUntilSuccess(req action.Request) action.Value {
+	c.seq++
+	req = req.WithID(fmt.Sprintf("%s-%d", c.id, c.seq))
+	for {
+		v, err := c.Submit(req)
+		if err == nil {
+			c.requests = append(c.requests, req)
+			c.replies = append(c.replies, v)
+			return v
+		}
+	}
+}
+
+// Attempts reports submit attempts made.
+func (c *Client) Attempts() int { return c.attempts }
+
+// Log returns the request/reply log.
+func (c *Client) Log() ([]action.Request, []action.Value) {
+	return append([]action.Request(nil), c.requests...), append([]action.Value(nil), c.replies...)
+}

@@ -1,0 +1,56 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"xability/internal/fd"
+	"xability/internal/simnet"
+)
+
+// BenchmarkLocalPropose measures the assumed wait-free object.
+func BenchmarkLocalPropose(b *testing.B) {
+	p := NewLocalProvider()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Object(fmt.Sprintf("k%d", i)).Propose(i)
+	}
+}
+
+// BenchmarkLocalContention measures first-proposal-wins under contention.
+func BenchmarkLocalContention(b *testing.B) {
+	var o Local
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			o.Propose(1)
+		}
+	})
+}
+
+// BenchmarkCTDecision measures one full message-passing consensus
+// instance (three nodes, one proposer) — the per-agreement price the
+// protocol pays when the assumed objects are realized over the network.
+func BenchmarkCTDecision(b *testing.B) {
+	net := simnet.New(simnet.Config{Seed: 1, MaxDelay: 50 * time.Microsecond})
+	ids := []simnet.ProcessID{"n0", "n1", "n2"}
+	var nodes []*Node
+	for _, id := range ids {
+		ep := net.Register(ConsEndpoint(id))
+		node := NewNode(id, ep, ids, fd.NewScripted(net))
+		node.Start()
+		nodes = append(nodes, node)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+		net.Close()
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := nodes[0].Propose(fmt.Sprintf("k%d", i), i); got != i {
+			b.Fatalf("decision = %v", got)
+		}
+	}
+}

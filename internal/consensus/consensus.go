@@ -1,0 +1,108 @@
+// Package consensus provides the consensus objects of §5.2 [Her91]: a
+// propose() primitive that takes a proposed value and returns the single
+// decided value, and a read() primitive that returns the decided value, if
+// any, or ⊥.
+//
+// The paper assumes these objects exist and does not discuss their
+// implementation. This package provides both the assumed abstraction and a
+// real implementation:
+//
+//   - Local: a linearizable, wait-free, first-proposal-wins object in shared
+//     memory — the abstraction exactly as assumed. A LocalProvider hands out
+//     Local objects keyed by instance name; the protocol's consensus arrays
+//     (owner-agreement, result-agreement, outcome-agreement) are key spaces
+//     over one provider.
+//   - Protocol (ct.go): an asynchronous message-passing consensus in the
+//     style of Chandra–Toueg's ◇S rotating-coordinator algorithm [CT96],
+//     running over simnet with majority quorums, tolerating f < n/2 crashes
+//     and arbitrary false suspicion. Each replica owns a Node; Nodes expose
+//     the same Object interface per instance key.
+//
+// Values flowing through consensus are ordinary Go values (the network is
+// in-memory); they must be treated as immutable once proposed.
+package consensus
+
+import (
+	"sync"
+)
+
+// Object is one consensus instance.
+type Object interface {
+	// Propose submits v and returns the decided value: v itself if this
+	// proposal was first, the earlier decision otherwise. Propose blocks
+	// until a decision is available.
+	Propose(v any) any
+	// Read returns the decided value, or ok=false if no value has been
+	// decided yet (the paper's ⊥).
+	Read() (any, bool)
+}
+
+// Provider hands out consensus objects by instance key. Calling Object with
+// the same key returns (a handle on) the same instance.
+type Provider interface {
+	Object(key string) Object
+}
+
+// Local is a linearizable first-proposal-wins consensus object. The zero
+// value is ready to use.
+type Local struct {
+	mu      sync.Mutex
+	decided bool
+	value   any
+}
+
+// Propose implements Object. It is wait-free: one critical section.
+func (l *Local) Propose(v any) any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.decided {
+		l.decided = true
+		l.value = v
+	}
+	return l.value
+}
+
+// Read implements Object.
+func (l *Local) Read() (any, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.value, l.decided
+}
+
+// LocalProvider is a concurrency-safe registry of Local objects. The zero
+// value is ready to use.
+type LocalProvider struct {
+	mu      sync.Mutex
+	objects map[string]*Local
+}
+
+// NewLocalProvider returns an empty provider.
+func NewLocalProvider() *LocalProvider { return &LocalProvider{} }
+
+// Object implements Provider.
+func (p *LocalProvider) Object(key string) Object {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.objects == nil {
+		p.objects = make(map[string]*Local)
+	}
+	o, ok := p.objects[key]
+	if !ok {
+		o = &Local{}
+		p.objects[key] = o
+	}
+	return o
+}
+
+// Keys returns the instance keys created so far, for introspection (the
+// cleaner's "largest defined index" scan uses Read on candidate keys
+// instead, but tests want visibility).
+func (p *LocalProvider) Keys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.objects))
+	for k := range p.objects {
+		out = append(out, k)
+	}
+	return out
+}

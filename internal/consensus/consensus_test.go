@@ -1,0 +1,253 @@
+package consensus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"xability/internal/fd"
+	"xability/internal/simnet"
+)
+
+func TestLocalFirstProposalWins(t *testing.T) {
+	var o Local
+	if _, ok := o.Read(); ok {
+		t.Error("fresh object has a decision")
+	}
+	if got := o.Propose("a"); got != "a" {
+		t.Errorf("first propose = %v", got)
+	}
+	if got := o.Propose("b"); got != "a" {
+		t.Errorf("second propose = %v, want a", got)
+	}
+	v, ok := o.Read()
+	if !ok || v != "a" {
+		t.Errorf("Read = (%v, %v)", v, ok)
+	}
+}
+
+func TestLocalConcurrentAgreement(t *testing.T) {
+	var o Local
+	const n = 32
+	results := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = o.Propose(i)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("agreement violated: %v vs %v", results[i], results[0])
+		}
+	}
+	// Validity: the decision is one of the proposals.
+	if d := results[0].(int); d < 0 || d >= n {
+		t.Errorf("decided value %v was never proposed", d)
+	}
+}
+
+func TestLocalProviderKeying(t *testing.T) {
+	p := NewLocalProvider()
+	a := p.Object("k1")
+	b := p.Object("k1")
+	c := p.Object("k2")
+	a.Propose("x")
+	if v, ok := b.Read(); !ok || v != "x" {
+		t.Error("same key must return the same instance")
+	}
+	if _, ok := c.Read(); ok {
+		t.Error("different key leaked a decision")
+	}
+	if len(p.Keys()) != 2 {
+		t.Errorf("Keys = %v", p.Keys())
+	}
+}
+
+// ctHarness assembles n CT nodes over a simulated network.
+type ctHarness struct {
+	net   *simnet.Network
+	nodes []*Node
+	dets  []*fd.Scripted
+	ids   []simnet.ProcessID
+}
+
+func newCTHarness(t *testing.T, n int, seed int64) *ctHarness {
+	t.Helper()
+	h := &ctHarness{net: simnet.New(simnet.Config{Seed: seed, MaxDelay: 200 * time.Microsecond})}
+	for i := 0; i < n; i++ {
+		h.ids = append(h.ids, simnet.ProcessID(fmt.Sprintf("n%d", i)))
+	}
+	for i := 0; i < n; i++ {
+		ep := h.net.Register(ConsEndpoint(h.ids[i]))
+		det := fd.NewScripted(h.net)
+		h.dets = append(h.dets, det)
+		node := NewNode(h.ids[i], ep, h.ids, det)
+		node.Start()
+		h.nodes = append(h.nodes, node)
+	}
+	t.Cleanup(func() {
+		for _, nd := range h.nodes {
+			nd.Stop()
+		}
+		h.net.Close()
+	})
+	return h
+}
+
+func TestCTSingleProposer(t *testing.T) {
+	h := newCTHarness(t, 3, 1)
+	got := h.nodes[0].Propose("k", "v0")
+	if got != "v0" {
+		t.Errorf("decision = %v, want v0", got)
+	}
+	// Other nodes learn the decision.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := h.nodes[2].Read("k"); ok {
+			if v != "v0" {
+				t.Fatalf("node 2 decided %v", v)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("decision never propagated")
+}
+
+func TestCTConcurrentProposersAgree(t *testing.T) {
+	h := newCTHarness(t, 3, 2)
+	results := make([]any, 3)
+	var wg sync.WaitGroup
+	for i := range h.nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = h.nodes[i].Propose("k", fmt.Sprintf("v%d", i))
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 3; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("agreement violated: %v", results)
+		}
+	}
+	valid := false
+	for i := range h.nodes {
+		if results[0] == fmt.Sprintf("v%d", i) {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Errorf("decided value %v was never proposed", results[0])
+	}
+}
+
+func TestCTIndependentInstances(t *testing.T) {
+	h := newCTHarness(t, 3, 3)
+	var wg sync.WaitGroup
+	decisions := make([]any, 4)
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			decisions[k] = h.nodes[k%3].Propose(fmt.Sprintf("key-%d", k), fmt.Sprintf("val-%d", k))
+		}(k)
+	}
+	wg.Wait()
+	for k := 0; k < 4; k++ {
+		if decisions[k] != fmt.Sprintf("val-%d", k) {
+			t.Errorf("instance %d decided %v (single proposer must win its own instance)", k, decisions[k])
+		}
+	}
+}
+
+func TestCTToleratesMinorityCrash(t *testing.T) {
+	h := newCTHarness(t, 3, 4)
+	h.net.Crash(ConsEndpoint(h.ids[2]))
+	h.nodes[2].Stop()
+
+	done := make(chan any, 1)
+	go func() { done <- h.nodes[0].Propose("k", "v") }()
+	select {
+	case v := <-done:
+		if v != "v" {
+			t.Errorf("decision = %v", v)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("consensus did not terminate with f=1 crash, n=3")
+	}
+}
+
+func TestCTCrashedCoordinatorRotation(t *testing.T) {
+	h := newCTHarness(t, 3, 5)
+	// Round 1's coordinator is ids[1%3] = n1; crash it so the instance
+	// must rotate to another coordinator. The harness only registers the
+	// consensus endpoints, so completeness is injected explicitly (the
+	// full-protocol Crash in internal/core crashes the base process too,
+	// which the scripted detector picks up automatically).
+	h.net.Crash(ConsEndpoint(h.ids[1]))
+	h.nodes[1].Stop()
+	h.dets[0].SetSuspected(h.ids[1], true)
+	h.dets[2].SetSuspected(h.ids[1], true)
+
+	done := make(chan any, 1)
+	go func() { done <- h.nodes[0].Propose("k", "v") }()
+	select {
+	case v := <-done:
+		if v != "v" {
+			t.Errorf("decision = %v", v)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("consensus stuck on crashed coordinator")
+	}
+}
+
+func TestCTFalseSuspicionStillAgrees(t *testing.T) {
+	h := newCTHarness(t, 3, 6)
+	// n2 permanently (falsely) suspects everyone: it nacks every proposal
+	// it is asked about, but a majority of accurate nodes still decides.
+	h.dets[2].SetSuspected(h.ids[0], true)
+	h.dets[2].SetSuspected(h.ids[1], true)
+
+	results := make([]any, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = h.nodes[i].Propose("k", fmt.Sprintf("v%d", i))
+		}(i)
+	}
+	wg.Wait()
+	if results[0] != results[1] {
+		t.Fatalf("agreement violated under false suspicion: %v", results)
+	}
+}
+
+func TestCTObjectAdapter(t *testing.T) {
+	h := newCTHarness(t, 3, 7)
+	obj := h.nodes[0].Object("adapter-key")
+	if _, ok := obj.Read(); ok {
+		t.Error("fresh instance decided")
+	}
+	if got := obj.Propose("x"); got != "x" {
+		t.Errorf("Propose = %v", got)
+	}
+	if v, ok := obj.Read(); !ok || v != "x" {
+		t.Errorf("Read = (%v, %v)", v, ok)
+	}
+}
+
+func TestCTProposeAfterDecision(t *testing.T) {
+	h := newCTHarness(t, 3, 8)
+	first := h.nodes[0].Propose("k", "v0")
+	second := h.nodes[1].Propose("k", "v1")
+	if first != second {
+		t.Errorf("late proposal got %v, first got %v", second, first)
+	}
+}

@@ -1,0 +1,414 @@
+package consensus
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xability/internal/fd"
+	"xability/internal/simnet"
+)
+
+// Node is one replica's participant in a message-passing consensus service
+// in the style of Chandra–Toueg's ◇S rotating-coordinator algorithm [CT96].
+// A set of n Nodes (one per replica, all listing the same peers in the same
+// order) runs any number of independent consensus instances, multiplexed by
+// instance key, tolerating f < n/2 crashes and arbitrary false suspicions
+// from the supplied failure detector.
+//
+// Per instance and round r, the coordinator is peers[r mod n]:
+//
+//  1. every participant sends its (estimate, ts) to the coordinator;
+//  2. the coordinator gathers a majority of estimates, adopts a non-⊥
+//     estimate with maximal ts, and broadcasts it as the round's proposal;
+//  3. each participant waits for the proposal or for its detector to
+//     suspect the coordinator; it acks and adopts the proposal (ts := r),
+//     or nacks and moves to the next round;
+//  4. a coordinator that gathers a majority of acks decides and reliably
+//     broadcasts the decision; receivers re-broadcast once and decide.
+//
+// Agreement follows from quorum intersection on (estimate, ts) as in
+// [CT96]; termination follows from eventual accuracy of the detector
+// (◇P implies ◇S) plus reliable channels.
+//
+// Processes that never propose still participate: they answer with a ⊥
+// estimate that the coordinator ignores when choosing a value, so a single
+// proposer suffices for a decision.
+type Node struct {
+	self  simnet.ProcessID
+	peers []simnet.ProcessID
+	ep    *simnet.Endpoint
+	det   fd.Detector
+
+	mu        sync.Mutex
+	instances map[string]*ctInstance
+	stopped   bool
+	stop      chan struct{}
+}
+
+// ConsEndpoint returns the conventional process ID of p's consensus
+// endpoint.
+func ConsEndpoint(p simnet.ProcessID) simnet.ProcessID { return p + "/cons" }
+
+// NewNode builds a consensus participant. ep must be registered as
+// ConsEndpoint(self); peers lists all replicas (including self) in an order
+// common to every node.
+func NewNode(self simnet.ProcessID, ep *simnet.Endpoint, peers []simnet.ProcessID, det fd.Detector) *Node {
+	return &Node{
+		self:      self,
+		peers:     append([]simnet.ProcessID(nil), peers...),
+		ep:        ep,
+		det:       det,
+		instances: make(map[string]*ctInstance),
+		stop:      make(chan struct{}),
+	}
+}
+
+// Start launches the receive loop.
+func (n *Node) Start() { go n.recvLoop() }
+
+// Stop terminates the node's goroutines. In-flight Propose calls unblock
+// with the zero value.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	close(n.stop)
+	n.mu.Unlock()
+}
+
+type ctKind int
+
+const (
+	ctEstimate ctKind = iota
+	ctProposal
+	ctAck
+	ctNack
+	ctDecide
+)
+
+type ctMsg struct {
+	Key      string
+	Round    int
+	Kind     ctKind
+	Value    any
+	TS       int
+	HasValue bool
+	From     simnet.ProcessID
+}
+
+type ctInstance struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	key      string
+	estimate any
+	hasEst   bool
+	ts       int
+	decided  bool
+	decision any
+	running  bool
+	// inbox buffers messages per (round, kind); the round loop consumes
+	// them as its phases come due.
+	inbox []ctMsg
+}
+
+func (n *Node) instance(key string) *ctInstance {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	inst, ok := n.instances[key]
+	if !ok {
+		inst = &ctInstance{key: key, ts: -1}
+		inst.cond = sync.NewCond(&inst.mu)
+		n.instances[key] = inst
+	}
+	return inst
+}
+
+// Object returns a handle implementing the Object interface for one
+// instance key on this node.
+func (n *Node) Object(key string) Object { return &ctObject{n: n, key: key} }
+
+type ctObject struct {
+	n   *Node
+	key string
+}
+
+func (o *ctObject) Propose(v any) any { return o.n.Propose(o.key, v) }
+func (o *ctObject) Read() (any, bool) { return o.n.Read(o.key) }
+func (o *ctObject) String() string    { return fmt.Sprintf("ct:%s@%s", o.key, o.n.self) }
+
+// Propose submits a value for the instance and blocks until a decision is
+// known locally (or the node stops, returning nil).
+func (n *Node) Propose(key string, v any) any {
+	inst := n.instance(key)
+	inst.mu.Lock()
+	if inst.decided {
+		d := inst.decision
+		inst.mu.Unlock()
+		return d
+	}
+	if !inst.hasEst {
+		inst.estimate, inst.hasEst, inst.ts = v, true, 0
+	}
+	n.ensureRunning(inst)
+	for !inst.decided {
+		select {
+		case <-n.stop:
+			inst.mu.Unlock()
+			return nil
+		default:
+		}
+		inst.cond.Wait()
+	}
+	d := inst.decision
+	inst.mu.Unlock()
+	return d
+}
+
+// Read returns the locally known decision.
+func (n *Node) Read(key string) (any, bool) {
+	inst := n.instance(key)
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.decision, inst.decided
+}
+
+// ensureRunning launches the round loop once; callers hold inst.mu.
+func (n *Node) ensureRunning(inst *ctInstance) {
+	if inst.running {
+		return
+	}
+	inst.running = true
+	go n.roundLoop(inst)
+}
+
+func (n *Node) recvLoop() {
+	for {
+		msg, ok := n.ep.Recv()
+		if !ok {
+			return
+		}
+		cm, ok := msg.Payload.(ctMsg)
+		if !ok {
+			continue
+		}
+		cm.From = msg.From
+		inst := n.instance(cm.Key)
+		inst.mu.Lock()
+		if cm.Kind == ctDecide {
+			if !inst.decided {
+				inst.decided, inst.decision = true, cm.Value
+				inst.cond.Broadcast()
+				// Reliable broadcast: relay the decision once.
+				for _, p := range n.peers {
+					if p != n.self {
+						n.ep.Send(ConsEndpoint(p), "cons", ctMsg{Key: cm.Key, Kind: ctDecide, Value: cm.Value})
+					}
+				}
+			}
+			inst.mu.Unlock()
+			continue
+		}
+		inst.inbox = append(inst.inbox, cm)
+		n.ensureRunning(inst) // participate passively when contacted
+		inst.cond.Broadcast()
+		inst.mu.Unlock()
+	}
+}
+
+// take removes and returns buffered messages matching round and kind;
+// callers hold inst.mu.
+func (inst *ctInstance) take(round int, kind ctKind) []ctMsg {
+	var got []ctMsg
+	rest := inst.inbox[:0]
+	for _, m := range inst.inbox {
+		if m.Round == round && m.Kind == kind {
+			got = append(got, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	inst.inbox = rest
+	return got
+}
+
+const ctPoll = 500 * time.Microsecond
+
+func (n *Node) roundLoop(inst *ctInstance) {
+	majority := len(n.peers)/2 + 1
+	for round := 1; ; round++ {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		coord := n.peers[round%len(n.peers)]
+
+		// Phase 1: send the estimate to every peer, not only the
+		// coordinator. The coordinator is the only consumer, but the
+		// broadcast doubles as instance discovery: a node that has never
+		// heard of this instance starts participating when the first
+		// estimate reaches it — otherwise a proposer that coordinates the
+		// round alone could never assemble a majority.
+		inst.mu.Lock()
+		if inst.decided {
+			inst.mu.Unlock()
+			return
+		}
+		est := ctMsg{Key: inst.key, Round: round, Kind: ctEstimate, Value: inst.estimate, TS: inst.ts, HasValue: inst.hasEst}
+		inst.mu.Unlock()
+		for _, p := range n.peers {
+			n.sendCons(p, est)
+		}
+
+		// Phase 2 (coordinator): gather a majority of estimates including
+		// at least one real value, then broadcast a proposal.
+		if coord == n.self {
+			var got []ctMsg
+			ok := n.waitCond(inst, func() bool {
+				got = append(got, inst.take(round, ctEstimate)...)
+				real := 0
+				for _, m := range got {
+					if m.HasValue {
+						real++
+					}
+				}
+				return len(got) >= majority && real > 0
+			}, nil)
+			if !ok {
+				return
+			}
+			best := got[0]
+			for _, m := range got {
+				if m.HasValue && (!best.HasValue || m.TS > best.TS) {
+					best = m
+				}
+			}
+			prop := ctMsg{Key: inst.key, Round: round, Kind: ctProposal, Value: best.Value}
+			for _, p := range n.peers {
+				n.sendCons(p, prop)
+			}
+		}
+
+		// Phase 3: adopt the coordinator's proposal or give up on it.
+		var proposal *ctMsg
+		suspected := false
+		ok := n.waitCond(inst, func() bool {
+			if ms := inst.take(round, ctProposal); len(ms) > 0 {
+				proposal = &ms[0]
+				return true
+			}
+			return false
+		}, func() bool {
+			suspected = n.det.Suspect(coord)
+			return suspected
+		})
+		if !ok {
+			return
+		}
+		if proposal != nil {
+			inst.mu.Lock()
+			inst.estimate, inst.hasEst, inst.ts = proposal.Value, true, round
+			inst.mu.Unlock()
+			n.sendCons(coord, ctMsg{Key: inst.key, Round: round, Kind: ctAck})
+		} else {
+			n.sendCons(coord, ctMsg{Key: inst.key, Round: round, Kind: ctNack})
+		}
+
+		// Phase 4 (coordinator): wait for a majority of replies; decide when
+		// all of them are acks ([CT96]). Waiting for more than a majority
+		// could block forever on crashed participants.
+		if coord == n.self {
+			acks, nacks := 0, 0
+			var value any
+			inst.mu.Lock()
+			value = inst.estimate
+			inst.mu.Unlock()
+			ok := n.waitCond(inst, func() bool {
+				acks += len(inst.take(round, ctAck))
+				nacks += len(inst.take(round, ctNack))
+				return acks+nacks >= majority
+			}, nil)
+			if !ok {
+				return
+			}
+			if nacks == 0 && acks >= majority {
+				n.decide(inst, value)
+				return
+			}
+		}
+
+		inst.mu.Lock()
+		done := inst.decided
+		inst.mu.Unlock()
+		if done {
+			return
+		}
+	}
+}
+
+// waitCond blocks until ready() (checked under inst.mu) or abort() (checked
+// outside the lock at ctPoll intervals, may be nil) returns true. It
+// returns false when the node is stopping or the instance decided while
+// waiting with abort semantics still pending.
+func (n *Node) waitCond(inst *ctInstance, ready func() bool, abort func() bool) bool {
+	for {
+		select {
+		case <-n.stop:
+			return false
+		default:
+		}
+		inst.mu.Lock()
+		if inst.decided {
+			inst.mu.Unlock()
+			return false
+		}
+		if ready() {
+			inst.mu.Unlock()
+			return true
+		}
+		inst.mu.Unlock()
+		if abort != nil && abort() {
+			return true
+		}
+		time.Sleep(ctPoll)
+	}
+}
+
+func (n *Node) decide(inst *ctInstance, v any) {
+	inst.mu.Lock()
+	if !inst.decided {
+		inst.decided, inst.decision = true, v
+		inst.cond.Broadcast()
+	}
+	inst.mu.Unlock()
+	for _, p := range n.peers {
+		if p != n.self {
+			n.sendCons(p, ctMsg{Key: inst.key, Kind: ctDecide, Value: v})
+		}
+	}
+}
+
+func (n *Node) sendCons(to simnet.ProcessID, m ctMsg) {
+	if to == n.self {
+		// Local delivery without the network: enqueue directly.
+		inst := n.instance(m.Key)
+		m.From = n.self
+		inst.mu.Lock()
+		if m.Kind == ctDecide {
+			if !inst.decided {
+				inst.decided, inst.decision = true, m.Value
+				inst.cond.Broadcast()
+			}
+		} else {
+			inst.inbox = append(inst.inbox, m)
+			inst.cond.Broadcast()
+		}
+		inst.mu.Unlock()
+		return
+	}
+	n.ep.Send(ConsEndpoint(to), "cons", m)
+}

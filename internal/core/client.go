@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"xability/internal/action"
+	"xability/internal/fd"
+	"xability/internal/simnet"
+)
+
+// ErrSubmitFailed is the error value a single submit attempt returns when
+// the contacted replica is suspected before a result arrives (Figure 5's
+// "return failure"). Submit is idempotent, so the caller simply retries —
+// SubmitUntilSuccess does exactly that.
+var ErrSubmitFailed = errors.New("core: submit failed (replica suspected)")
+
+// Client is the client-side stub of Figure 5. It is not safe for concurrent
+// Submits: the paper's model is a single client issuing one request at a
+// time (§4).
+type Client struct {
+	id       simnet.ProcessID
+	ep       *simnet.Endpoint
+	replicas []simnet.ProcessID
+	det      fd.Detector
+	poll     time.Duration
+
+	mu       sync.Mutex
+	i        int // next replica to contact (Figure 5's i)
+	seq      int // request ID generator
+	attempts int
+
+	// run log for the verifier
+	requests []action.Request
+	replies  []action.Value
+}
+
+// ClientConfig assembles a client stub.
+type ClientConfig struct {
+	ID       simnet.ProcessID
+	Endpoint *simnet.Endpoint
+	Replicas []simnet.ProcessID
+	Detector fd.Detector
+	// Poll is the await-loop polling period (default 200µs).
+	Poll time.Duration
+}
+
+// NewClient builds a client stub.
+func NewClient(cfg ClientConfig) *Client {
+	poll := cfg.Poll
+	if poll <= 0 {
+		poll = 200 * time.Microsecond
+	}
+	return &Client{
+		id:       cfg.ID,
+		ep:       cfg.Endpoint,
+		replicas: append([]simnet.ProcessID(nil), cfg.Replicas...),
+		det:      cfg.Detector,
+		poll:     poll,
+	}
+}
+
+// nextID assigns a fresh request ID. Request identity is what makes a
+// retried submit join the same consensus instances instead of becoming a
+// new request.
+func (c *Client) nextID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return fmt.Sprintf("%s-%d", c.id, c.seq)
+}
+
+// Submit is Figure 5's submit: send the request to one replica, await a
+// result or a suspicion, and on suspicion advance to the next replica and
+// report failure. The same tagged request must be passed to a retry (use
+// Tag once, or call SubmitUntilSuccess).
+func (c *Client) Submit(req action.Request) (action.Value, error) {
+	if req.ID == "" {
+		return "", errors.New("core: request must be tagged with an ID (use Tag)")
+	}
+	c.mu.Lock()
+	target := c.replicas[c.i]
+	c.attempts++
+	c.mu.Unlock()
+
+	c.ep.Send(target, MsgSubmit, SubmitPayload{Req: req, Client: c.id})
+	for {
+		// Drain the mailbox: a result for this request from any replica —
+		// including a late reply to an earlier attempt — satisfies the
+		// await (the paper's client awaits any [Result] message).
+		for {
+			msg, ok := c.ep.TryRecv()
+			if !ok {
+				break
+			}
+			if msg.Type != MsgResult {
+				continue
+			}
+			p, ok := msg.Payload.(ResultPayload)
+			if !ok || p.ReqID != req.ID {
+				continue // stale reply to a previous request
+			}
+			return p.Value, nil
+		}
+		if c.det.Suspect(target) {
+			c.mu.Lock()
+			c.i = (c.i + 1) % len(c.replicas)
+			c.mu.Unlock()
+			return "", ErrSubmitFailed
+		}
+		time.Sleep(c.poll)
+	}
+}
+
+// Tag assigns a fresh request ID, fixing the request's identity across
+// submit retries.
+func (c *Client) Tag(req action.Request) action.Request {
+	return req.WithID(c.nextID())
+}
+
+// SubmitUntilSuccess retries Submit until it succeeds (the client behavior
+// R1 and R2 license: submit is idempotent and cannot fail forever) and logs
+// the request and reply for verification.
+func (c *Client) SubmitUntilSuccess(req action.Request) action.Value {
+	req = c.Tag(req)
+	for {
+		v, err := c.Submit(req)
+		if err == nil {
+			c.mu.Lock()
+			c.requests = append(c.requests, req)
+			c.replies = append(c.replies, v)
+			c.mu.Unlock()
+			return v
+		}
+	}
+}
+
+// Attempts reports how many submit attempts the client has made.
+func (c *Client) Attempts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attempts
+}
+
+// Log returns the successfully submitted requests and their replies, in
+// order — the inputs to requirement R3/R4 verification.
+func (c *Client) Log() ([]action.Request, []action.Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]action.Request(nil), c.requests...), append([]action.Value(nil), c.replies...)
+}

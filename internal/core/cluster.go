@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"xability/internal/action"
+	"xability/internal/consensus"
+	"xability/internal/env"
+	"xability/internal/fd"
+	"xability/internal/simnet"
+	"xability/internal/sm"
+	"xability/internal/trace"
+)
+
+// ConsensusMode selects the consensus substrate.
+type ConsensusMode int
+
+const (
+	// ConsensusLocal uses the linearizable shared objects the paper assumes
+	// (§5.2): one LocalProvider shared by all replicas.
+	ConsensusLocal ConsensusMode = iota
+	// ConsensusCT uses the message-passing rotating-coordinator protocol
+	// over the simulated network (internal/consensus, ct.go).
+	ConsensusCT
+)
+
+// DetectorMode selects the failure-detector substrate.
+type DetectorMode int
+
+const (
+	// DetectorScripted wires a Scripted detector per process; tests inject
+	// suspicions deterministically via Cluster.Suspect.
+	DetectorScripted DetectorMode = iota
+	// DetectorHeartbeat wires heartbeat-driven ◇P detectors.
+	DetectorHeartbeat
+)
+
+// ClusterConfig describes a full replicated service for tests, examples,
+// and benchmarks.
+type ClusterConfig struct {
+	Replicas  int
+	Seed      int64
+	Net       simnet.Config
+	Consensus ConsensusMode
+	Detector  DetectorMode
+	// Registry is the service's action vocabulary.
+	Registry *action.Registry
+	// Setup registers action bodies on each replica's machine.
+	Setup func(m *sm.Machine)
+	// CleanInterval overrides the cleaner period.
+	CleanInterval time.Duration
+	// HeartbeatInterval tunes DetectorHeartbeat.
+	HeartbeatInterval time.Duration
+}
+
+// Cluster is an assembled service: n server replicas, one client stub, a
+// shared environment, and the run's event observer.
+type Cluster struct {
+	Net      *simnet.Network
+	Observer *trace.Observer
+	Env      *env.Env
+	Servers  []*Server
+	Client   *Client
+
+	scripted  map[simnet.ProcessID]*fd.Scripted
+	clientDet *fd.Scripted
+	nodes     []*consensus.Node
+	hbs       []*fd.Heartbeat
+}
+
+// NewCluster assembles and starts a service.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Net.Seed == 0 {
+		cfg.Net.Seed = cfg.Seed
+	}
+	net := simnet.New(cfg.Net)
+	obs := trace.New()
+	world := env.New(obs, cfg.Seed)
+
+	c := &Cluster{
+		Net:      net,
+		Observer: obs,
+		Env:      world,
+		scripted: make(map[simnet.ProcessID]*fd.Scripted),
+	}
+
+	ids := make([]simnet.ProcessID, cfg.Replicas)
+	for i := range ids {
+		ids[i] = simnet.ProcessID(fmt.Sprintf("replica-%d", i))
+	}
+	clientID := simnet.ProcessID("client")
+
+	// Endpoints.
+	serverEPs := make([]*simnet.Endpoint, cfg.Replicas)
+	for i, id := range ids {
+		serverEPs[i] = net.Register(id)
+	}
+	clientEP := net.Register(clientID)
+
+	// Failure detectors.
+	detFor := make(map[simnet.ProcessID]fd.Detector)
+	var clientDet fd.Detector
+	switch cfg.Detector {
+	case DetectorHeartbeat:
+		for _, id := range ids {
+			ep := net.Register(fd.FDEndpoint(id))
+			hb := fd.NewHeartbeat(id, ep, ids, fd.HeartbeatConfig{Interval: cfg.HeartbeatInterval})
+			hb.Start()
+			c.hbs = append(c.hbs, hb)
+			detFor[id] = hb
+		}
+		cep := net.Register(fd.FDEndpoint(clientID))
+		chb := fd.NewHeartbeat(clientID, cep, ids, fd.HeartbeatConfig{Interval: cfg.HeartbeatInterval})
+		chb.Start()
+		c.hbs = append(c.hbs, chb)
+		clientDet = chb
+	default:
+		for _, id := range ids {
+			d := fd.NewScripted(net)
+			c.scripted[id] = d
+			detFor[id] = d
+		}
+		cd := fd.NewScripted(net)
+		c.clientDet = cd
+		clientDet = cd
+	}
+
+	// Consensus.
+	var providerFor func(i int) consensus.Provider
+	switch cfg.Consensus {
+	case ConsensusCT:
+		for i, id := range ids {
+			ep := net.Register(consensus.ConsEndpoint(id))
+			node := consensus.NewNode(id, ep, ids, detFor[id])
+			node.Start()
+			c.nodes = append(c.nodes, node)
+			_ = i
+		}
+		providerFor = func(i int) consensus.Provider { return c.nodes[i] }
+	default:
+		shared := consensus.NewLocalProvider()
+		providerFor = func(int) consensus.Provider { return shared }
+	}
+
+	// Servers.
+	for i, id := range ids {
+		mach := sm.New(string(id), cfg.Registry, world, cfg.Seed+int64(i)*7919+1)
+		if cfg.Setup != nil {
+			cfg.Setup(mach)
+		}
+		srv := NewServer(ServerConfig{
+			ID:            id,
+			Endpoint:      serverEPs[i],
+			Machine:       mach,
+			Detector:      detFor[id],
+			Consensus:     providerFor(i),
+			Network:       net,
+			CleanInterval: cfg.CleanInterval,
+		})
+		srv.Start()
+		c.Servers = append(c.Servers, srv)
+	}
+
+	c.Client = NewClient(ClientConfig{
+		ID:       clientID,
+		Endpoint: clientEP,
+		Replicas: ids,
+		Detector: clientDet,
+	})
+	return c
+}
+
+// Suspect injects (or clears) a suspicion at one replica's scripted
+// detector. It panics in heartbeat mode.
+func (c *Cluster) Suspect(observer, target simnet.ProcessID, v bool) {
+	d, ok := c.scripted[observer]
+	if !ok {
+		panic(fmt.Sprintf("core: no scripted detector for %s", observer))
+	}
+	d.SetSuspected(target, v)
+}
+
+// SuspectEverywhere injects a suspicion of target at every replica's
+// scripted detector (not the client's).
+func (c *Cluster) SuspectEverywhere(target simnet.ProcessID, v bool) {
+	for id, d := range c.scripted {
+		if id != target {
+			d.SetSuspected(target, v)
+		}
+	}
+}
+
+// ClientSuspect injects a suspicion at the client's scripted detector.
+func (c *Cluster) ClientSuspect(target simnet.ProcessID, v bool) {
+	c.clientDet.SetSuspected(target, v)
+}
+
+// CrashServer crashes replica i. Scripted detectors treat crashed
+// processes as suspected automatically (strong completeness).
+func (c *Cluster) CrashServer(i int) { c.Servers[i].Crash() }
+
+// Machine returns replica i's state machine.
+func (c *Cluster) Machine(i int) *sm.Machine { return c.Servers[i].mach }
+
+// Stop shuts the whole cluster down.
+func (c *Cluster) Stop() {
+	for _, s := range c.Servers {
+		s.Stop()
+	}
+	for _, hb := range c.hbs {
+		hb.Stop()
+	}
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	c.Net.Close()
+}

@@ -1,0 +1,462 @@
+// Package core implements the paper's general asynchronous replication
+// algorithm (§5, Figures 5–7): a client stub whose submit is idempotent and
+// eventually successful (R1, R2), and a set of server replicas that execute
+// non-deterministic, side-effecting actions with exactly-once semantics
+// (R3, R4).
+//
+// The algorithm is asynchronous in the paper's sense: in a nice run the
+// replica that receives the request executes alone (a primary-backup
+// flavor); under (possibly false) failure suspicion, other replicas start
+// new rounds and execute concurrently (an active-replication flavor), with
+// three consensus arrays arbitrating:
+//
+//	owner-agreement[round]    — who owns a round            (key "owner/…")
+//	result-agreement[request] — result of idempotent action (key "result/…")
+//	outcome-agreement[request]— commit/abort of undoable    (key "outcome/…")
+//
+// Differences from the paper's pseudo-code, each forced by a gap the
+// figures elide (see DESIGN.md §2):
+//
+//   - Multi-request support: consensus instances are namespaced by request
+//     ID; replicas replay agreed results of earlier requests through the
+//     machine's Apply hook before executing a later one.
+//   - Request gossip: the figures give every replica access to the shared
+//     owner-agreement array; here servers broadcast an announce message on
+//     first sight of a request so every cleaner knows which instances to
+//     read.
+//   - Cleaner re-reply: when the cleaner finds a suspected owner whose
+//     round already fixed a result, it forwards that result to the client —
+//     without this, an owner crashing between deciding and replying would
+//     leave the client waiting forever and R2 would not hold.
+//   - Round tagging: undoable executions and their cancel/commit actions
+//     carry (request ID, round) in their event values, so a cancellation
+//     for round n cannot cancel round n+1 (§5.4); idempotent executions
+//     carry only the request ID, so retries in later rounds collapse under
+//     rule 18.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xability/internal/action"
+	"xability/internal/consensus"
+	"xability/internal/fd"
+	"xability/internal/simnet"
+	"xability/internal/sm"
+)
+
+// EmptyResult is the paper's empty-result sentinel: the value the cleaner
+// proposes in cleaning mode to prevent a suspected owner from enforcing its
+// result.
+const EmptyResult action.Value = "\x00empty-result"
+
+// MaxRound bounds the owner-agreement array (the paper's max-round).
+const MaxRound = 64
+
+// Message types exchanged between client stubs and servers.
+const (
+	MsgSubmit   = "submit"   // client → server: SubmitPayload
+	MsgResult   = "result"   // server → client: ResultPayload
+	MsgAnnounce = "announce" // server → server: SubmitPayload (request gossip)
+)
+
+// SubmitPayload carries a request and the client to reply to.
+type SubmitPayload struct {
+	Req    action.Request
+	Client simnet.ProcessID
+}
+
+// ResultPayload carries a reply.
+type ResultPayload struct {
+	ReqID string
+	Value action.Value
+}
+
+type ownerDecision struct {
+	Owner  simnet.ProcessID
+	Req    action.Request
+	Client simnet.ProcessID
+}
+
+type outcomeDecision struct {
+	Outcome string // "commit" or "abort"
+	Value   action.Value
+}
+
+// Keys of the three consensus arrays.
+func ownerKey(reqID string, round int) string  { return fmt.Sprintf("owner/%s/%d", reqID, round) }
+func resultKey(reqID string, round int) string { return fmt.Sprintf("result/%s/%d", reqID, round) }
+func outcomeKey(reqID string, round int) string {
+	return fmt.Sprintf("outcome/%s/%d", reqID, round)
+}
+
+// Server is one replica of the replicated service (Figure 6).
+type Server struct {
+	id   simnet.ProcessID
+	ep   *simnet.Endpoint
+	mach *sm.Machine
+	det  fd.Detector
+	cons consensus.Provider
+	net  *simnet.Network
+
+	cleanInterval time.Duration
+
+	mu      sync.Mutex
+	stopped bool
+	active  map[string]*requestState
+	order   []string // request IDs in arrival order, for replay
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+type requestState struct {
+	req     action.Request // untagged except ID
+	client  simnet.ProcessID
+	done    bool
+	result  action.Value
+	applied bool // replayed into the local machine state
+}
+
+// ServerConfig assembles a server's dependencies.
+type ServerConfig struct {
+	ID        simnet.ProcessID
+	Endpoint  *simnet.Endpoint
+	Machine   *sm.Machine
+	Detector  fd.Detector
+	Consensus consensus.Provider
+	Network   *simnet.Network
+	// CleanInterval is the cleaner's polling period (default 1ms).
+	CleanInterval time.Duration
+}
+
+// NewServer builds a replica.
+func NewServer(cfg ServerConfig) *Server {
+	ci := cfg.CleanInterval
+	if ci <= 0 {
+		ci = time.Millisecond
+	}
+	return &Server{
+		id:            cfg.ID,
+		ep:            cfg.Endpoint,
+		mach:          cfg.Machine,
+		det:           cfg.Detector,
+		cons:          cfg.Consensus,
+		net:           cfg.Network,
+		cleanInterval: ci,
+		active:        make(map[string]*requestState),
+		stop:          make(chan struct{}),
+	}
+}
+
+// Start launches the request loop and the cleaner (the cobegin of
+// Figure 6).
+func (s *Server) Start() {
+	s.wg.Add(2)
+	go func() { defer s.wg.Done(); s.mainLoop() }()
+	go func() { defer s.wg.Done(); s.cleaner() }()
+}
+
+// Stop terminates the server's goroutines without simulating a crash.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	close(s.stop)
+	s.mu.Unlock()
+}
+
+// Crash simulates a crash (§5.2: crash-stop): the process's endpoints go
+// silent and all its activities cease at the next step boundary.
+func (s *Server) Crash() {
+	s.Stop()
+	s.net.Crash(s.id)
+	s.net.Crash(fd.FDEndpoint(s.id))
+	s.net.Crash(consensus.ConsEndpoint(s.id))
+}
+
+// ID returns the replica's process ID.
+func (s *Server) ID() simnet.ProcessID { return s.id }
+
+func (s *Server) isStopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+func (s *Server) mainLoop() {
+	for {
+		msg, ok := s.ep.Recv()
+		if !ok {
+			return
+		}
+		switch msg.Type {
+		case MsgSubmit:
+			p, ok := msg.Payload.(SubmitPayload)
+			if !ok {
+				continue
+			}
+			st, first := s.noteRequest(p.Req, p.Client)
+			if first {
+				s.ep.Broadcast(MsgAnnounce, p)
+			}
+			s.mu.Lock()
+			done, res := st.done, st.result
+			s.mu.Unlock()
+			if done {
+				// Re-submission of a completed request: replying with the
+				// fixed result keeps submit idempotent (R1) without
+				// re-executing anything.
+				s.ep.Send(p.Client, MsgResult, ResultPayload{ReqID: p.Req.ID, Value: res})
+				continue
+			}
+			// req.round := 1 (Figure 6).
+			s.wg.Add(1)
+			go func(p SubmitPayload) {
+				defer s.wg.Done()
+				s.processRequest(p.Req, 1, p.Client)
+			}(p)
+		case MsgAnnounce:
+			if p, ok := msg.Payload.(SubmitPayload); ok {
+				s.noteRequest(p.Req, p.Client)
+			}
+		}
+	}
+}
+
+// noteRequest records a request for the cleaner; reports whether it was
+// previously unknown to this replica.
+func (s *Server) noteRequest(req action.Request, client simnet.ProcessID) (*requestState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.active[req.ID]
+	if !ok {
+		st = &requestState{req: req, client: client}
+		s.active[req.ID] = st
+		s.order = append(s.order, req.ID)
+	}
+	return st, !ok
+}
+
+// taggedFor returns the request as executed in a round: undoable actions
+// (and, through Request.Cancel/Commit, their derived actions) carry the
+// round; idempotent actions carry only the request ID so that executions
+// from different rounds collapse under rule 18.
+func (s *Server) taggedFor(req action.Request, round int) action.Request {
+	if s.mach.IsUndoable(req) {
+		return req.WithRound(round)
+	}
+	return req.WithRound(0)
+}
+
+// processRequest is Figure 6's process-request: propose ownership of the
+// round; the winner executes, coordinates the result, and replies.
+func (s *Server) processRequest(req action.Request, round int, client simnet.ProcessID) {
+	if s.isStopped() || round > MaxRound {
+		return
+	}
+	decided := s.cons.Object(ownerKey(req.ID, round)).Propose(ownerDecision{Owner: s.id, Req: req, Client: client})
+	od, ok := decided.(ownerDecision)
+	if !ok || od.Owner != s.id {
+		return // another replica owns this round; the cleaner watches it
+	}
+	s.replayEarlier(req.ID)
+	exec := s.taggedFor(req, round)
+	res, ok := s.executeUntilSuccess(exec)
+	if !ok {
+		return // crashed mid-execution
+	}
+	res = s.resultCoordination(req, round, res)
+	if res != EmptyResult && !s.isStopped() {
+		s.finish(req.ID, res)
+		s.ep.Send(client, MsgResult, ResultPayload{ReqID: req.ID, Value: res})
+	}
+}
+
+// cleaner is Figure 6's cleaner thread: when the owner of a request's
+// latest round is suspected, neutralize that round (cleaning-mode result
+// coordination) and, if no result was fixed, start the next round as its
+// owner.
+func (s *Server) cleaner() {
+	t := time.NewTicker(s.cleanInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		for _, st := range s.snapshotActive() {
+			s.cleanRequest(st)
+		}
+	}
+}
+
+func (s *Server) snapshotActive() []*requestState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*requestState, 0, len(s.order))
+	for _, id := range s.order {
+		if st := s.active[id]; st != nil && !st.done {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func (s *Server) cleanRequest(st *requestState) {
+	reqID := st.req.ID
+	// "let last-round be the largest defined index in owner-agreement".
+	lastRound := 0
+	var od ownerDecision
+	for r := 1; r <= MaxRound; r++ {
+		v, decided := s.cons.Object(ownerKey(reqID, r)).Read()
+		if !decided {
+			break
+		}
+		lastRound = r
+		od = v.(ownerDecision)
+	}
+	if lastRound == 0 {
+		return // nobody owns round 1 yet; the client's retry handles it
+	}
+	if od.Owner == s.id || !s.det.Suspect(od.Owner) {
+		return
+	}
+	// Cleaning mode: prevent the suspected owner from enforcing a result.
+	res := s.resultCoordination(od.Req, lastRound, EmptyResult)
+	if s.isStopped() {
+		return
+	}
+	if res == EmptyResult {
+		s.processRequest(od.Req, lastRound+1, od.Client)
+		return
+	}
+	// A result was already fixed; the suspected owner may have crashed
+	// before replying. Forward the result so the client terminates (R2).
+	s.finish(reqID, res)
+	s.ep.Send(od.Client, MsgResult, ResultPayload{ReqID: reqID, Value: res})
+}
+
+// resultCoordination is Figure 7's result-coordination: agreement on the
+// result of idempotent actions, and on the outcome (commit/abort) of
+// undoable actions. val == EmptyResult selects cleaning mode.
+func (s *Server) resultCoordination(req action.Request, round int, val action.Value) action.Value {
+	if s.mach.IsIdempotent(req) {
+		decided := s.cons.Object(resultKey(req.ID, round)).Propose(val)
+		v, ok := decided.(action.Value)
+		if !ok {
+			return EmptyResult
+		}
+		return v
+	}
+	if s.mach.IsUndoable(req) {
+		var proposal outcomeDecision
+		if val == EmptyResult {
+			proposal = outcomeDecision{Outcome: "abort", Value: EmptyResult}
+		} else {
+			proposal = outcomeDecision{Outcome: "commit", Value: val}
+		}
+		decided := s.cons.Object(outcomeKey(req.ID, round)).Propose(proposal)
+		dec, ok := decided.(outcomeDecision)
+		if !ok {
+			return EmptyResult
+		}
+		exec := s.taggedFor(req, round)
+		if dec.Outcome == "abort" {
+			s.executeUntilSuccess(exec.Cancel())
+			return EmptyResult
+		}
+		s.executeUntilSuccess(exec.Commit())
+		return dec.Value
+	}
+	return EmptyResult
+}
+
+// executeUntilSuccess is Figure 7's execute-until-success: retry an action
+// until it succeeds; a failed undoable action is cancelled before the
+// retry. Returns ok=false only when the server stopped (crashed) before
+// succeeding.
+func (s *Server) executeUntilSuccess(req action.Request) (action.Value, bool) {
+	for {
+		if s.isStopped() {
+			return "", false
+		}
+		res, err := s.mach.Execute(req)
+		if err == nil {
+			return res, true
+		}
+		if s.mach.Registry().IsUndoable(req.Action) {
+			if _, ok := s.executeUntilSuccess(req.Cancel()); !ok {
+				return "", false
+			}
+		}
+		// Idempotent (including cancel/commit) actions simply retry.
+	}
+}
+
+// replayEarlier folds the agreed results of requests that arrived before
+// reqID into the local machine state (the multi-request extension). Results
+// are read from the result/outcome arrays; requests without a decided
+// result yet are skipped — the protocol's sequencing (a client submits
+// Rᵢ₊₁ only after Rᵢ succeeded) makes that benign.
+func (s *Server) replayEarlier(reqID string) {
+	s.mu.Lock()
+	var todo []*requestState
+	for _, id := range s.order {
+		if id == reqID {
+			break
+		}
+		st := s.active[id]
+		if st != nil && !st.applied {
+			todo = append(todo, st)
+		}
+	}
+	s.mu.Unlock()
+	for _, st := range todo {
+		if res, ok := s.decidedResult(st.req); ok {
+			s.mach.Apply(st.req, res)
+			s.mu.Lock()
+			st.applied = true
+			s.mu.Unlock()
+		}
+	}
+}
+
+// decidedResult scans a request's rounds for a fixed, non-empty result.
+func (s *Server) decidedResult(req action.Request) (action.Value, bool) {
+	for r := 1; r <= MaxRound; r++ {
+		if _, ok := s.cons.Object(ownerKey(req.ID, r)).Read(); !ok {
+			break
+		}
+		if s.mach.IsIdempotent(req) {
+			if v, ok := s.cons.Object(resultKey(req.ID, r)).Read(); ok {
+				if res, ok2 := v.(action.Value); ok2 && res != EmptyResult {
+					return res, true
+				}
+			}
+		} else if v, ok := s.cons.Object(outcomeKey(req.ID, r)).Read(); ok {
+			if dec, ok2 := v.(outcomeDecision); ok2 && dec.Outcome == "commit" {
+				return dec.Value, true
+			}
+		}
+	}
+	return "", false
+}
+
+// finish marks a request complete, remembering its result for
+// re-submissions. The executing replica also folds its own result into the
+// applied set so later replays skip it.
+func (s *Server) finish(reqID string, res action.Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.active[reqID]; st != nil {
+		st.done = true
+		st.result = res
+		st.applied = true
+	}
+}

@@ -1,0 +1,87 @@
+package event
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"xability/internal/action"
+)
+
+// The textual history format used by cmd/xcheck and test fixtures. One event
+// per line:
+//
+//	S <action> <value>
+//	C <action> <value>
+//
+// Blank lines and lines starting with '#' are ignored. The literal token
+// "nil" denotes action.Nil. Values may contain spaces (everything after the
+// second field is the value).
+
+// Marshal writes h in the textual format.
+func Marshal(w io.Writer, h History) error {
+	for _, e := range h {
+		v := string(e.Value)
+		if e.Value == action.Nil {
+			v = "nil"
+		}
+		if _, err := fmt.Fprintf(w, "%s %s %s\n", e.Type, e.Action, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalString renders h in the textual format.
+func MarshalString(h History) string {
+	var b strings.Builder
+	_ = Marshal(&b, h) // strings.Builder never errors
+	return b.String()
+}
+
+// Unmarshal parses the textual format into a history.
+func Unmarshal(r io.Reader) (History, error) {
+	var h History
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 3)
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("line %d: want 'S|C <action> [<value>]', got %q", lineno, line)
+		}
+		var typ Type
+		switch parts[0] {
+		case "S":
+			typ = Start
+		case "C":
+			typ = Complete
+		default:
+			return nil, fmt.Errorf("line %d: unknown event type %q (want S or C)", lineno, parts[0])
+		}
+		val := ""
+		if len(parts) == 3 {
+			val = parts[2]
+		}
+		v := action.Value(val)
+		if val == "nil" {
+			v = action.Nil
+		}
+		h = append(h, Event{Type: typ, Action: action.Name(parts[1]), Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// UnmarshalString parses the textual format from a string.
+func UnmarshalString(s string) (History, error) {
+	return Unmarshal(strings.NewReader(s))
+}

@@ -1,0 +1,131 @@
+package exper
+
+import (
+	"testing"
+
+	"xability/internal/workload"
+)
+
+// The exper tests pin the qualitative shapes the paper's claims predict —
+// who wins, by what kind of factor — not absolute numbers.
+
+func TestT1Shapes(t *testing.T) {
+	rows := TableT1(101)
+	byKey := make(map[string]T1Row)
+	for _, r := range rows {
+		byKey[r.Protocol+"/"+r.Scenario] = r
+	}
+
+	xaNice := byKey["x-ability/nice"]
+	if !xaNice.XAble || xaNice.EffectsInForce != 1 || !xaNice.Replied {
+		t.Errorf("x-ability nice run should be x-able with exactly one effect: %+v", xaNice)
+	}
+	xaCrash := byKey["x-ability/crash-failover"]
+	if !xaCrash.XAble || xaCrash.EffectsInForce != 1 {
+		t.Errorf("x-ability crash failover should stay exactly-once: %+v", xaCrash)
+	}
+
+	pbNice := byKey["primary-backup/nice"]
+	if pbNice.EffectsInForce != 1 {
+		t.Errorf("primary-backup nice run should apply once: %+v", pbNice)
+	}
+	pbCrash := byKey["primary-backup/crash-failover"]
+	if pbCrash.EffectsInForce < 2 {
+		t.Errorf("primary-backup failover should duplicate the effect: %+v", pbCrash)
+	}
+	if pbCrash.XAble {
+		t.Errorf("duplicated diverging executions must not be x-able: %+v", pbCrash)
+	}
+
+	act := byKey["active/nice"]
+	if act.EffectsInForce != 3 {
+		t.Errorf("active replication should apply the effect on all 3 replicas: %+v", act)
+	}
+	if act.XAble {
+		t.Errorf("active replication's diverging duplicates must not be x-able: %+v", act)
+	}
+}
+
+func TestT2SpectrumShape(t *testing.T) {
+	rows := TableT2(202)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Executions != 1 {
+		t.Errorf("no suspicion should mean a single executor (primary-backup flavor): %+v", rows[0])
+	}
+	for _, r := range rows {
+		if !r.XAble {
+			t.Errorf("every spectrum point must remain x-able: %+v", r)
+		}
+	}
+	// With maximum pulses the run must show concurrent execution.
+	last := rows[len(rows)-1]
+	if last.Executions < 2 {
+		t.Errorf("aggressive suspicion should force multiple executions (active flavor): %+v", last)
+	}
+}
+
+func TestT3CostShape(t *testing.T) {
+	rows := TableT3(303, 6)
+	byKey := make(map[string]T3Row)
+	for _, r := range rows {
+		byKey[r.Protocol+string(rune('0'+r.Replicas))] = r
+	}
+	// Active replication sends more messages per request than
+	// primary-backup at the same degree (sequencing + n executions).
+	if byKey["active3"].MsgsPerReq <= byKey["primary-backup3"].MsgsPerReq {
+		t.Errorf("active (%0.1f msgs) should out-message primary-backup (%0.1f)",
+			byKey["active3"].MsgsPerReq, byKey["primary-backup3"].MsgsPerReq)
+	}
+	// The CT substrate costs more messages than the assumed local objects.
+	if byKey["x-ability/ct3"].MsgsPerReq <= byKey["x-ability/local3"].MsgsPerReq {
+		t.Errorf("CT consensus (%0.1f msgs) should out-message local objects (%0.1f)",
+			byKey["x-ability/ct3"].MsgsPerReq, byKey["x-ability/local3"].MsgsPerReq)
+	}
+}
+
+func TestT4ConsensusShape(t *testing.T) {
+	rows := TableT4(404, 10)
+	var local1, ct1 T4Row
+	for _, r := range rows {
+		if r.Proposers == 1 {
+			if r.Provider == "local" {
+				local1 = r
+			} else {
+				ct1 = r
+			}
+		}
+	}
+	if ct1.PerDecide <= local1.PerDecide {
+		t.Errorf("message-passing consensus (%v) should be slower than the shared object (%v)",
+			ct1.PerDecide, local1.PerDecide)
+	}
+}
+
+func TestT6ScalesAndStaysCorrect(t *testing.T) {
+	rows := TableT6()
+	for _, r := range rows {
+		if !r.XAble {
+			t.Errorf("synthetic protocol-shaped history must verify: %+v", r)
+		}
+	}
+	// Growth sanity: bigger histories take longer (not asserting a
+	// specific complexity, just monotone-ish growth end to end).
+	first, last := rows[0], rows[len(rows)-1]
+	if last.Events <= first.Events {
+		t.Errorf("sweep did not grow: %+v … %+v", first, last)
+	}
+}
+
+func TestSyntheticHistoryShape(t *testing.T) {
+	reg := workload.Registry()
+	h, specs := SyntheticHistory(reg, 4, 3)
+	if len(specs) != 4 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	// Per request: 2 dangling starts + pair + 2 duplicate completions = 6.
+	if len(h) != 4*6 {
+		t.Errorf("events = %d, want 24", len(h))
+	}
+}

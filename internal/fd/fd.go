@@ -1,0 +1,180 @@
+// Package fd implements the failure-detector abstractions of §5.2 [CT96].
+//
+// The protocol needs two detector qualities:
+//
+//   - The client's detector must satisfy strong completeness: eventually,
+//     every crashed replica is suspected.
+//   - The replicas' detector must be eventually perfect (◇P): strong
+//     completeness plus eventual strong accuracy — eventually, no replica
+//     is suspected unless it has crashed.
+//
+// Two implementations are provided. Scripted is an oracle whose suspicions
+// are injected by the test or scenario driver; it makes false-suspicion
+// schedules deterministic and is how the experiments drive the protocol
+// across its primary-backup ↔ active-replication spectrum. Heartbeat is a
+// real detector over simnet: processes gossip heartbeats, a peer is
+// suspected when its heartbeat is overdue, and the timeout doubles after
+// each false suspicion, giving eventual accuracy once the timeout exceeds
+// the network's maximum delay.
+package fd
+
+import (
+	"sync"
+	"time"
+
+	"xability/internal/simnet"
+)
+
+// Detector is the suspect() predicate of §5.3: Suspect(p) reports whether
+// the owning process currently suspects p to have crashed.
+type Detector interface {
+	Suspect(p simnet.ProcessID) bool
+}
+
+// Scripted is a detector whose suspicions are set explicitly. It is safe
+// for concurrent use. The zero value suspects nobody.
+type Scripted struct {
+	mu        sync.RWMutex
+	suspected map[simnet.ProcessID]bool
+	net       *simnet.Network
+}
+
+// NewScripted returns an empty scripted detector. If net is non-nil,
+// crashed processes are always suspected (strong completeness comes for
+// free in tests).
+func NewScripted(net *simnet.Network) *Scripted {
+	return &Scripted{suspected: make(map[simnet.ProcessID]bool), net: net}
+}
+
+// SetSuspected marks p as suspected (true) or trusted (false).
+func (s *Scripted) SetSuspected(p simnet.ProcessID, v bool) {
+	s.mu.Lock()
+	s.suspected[p] = v
+	s.mu.Unlock()
+}
+
+// Suspect implements Detector.
+func (s *Scripted) Suspect(p simnet.ProcessID) bool {
+	if s.net != nil && s.net.Crashed(p) {
+		return true
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.suspected[p]
+}
+
+// Heartbeat is a ◇P-style detector driven by heartbeat messages over
+// simnet. Each process runs one Heartbeat instance; Start launches the
+// sender and monitor goroutines, Stop terminates them.
+type Heartbeat struct {
+	self     simnet.ProcessID
+	peers    []simnet.ProcessID
+	ep       *simnet.Endpoint
+	interval time.Duration
+
+	mu       sync.Mutex
+	lastSeen map[simnet.ProcessID]time.Time
+	timeout  map[simnet.ProcessID]time.Duration
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// HeartbeatConfig tunes the detector.
+type HeartbeatConfig struct {
+	// Interval between heartbeats. The initial suspicion timeout is
+	// 3×Interval and doubles on each false suspicion (adaptive accuracy).
+	Interval time.Duration
+}
+
+// FDEndpoint returns the conventional process ID of p's failure-detector
+// endpoint. Each monitored process registers this extra endpoint so that
+// heartbeat traffic does not interleave with protocol messages, and crashes
+// it together with its main endpoint.
+func FDEndpoint(p simnet.ProcessID) simnet.ProcessID { return p + "/fd" }
+
+// NewHeartbeat builds a heartbeat detector for self, monitoring peers
+// (protocol process IDs; heartbeats travel between their FDEndpoint
+// endpoints). ep must be the endpoint registered as FDEndpoint(self).
+func NewHeartbeat(self simnet.ProcessID, ep *simnet.Endpoint, peers []simnet.ProcessID, cfg HeartbeatConfig) *Heartbeat {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Millisecond
+	}
+	h := &Heartbeat{
+		self:     self,
+		peers:    peers,
+		ep:       ep,
+		interval: cfg.Interval,
+		lastSeen: make(map[simnet.ProcessID]time.Time),
+		timeout:  make(map[simnet.ProcessID]time.Duration),
+		stop:     make(chan struct{}),
+	}
+	now := time.Now()
+	for _, p := range peers {
+		h.lastSeen[p] = now
+		h.timeout[p] = 3 * cfg.Interval
+	}
+	return h
+}
+
+// Start launches the heartbeat sender and receiver.
+func (h *Heartbeat) Start() {
+	go h.sendLoop()
+	go h.recvLoop()
+}
+
+// Stop terminates the background goroutines.
+func (h *Heartbeat) Stop() {
+	h.stopOnce.Do(func() { close(h.stop) })
+}
+
+func (h *Heartbeat) sendLoop() {
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			for _, p := range h.peers {
+				h.ep.Send(FDEndpoint(p), "heartbeat", h.self)
+			}
+		}
+	}
+}
+
+func (h *Heartbeat) recvLoop() {
+	for {
+		select {
+		case <-h.stop:
+			return
+		default:
+		}
+		msg, ok := h.ep.Recv()
+		if !ok {
+			return
+		}
+		if msg.Type != "heartbeat" {
+			continue
+		}
+		from, _ := msg.Payload.(simnet.ProcessID)
+		h.mu.Lock()
+		// A heartbeat from a previously suspected process proves the
+		// suspicion false: double its timeout (eventual strong accuracy).
+		if time.Since(h.lastSeen[from]) > h.timeout[from] {
+			h.timeout[from] *= 2
+		}
+		h.lastSeen[from] = time.Now()
+		h.mu.Unlock()
+	}
+}
+
+// Suspect implements Detector: true when the peer's heartbeat is overdue.
+func (h *Heartbeat) Suspect(p simnet.ProcessID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	last, ok := h.lastSeen[p]
+	if !ok {
+		return false
+	}
+	return time.Since(last) > h.timeout[p]
+}

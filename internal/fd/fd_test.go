@@ -1,0 +1,129 @@
+package fd
+
+import (
+	"testing"
+	"time"
+
+	"xability/internal/simnet"
+)
+
+func TestScriptedBasics(t *testing.T) {
+	d := NewScripted(nil)
+	if d.Suspect("a") {
+		t.Error("zero detector suspects")
+	}
+	d.SetSuspected("a", true)
+	if !d.Suspect("a") {
+		t.Error("explicit suspicion ignored")
+	}
+	d.SetSuspected("a", false)
+	if d.Suspect("a") {
+		t.Error("cleared suspicion persists")
+	}
+}
+
+func TestScriptedStrongCompleteness(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	defer n.Close()
+	n.Register("a")
+	d := NewScripted(n)
+	if d.Suspect("a") {
+		t.Error("live process suspected")
+	}
+	n.Crash("a")
+	if !d.Suspect("a") {
+		t.Error("crashed process not suspected (strong completeness)")
+	}
+}
+
+func TestHeartbeatDetectsCrash(t *testing.T) {
+	n := simnet.New(simnet.Config{Seed: 1})
+	defer n.Close()
+	ids := []simnet.ProcessID{"p1", "p2"}
+	var hbs []*Heartbeat
+	for _, id := range ids {
+		ep := n.Register(FDEndpoint(id))
+		hb := NewHeartbeat(id, ep, ids, HeartbeatConfig{Interval: time.Millisecond})
+		hb.Start()
+		hbs = append(hbs, hb)
+	}
+	defer func() {
+		for _, hb := range hbs {
+			hb.Stop()
+		}
+	}()
+
+	// Warm up: p1 should trust p2 while heartbeats flow.
+	time.Sleep(10 * time.Millisecond)
+	if hbs[0].Suspect("p2") {
+		t.Error("p2 suspected while alive")
+	}
+
+	n.Crash(FDEndpoint("p2"))
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if hbs[0].Suspect("p2") {
+			return // strong completeness
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("crashed peer never suspected")
+}
+
+func TestHeartbeatSelfUnknownPeer(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	defer n.Close()
+	ep := n.Register(FDEndpoint("solo"))
+	hb := NewHeartbeat("solo", ep, []simnet.ProcessID{"solo"}, HeartbeatConfig{Interval: time.Millisecond})
+	hb.Start()
+	defer hb.Stop()
+	if hb.Suspect("stranger") {
+		t.Error("unknown peer suspected")
+	}
+}
+
+func TestHeartbeatAdaptiveTimeout(t *testing.T) {
+	// After a false suspicion (late heartbeat), the timeout must grow so
+	// the same delay no longer triggers suspicion (eventual accuracy).
+	n := simnet.New(simnet.Config{Seed: 2})
+	defer n.Close()
+	ids := []simnet.ProcessID{"a", "b"}
+	epA := n.Register(FDEndpoint("a"))
+	hbA := NewHeartbeat("a", epA, ids, HeartbeatConfig{Interval: time.Millisecond})
+	hbA.Start()
+	defer hbA.Stop()
+	epB := n.Register(FDEndpoint("b"))
+
+	// Manually send one late heartbeat from b after a has begun suspecting.
+	time.Sleep(6 * time.Millisecond)
+	if !hbA.Suspect("b") {
+		t.Fatal("expected suspicion after missing heartbeats")
+	}
+	before := func() time.Duration {
+		hbA.mu.Lock()
+		defer hbA.mu.Unlock()
+		return hbA.timeout["b"]
+	}()
+	epB.Send(FDEndpoint("a"), "heartbeat", simnet.ProcessID("b"))
+	n.Quiesce()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		hbA.mu.Lock()
+		after := hbA.timeout["b"]
+		hbA.mu.Unlock()
+		if after > before {
+			if hbA.Suspect("b") {
+				t.Error("suspicion should clear after the heartbeat arrives")
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("timeout did not adapt after false suspicion")
+}
+
+func TestFDEndpointNaming(t *testing.T) {
+	if FDEndpoint("x") != "x/fd" {
+		t.Errorf("FDEndpoint = %q", FDEndpoint("x"))
+	}
+}

@@ -1,0 +1,52 @@
+package pattern
+
+import (
+	"testing"
+
+	"xability/internal/event"
+)
+
+// BenchmarkPatternMatch measures the decomposition matcher on the rule-18
+// window shape (experiment E1's performance leg).
+func BenchmarkPatternMatch(b *testing.B) {
+	sp1 := Maybe("a", "iv", "ov")
+	sp2 := Exact("a", "iv", "ov")
+	h := event.History{
+		event.S("a", "iv"), event.S("z", "junk"), event.S("a", "iv"),
+		event.C("z", "junk"), event.C("a", "ov"), event.C("a", "ov"),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Compose(h, sp1, sp2) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+// BenchmarkDecomposeAll measures full decomposition enumeration.
+func BenchmarkDecomposeAll(b *testing.B) {
+	sp1 := Maybe("a", "iv", "ov")
+	sp2 := Exact("a", "iv", "ov")
+	h := event.History{
+		event.S("a", "iv"), event.C("a", "ov"),
+		event.S("a", "iv"), event.C("a", "ov"),
+		event.S("a", "iv"), event.C("a", "ov"),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ds := Decompose(h, sp1, sp2, 0); len(ds) == 0 {
+			b.Fatal("no decompositions")
+		}
+	}
+}
+
+// BenchmarkSimpleMatch measures single-pattern matching (rules 5–8).
+func BenchmarkSimpleMatch(b *testing.B) {
+	sp := Maybe("a", "iv", "ov")
+	h := event.History{event.S("a", "iv"), event.C("a", "ov")}
+	for i := 0; i < b.N; i++ {
+		if !sp.Matches(h) {
+			b.Fatal("should match")
+		}
+	}
+}

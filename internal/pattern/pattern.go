@@ -1,0 +1,232 @@
+// Package pattern implements the history patterns of §2.4 (Figures 1–2):
+//
+//	sp ::= [a, iv, ov] | ?[a, iv, ov]
+//	p  ::= sp | sp1 ‖h sp2
+//
+// A simple pattern matches single-action histories: [a,iv,ov] matches the
+// two events of a failure-free execution; ?[a,iv,ov] matches a possibly
+// failed execution (Λ, the start event alone, or both events). The composite
+// pattern sp1 ‖h sp2 matches a history h′ that interleaves three
+// sub-histories h1 ⊨ sp1, h2 ⊨ sp2 and an arbitrary junk history h, with two
+// anchoring constraints (§2.4): the first event of h1 must be the first
+// event of h′, and the last event of h2 must be the last event of h′.
+//
+// Interleaving semantics. Rules 9–11 of Figure 2 enumerate the legal
+// interleavings via the first()/second() operators of Figure 3. Read
+// literally, rules 10–11 duplicate the event of a one-event h1 (because
+// first(e) = second(e) = e). We implement the evident intent instead: h′ is
+// an order-preserving shuffle of h1, h2 and h in which every event of h′
+// belongs to exactly one part, subject to the two anchors above. On
+// histories where the literal rules are unambiguous (h1 with zero or two
+// events) the two readings coincide; TestDecomposeAgreesWithLiteralRules
+// verifies this against a transcription of rules 9–11.
+//
+// The output position of a simple pattern may be a wildcard (any ov): the
+// reduction rules of Figure 4 use ?[aᵘ, iv, ov] with ov free in rule 19.
+package pattern
+
+import (
+	"fmt"
+
+	"xability/internal/action"
+	"xability/internal/event"
+)
+
+// Simple is a simple pattern sp.
+type Simple struct {
+	Action action.Name
+	Input  action.Value
+	Output action.Value
+
+	// Maybe distinguishes ?[a,iv,ov] (true) from [a,iv,ov] (false).
+	Maybe bool
+	// AnyOutput makes the output position a wildcard: the pattern matches
+	// any completion value. Used where the paper leaves ov existentially
+	// quantified (e.g. the ?-part of reduction rule 19).
+	AnyOutput bool
+}
+
+// Exact returns the pattern [a, iv, ov].
+func Exact(a action.Name, iv, ov action.Value) Simple {
+	return Simple{Action: a, Input: iv, Output: ov}
+}
+
+// Maybe returns the pattern ?[a, iv, ov].
+func Maybe(a action.Name, iv, ov action.Value) Simple {
+	return Simple{Action: a, Input: iv, Output: ov, Maybe: true}
+}
+
+// MaybeAny returns the pattern ?[a, iv, ov] with ov a wildcard.
+func MaybeAny(a action.Name, iv action.Value) Simple {
+	return Simple{Action: a, Input: iv, Maybe: true, AnyOutput: true}
+}
+
+// String renders the pattern in paper notation.
+func (sp Simple) String() string {
+	ov := action.Display(sp.Output)
+	if sp.AnyOutput {
+		ov = "∃ov"
+	}
+	s := fmt.Sprintf("[%s, %s, %s]", sp.Action, action.Display(sp.Input), ov)
+	if sp.Maybe {
+		s = "?" + s
+	}
+	return s
+}
+
+// startEvent returns the start event the pattern's action produces.
+func (sp Simple) startEvent() event.Event { return event.S(sp.Action, sp.Input) }
+
+// matchesStart reports whether e can be the start event of this pattern.
+func (sp Simple) matchesStart(e event.Event) bool {
+	return e.Type == event.Start && e.Action == sp.Action && e.Value == sp.Input
+}
+
+// matchesCompletion reports whether e can be the completion event of this
+// pattern (honoring the output wildcard).
+func (sp Simple) matchesCompletion(e event.Event) bool {
+	if e.Type != event.Complete || e.Action != sp.Action {
+		return false
+	}
+	return sp.AnyOutput || e.Value == sp.Output
+}
+
+// Matches implements ⊨ for simple patterns (rules 5–8 of Figure 2).
+func (sp Simple) Matches(h event.History) bool {
+	switch len(h) {
+	case 0:
+		return sp.Maybe // rule 6: Λ ⊨ ?[a,iv,ov]
+	case 1:
+		return sp.Maybe && sp.matchesStart(h[0]) // rule 7
+	case 2:
+		// rule 5 and rule 8: S(a,iv) C(a,ov).
+		return sp.matchesStart(h[0]) && sp.matchesCompletion(h[1])
+	default:
+		return false
+	}
+}
+
+// Part labels which sub-history an event of the matched history belongs to.
+type Part int8
+
+const (
+	// PartJunk marks an event of the arbitrary interleaved history h.
+	PartJunk Part = iota
+	// PartFirst marks an event of h1 (the sp1 match).
+	PartFirst
+	// PartSecond marks an event of h2 (the sp2 match).
+	PartSecond
+)
+
+// Decomposition is one way a history matches sp1 ‖h sp2. Assign labels each
+// event of the matched history with its part; H1, H2 and Junk are the
+// projected sub-histories (Junk is the paper's h, preserved verbatim by the
+// reduction rules).
+type Decomposition struct {
+	Assign []Part
+	H1     event.History
+	H2     event.History
+	Junk   event.History
+}
+
+// Compose matches h against the composite pattern sp1 ‖h sp2 and reports
+// whether any decomposition exists.
+func Compose(h event.History, sp1, sp2 Simple) bool {
+	return len(Decompose(h, sp1, sp2, 1)) > 0
+}
+
+// Decompose enumerates decompositions of h matching sp1 ‖junk sp2, up to
+// limit (limit ≤ 0 means all). The enumeration order is deterministic.
+//
+// Because simple patterns match at most two events, the search space per
+// history is O(len(h)²) candidate index pairs for each part.
+func Decompose(h event.History, sp1, sp2 Simple, limit int) []Decomposition {
+	n := len(h)
+	var out []Decomposition
+
+	// Enumerate candidate index sets for h1. The anchoring constraint: if
+	// h1 is non-empty its first event must be h[0].
+	type idxPair struct{ s, c int } // -1 means absent
+	var h1cands []idxPair
+	if sp1.Maybe {
+		h1cands = append(h1cands, idxPair{-1, -1}) // h1 = Λ
+	}
+	if n > 0 && sp1.matchesStart(h[0]) {
+		if sp1.Maybe {
+			h1cands = append(h1cands, idxPair{0, -1}) // start only
+		}
+		for c := 1; c < n; c++ {
+			if sp1.matchesCompletion(h[c]) {
+				h1cands = append(h1cands, idxPair{0, c})
+			}
+		}
+	}
+
+	// Candidate index sets for h2: its last event must be h[n-1].
+	var h2cands []idxPair
+	if sp2.Maybe {
+		h2cands = append(h2cands, idxPair{-1, -1})
+		if n > 0 && sp2.matchesStart(h[n-1]) {
+			h2cands = append(h2cands, idxPair{n - 1, -1})
+		}
+	}
+	if n > 0 && sp2.matchesCompletion(h[n-1]) {
+		for s := 0; s < n-1; s++ {
+			if sp2.matchesStart(h[s]) {
+				h2cands = append(h2cands, idxPair{s, n - 1})
+			}
+		}
+	}
+
+	for _, p1 := range h1cands {
+		for _, p2 := range h2cands {
+			// Parts must be disjoint.
+			if overlap(p1.s, p1.c, p2.s, p2.c) {
+				continue
+			}
+			d := buildDecomposition(h, p1.s, p1.c, p2.s, p2.c)
+			out = append(out, d)
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func overlap(a1, a2, b1, b2 int) bool {
+	for _, a := range []int{a1, a2} {
+		if a < 0 {
+			continue
+		}
+		if a == b1 || a == b2 {
+			return true
+		}
+	}
+	return false
+}
+
+func buildDecomposition(h event.History, s1, c1, s2, c2 int) Decomposition {
+	assign := make([]Part, len(h))
+	set := func(i int, p Part) {
+		if i >= 0 {
+			assign[i] = p
+		}
+	}
+	set(s1, PartFirst)
+	set(c1, PartFirst)
+	set(s2, PartSecond)
+	set(c2, PartSecond)
+	d := Decomposition{Assign: assign}
+	for i, e := range h {
+		switch assign[i] {
+		case PartFirst:
+			d.H1 = append(d.H1, e)
+		case PartSecond:
+			d.H2 = append(d.H2, e)
+		default:
+			d.Junk = append(d.Junk, e)
+		}
+	}
+	return d
+}

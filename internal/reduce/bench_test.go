@@ -1,0 +1,111 @@
+package reduce
+
+import (
+	"fmt"
+	"testing"
+
+	"xability/internal/action"
+	"xability/internal/event"
+)
+
+// BenchmarkReduceIdempotentRetry measures greedy normalization of the
+// canonical retry history (experiment E2's performance leg).
+func BenchmarkReduceIdempotentRetry(b *testing.B) {
+	reg := testRegistry(b)
+	n := New(reg)
+	hist := h(
+		event.S("read", "k"), event.S("read", "k"), event.S("read", "k"),
+		event.C("read", "v"), event.C("read", "v"),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Normalize(hist)
+	}
+}
+
+// BenchmarkReduceCancelChain measures rule-19-heavy histories: rounds of
+// execute/cancel before a final commit.
+func BenchmarkReduceCancelChain(b *testing.B) {
+	reg := testRegistry(b)
+	n := New(reg)
+	base := action.NewRequest("debit", "a").WithID("q")
+	var hist event.History
+	for round := 1; round <= 5; round++ {
+		r := base.WithRound(round)
+		s, c := undoableEvents(r, "v")
+		cs, cc := cancelPair(r)
+		hist = hist.Concat(h(s, c, cs, cc))
+	}
+	ff, _ := EventsOf(reg, base.WithRound(6), "final")
+	hist = hist.Concat(ff)
+	spec, _ := SpecFor(reg, base)
+	specs := []TargetSpec{spec}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := n.XAbleTo(hist, specs); !ok {
+			b.Fatal("not x-able")
+		}
+	}
+}
+
+// BenchmarkXAbleSweep measures end-to-end sequence checking at several
+// sizes (feeds table T6).
+func BenchmarkXAbleSweep(b *testing.B) {
+	reg := testRegistry(b)
+	for _, requests := range []int{8, 64} {
+		var hist event.History
+		var specs []TargetSpec
+		for i := 0; i < requests; i++ {
+			req := action.NewRequest("read", action.Value(fmt.Sprintf("k%d", i))).WithID(fmt.Sprintf("q%d", i))
+			spec, _ := SpecFor(reg, req)
+			specs = append(specs, spec)
+			iv := req.EffectiveInput()
+			hist = append(hist,
+				event.S("read", iv), event.S("read", iv), event.C("read", "v"), event.C("read", "v"))
+		}
+		b.Run(fmt.Sprintf("requests=%d", requests), func(b *testing.B) {
+			n := New(reg)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if ok, _ := n.XAbleTo(hist, specs); !ok {
+					b.Fatal("not x-able")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchSmall measures the exhaustive oracle on an 8-event
+// history, the size class the greedy/exhaustive agreement tests use.
+func BenchmarkSearchSmall(b *testing.B) {
+	reg := testRegistry(b)
+	n := New(reg)
+	hist := h(
+		event.S("read", "k"), event.S("read", "k"),
+		event.C("read", "v"), event.C("read", "v"),
+	)
+	spec, _ := SpecFor(reg, action.NewRequest("read", "k"))
+	accept := func(c event.History) bool {
+		_, ok := MatchTarget(c, []TargetSpec{spec})
+		return ok
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res := n.Search(hist, accept, 0); !res.Found {
+			b.Fatal("not found")
+		}
+	}
+}
+
+// BenchmarkSignature measures signature extraction (eqs. 24–25).
+func BenchmarkSignature(b *testing.B) {
+	reg := testRegistry(b)
+	n := New(reg)
+	hist := h(event.S("read", "k"), event.S("read", "k"), event.C("read", "v"))
+	req := action.NewRequest("read", "k")
+	for i := 0; i < b.N; i++ {
+		if sigs := n.Signature(hist, req); len(sigs) != 1 {
+			b.Fatal("signature broken")
+		}
+	}
+}

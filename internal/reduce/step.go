@@ -1,0 +1,307 @@
+package reduce
+
+import (
+	"fmt"
+
+	"xability/internal/action"
+	"xability/internal/event"
+)
+
+// Rule identifies which inference rule of Figure 4 a reduction step used.
+type Rule int
+
+const (
+	// Rule18 is the idempotent-absorption rule: a successfully executed
+	// idempotent action absorbs the events of a previous attempt.
+	Rule18 Rule = 18
+	// Rule19 is the cancellation rule: a successfully cancelled undoable
+	// action disappears from the history together with its cancel pair.
+	Rule19 Rule = 19
+	// Rule20 is the commit-idempotence rule: duplicate commit executions
+	// collapse, provided the committed action does not overlap the commit.
+	Rule20 Rule = 20
+)
+
+// String renders the rule in paper terms.
+func (r Rule) String() string {
+	switch r {
+	case Rule18:
+		return "rule 18 (idempotent)"
+	case Rule19:
+		return "rule 19 (cancellation)"
+	case Rule20:
+		return "rule 20 (commit)"
+	default:
+		return fmt.Sprintf("rule %d", int(r))
+	}
+}
+
+// Step is one application of a reduction rule: h ⇒ Result.
+type Step struct {
+	Rule   Rule
+	Desc   string
+	Result event.History
+}
+
+// rule18Applies reports whether rule 18's action-class test holds: the rule
+// covers registered idempotent actions and cancellation actions. Commit
+// actions, although idempotent, are handled exclusively by rule 20, whose
+// extra (aᵘ,iv) ∉ h′ constraint would otherwise be bypassed.
+func rule18Applies(reg *action.Registry, a action.Name) bool {
+	k, ok := reg.Kind(a)
+	return ok && (k == action.KindIdempotent || k == action.KindCancel)
+}
+
+// Steps enumerates every single-step reduction of h under rules 18–20,
+// deduplicated by the formal content of the result. The enumeration is
+// deterministic. Intended for the exhaustive engine and for tests; the
+// greedy engine uses targeted finders instead.
+func Steps(reg *action.Registry, h event.History) []Step {
+	var out []Step
+	seen := make(map[string]bool)
+	add := func(s Step) {
+		k := s.Result.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	stepsRule18and20(reg, h, add)
+	stepsRule19(reg, h, add)
+	return out
+}
+
+// spliceAbsorb builds the result of an absorption rewrite (rules 18/20):
+// the window h[ws:we+1] is replaced by junk • S(a,iv) C(a,ov), where junk is
+// the window minus the events at the removed and success indices.
+func spliceAbsorb(h event.History, ws, we int, remove map[int]bool, a action.Name, iv, ov action.Value) event.History {
+	out := make(event.History, 0, len(h)-len(remove)+2)
+	out = append(out, h[:ws]...)
+	for i := ws; i <= we; i++ {
+		if !remove[i] {
+			out = append(out, h[i])
+		}
+	}
+	out = append(out, event.S(a, iv), event.C(a, ov))
+	out = append(out, h[we+1:]...)
+	return out
+}
+
+// stepsRule18and20 enumerates applications of rule 18 (idempotent actions
+// and cancels) and rule 20 (commits). The two rules share their shape:
+//
+//	h ⊨ (?[a,iv,ov] ‖h′ [a,iv,ov])
+//	h1 • h • h2 ⇒ h1 • h′ • S(a,iv) C(a,ov) • h2
+//
+// Rule 20 adds the constraint (aᵘ,iv) ∉ h′ — the commit must not overlap
+// the action it commits.
+func stepsRule18and20(reg *action.Registry, h event.History, add func(Step)) {
+	n := len(h)
+	for l := 0; l < n; l++ {
+		c := h[l]
+		if c.Type != event.Complete {
+			continue
+		}
+		a, ov := c.Action, c.Value
+		base, kind := action.Base(a)
+		var rule Rule
+		switch {
+		case rule18Applies(reg, a):
+			rule = Rule18
+		case kind == action.KindCommit && reg.IsUndoable(base):
+			rule = Rule20
+		default:
+			continue
+		}
+
+		// Success start positions k < l with a start event of a. The input
+		// value of the pattern is fixed by the start event itself.
+		for k := 0; k < l; k++ {
+			s := h[k]
+			if s.Type != event.Start || s.Action != a {
+				continue
+			}
+			iv := s.Value
+
+			commitConflict := func(junkHas func(int) bool) bool {
+				if rule != Rule20 {
+					return false
+				}
+				// (aᵘ, iv) ∉ h′: no start of the committed action with this
+				// input among the junk.
+				for i := 0; i < n; i++ {
+					if junkHas(i) && h[i].Type == event.Start && h[i].Action == base && h[i].Value == iv {
+						return true
+					}
+				}
+				return false
+			}
+
+			// Case Λ: the ?-part matches the empty history. Window [ws..l]
+			// for any ws ≤ k; the rewrite reorders junk before the pair.
+			for ws := 0; ws <= k; ws++ {
+				remove := map[int]bool{k: true, l: true}
+				junkHas := func(i int) bool { return i >= ws && i <= l && !remove[i] }
+				if commitConflict(junkHas) {
+					continue
+				}
+				add(Step{
+					Rule:   rule,
+					Desc:   fmt.Sprintf("%v: compact [%s,%s,%s] at %d..%d", rule, a, action.Display(iv), action.Display(ov), ws, l),
+					Result: spliceAbsorb(h, ws, l, remove, a, iv, ov),
+				})
+			}
+
+			// Case attempt present: the ?-part is a previous attempt whose
+			// start anchors the window. i = attempt start < k.
+			for i := 0; i < k; i++ {
+				if !h[i].Equal(event.S(a, iv)) {
+					continue
+				}
+				// Attempt start only.
+				remove := map[int]bool{i: true, k: true, l: true}
+				junkHas := func(x int) bool { return x >= i && x <= l && !remove[x] }
+				if !commitConflict(junkHas) {
+					add(Step{
+						Rule:   rule,
+						Desc:   fmt.Sprintf("%v: absorb attempt S@%d into success %d..%d", rule, i, k, l),
+						Result: spliceAbsorb(h, i, l, remove, a, iv, ov),
+					})
+				}
+				// Attempt start and completion; the pattern shares ov
+				// between the ?-part and the success part, so the attempt's
+				// completion value must equal ov.
+				for j := i + 1; j < l; j++ {
+					if j == k || !h[j].Equal(event.C(a, ov)) {
+						continue
+					}
+					remove := map[int]bool{i: true, j: true, k: true, l: true}
+					junkHas := func(x int) bool { return x >= i && x <= l && !remove[x] }
+					if commitConflict(junkHas) {
+						continue
+					}
+					add(Step{
+						Rule:   rule,
+						Desc:   fmt.Sprintf("%v: absorb attempt S@%d,C@%d into success %d..%d", rule, i, j, k, l),
+						Result: spliceAbsorb(h, i, l, remove, a, iv, ov),
+					})
+				}
+			}
+		}
+	}
+}
+
+// stepsRule19 enumerates applications of rule 19:
+//
+//	h ⊨ (?[aᵘ,iv,ov] ‖h′ [a⁻¹,iv,nil])   (aᵘ,iv) ∉ h1   (aᶜ,iv) ∉ h′
+//	h1 • h • h2 ⇒ h1 • h′ • h2
+//
+// The window's attempt events (if any) and the cancel pair vanish; the
+// interleaved junk h′ remains. The first constraint forces the attempt to be
+// the earliest occurrence of (aᵘ,iv) in the whole history; the second keeps
+// a concurrent commit from being silently discarded.
+func stepsRule19(reg *action.Registry, h event.History, add func(Step)) {
+	n := len(h)
+	for l := 0; l < n; l++ {
+		cc := h[l]
+		if cc.Type != event.Complete || cc.Value != action.Nil {
+			continue
+		}
+		au, kind := action.Base(cc.Action)
+		if kind != action.KindCancel || !reg.IsUndoable(au) {
+			continue
+		}
+		cancelName := cc.Action
+		commitName := action.Commit(au)
+		for m := 0; m < l; m++ {
+			cs := h[m]
+			if cs.Type != event.Start || cs.Action != cancelName {
+				continue
+			}
+			iv := cs.Value
+
+			noPriorAttempt := func(before int) bool {
+				for x := 0; x < before; x++ {
+					if h[x].Type == event.Start && h[x].Action == au && h[x].Value == iv {
+						return false
+					}
+				}
+				return true
+			}
+			junkClean := func(ws int, remove map[int]bool) bool {
+				for x := ws; x <= l; x++ {
+					if remove[x] {
+						continue
+					}
+					if h[x].Type == event.Start && h[x].Action == commitName && h[x].Value == iv {
+						return false
+					}
+				}
+				return true
+			}
+			splice := func(ws int, remove map[int]bool) event.History {
+				out := make(event.History, 0, len(h)-len(remove))
+				out = append(out, h[:ws]...)
+				for x := ws; x <= l; x++ {
+					if !remove[x] {
+						out = append(out, h[x])
+					}
+				}
+				out = append(out, h[l+1:]...)
+				return out
+			}
+
+			// Case Λ: gratuitous cancel — no attempt inside the window.
+			// Window [ws..l] for any ws ≤ m with no prior (aᵘ,iv) before ws.
+			for ws := 0; ws <= m; ws++ {
+				if !noPriorAttempt(ws) {
+					continue
+				}
+				remove := map[int]bool{m: true, l: true}
+				if !junkClean(ws, remove) {
+					continue
+				}
+				add(Step{
+					Rule:   Rule19,
+					Desc:   fmt.Sprintf("rule 19: remove gratuitous cancel pair %d,%d (window from %d)", m, l, ws),
+					Result: splice(ws, remove),
+				})
+			}
+
+			// Case attempt present: attempt start i anchors the window.
+			for i := 0; i < m; i++ {
+				if !(h[i].Type == event.Start && h[i].Action == au && h[i].Value == iv) {
+					continue
+				}
+				if !noPriorAttempt(i) {
+					continue
+				}
+				// Attempt start only.
+				remove := map[int]bool{i: true, m: true, l: true}
+				if junkClean(i, remove) {
+					add(Step{
+						Rule:   Rule19,
+						Desc:   fmt.Sprintf("rule 19: cancel attempt S@%d via pair %d,%d", i, m, l),
+						Result: splice(i, remove),
+					})
+				}
+				// Attempt start and completion (any output value: ov is
+				// free in the ?-part of rule 19).
+				for j := i + 1; j < l; j++ {
+					if j == m || !(h[j].Type == event.Complete && h[j].Action == au) {
+						continue
+					}
+					remove := map[int]bool{i: true, j: true, m: true, l: true}
+					if !junkClean(i, remove) {
+						continue
+					}
+					add(Step{
+						Rule:   Rule19,
+						Desc:   fmt.Sprintf("rule 19: cancel attempt S@%d,C@%d via pair %d,%d", i, j, m, l),
+						Result: splice(i, remove),
+					})
+				}
+			}
+		}
+	}
+}

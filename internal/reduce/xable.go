@@ -1,0 +1,172 @@
+package reduce
+
+import (
+	"sort"
+
+	"xability/internal/action"
+	"xability/internal/event"
+)
+
+// XAbleTo implements the sequence form of the x-able predicate used by
+// requirement R3 (§4): it reports whether h reduces under ⇒ to a
+// failure-free history of the request sequence described by specs. On
+// success it also returns the output value of each request's surviving
+// execution.
+//
+// The decision uses the greedy Normalizer; for small histories where greedy
+// normalization fails, the exhaustive engine is consulted before declaring
+// the history not x-able, so the combined answer is exact whenever the
+// search completes within budget.
+func (n *Normalizer) XAbleTo(h event.History, specs []TargetSpec) (bool, []action.Value) {
+	saved := n.expected
+	n.Toward(specs)
+	norm := n.Normalize(h)
+	n.expected = saved
+	if outs, ok := MatchTarget(norm, specs); ok {
+		return true, outs
+	}
+	// Greedy is incomplete in principle; fall back to the oracle on
+	// histories small enough to search.
+	if len(h) <= 14 {
+		var outs []action.Value
+		res := n.Search(h, func(c event.History) bool {
+			o, ok := MatchTarget(c, specs)
+			if ok {
+				outs = o
+			}
+			return ok
+		}, 0)
+		if res.Found {
+			return true, outs
+		}
+	}
+	return false, nil
+}
+
+// XAble implements the single-action x-able predicate of eq. 23:
+// x-able(a,iv)(h) holds iff h reduces to some member of FailureFree(a,iv).
+// On success it returns the output value of the surviving execution.
+func (n *Normalizer) XAble(h event.History, req action.Request) (bool, action.Value) {
+	spec, err := SpecFor(n.reg, req)
+	if err != nil {
+		return false, ""
+	}
+	ok, outs := n.XAbleTo(h, []TargetSpec{spec})
+	if !ok {
+		return false, ""
+	}
+	return true, outs[0]
+}
+
+// Signature implements the history signature of §3.3 (eqs. 24–25): the set
+// of output values ov such that (a, iv, ov) ∈ signature(h), i.e. such that h
+// reduces to the complete failure-free history of the request with output
+// ov. Because of non-determinism and retry, a history can have several
+// signatures; the result is sorted for determinism.
+func (n *Normalizer) Signature(h event.History, req action.Request) []action.Value {
+	spec, err := SpecFor(n.reg, req)
+	if err != nil {
+		return nil
+	}
+	// Candidate outputs are the completion values of the action in h.
+	seen := make(map[action.Value]bool)
+	var out []action.Value
+	for _, e := range h {
+		if e.Type != event.Complete || e.Action != req.Action || seen[e.Value] {
+			continue
+		}
+		seen[e.Value] = true
+		if ok, _ := n.XAbleTo(h, []TargetSpec{spec.WithOutput(e.Value)}); ok {
+			out = append(out, e.Value)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// XAbleProjected is the per-request relaxation of R3 used for multi-request
+// runs (see DESIGN.md): it projects h onto each request's action events
+// (base action plus its cancel and commit actions) and requires every
+// projection to reduce to that request's failure-free history. Cross-request
+// interleavings — in particular completion events of duplicate executions
+// that straggle past the next request's events, which no rule of Figure 4
+// can reorder across an interleaved pair — are thereby treated as benign.
+// Reduction steps on a projection lift to reduction steps on the full
+// history (window anchors and junk constraints only mention same-action
+// events), so each projection's verdict is a sound per-request exactly-once
+// statement.
+//
+// It also checks sequencing: the surviving execution of request i must
+// start only after the surviving execution of request i-1 completed, which
+// is the observable residue of "the state resulting from R1 is used as a
+// context for executing R2" (§4).
+func (n *Normalizer) XAbleProjected(h event.History, reqs []action.Request) (bool, []action.Value) {
+	outs := make([]action.Value, 0, len(reqs))
+	prevEnd := -1
+	for _, req := range reqs {
+		spec, err := SpecFor(n.reg, req)
+		if err != nil {
+			return false, nil
+		}
+		names := map[action.Name]bool{
+			req.Action:                true,
+			action.Cancel(req.Action): true,
+			action.Commit(req.Action): true,
+		}
+		// Project on the request's actions. Completion events do not carry
+		// the input, so each is first attributed to its nearest preceding
+		// unmatched start of the same action, and kept iff that start is
+		// kept.
+		keepStart := func(e event.Event) bool {
+			if !names[e.Action] {
+				return false
+			}
+			base, id, _ := action.SplitTag(e.Value)
+			if id != "" {
+				return id == req.ID
+			}
+			return base == req.Input
+		}
+		kept := make([]bool, len(h))
+		firstKeptCompletion := -1
+		openByAction := make(map[action.Name][]int) // unmatched start indexes
+		for i, e := range h {
+			switch e.Type {
+			case event.Start:
+				kept[i] = keepStart(e)
+				openByAction[e.Action] = append(openByAction[e.Action], i)
+			case event.Complete:
+				open := openByAction[e.Action]
+				if len(open) > 0 {
+					s := open[len(open)-1]
+					openByAction[e.Action] = open[:len(open)-1]
+					kept[i] = kept[s]
+				}
+				if kept[i] && e.Action == req.Action && firstKeptCompletion < 0 {
+					firstKeptCompletion = i
+				}
+			}
+		}
+		var proj event.History
+		for i, e := range h {
+			if kept[i] {
+				proj = append(proj, e)
+			}
+		}
+		ok, o := n.XAbleTo(proj, []TargetSpec{spec})
+		if !ok {
+			return false, nil
+		}
+		outs = append(outs, o[0])
+		// Sequencing: this request's first completion must come after the
+		// previous request's first completion — the observable residue of
+		// R1's state being the execution context of R2 (§4).
+		if firstKeptCompletion >= 0 && firstKeptCompletion < prevEnd {
+			return false, nil
+		}
+		if firstKeptCompletion >= 0 {
+			prevEnd = firstKeptCompletion
+		}
+	}
+	return true, outs
+}

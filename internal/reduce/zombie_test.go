@@ -1,0 +1,143 @@
+package reduce
+
+import (
+	"testing"
+
+	"xability/internal/action"
+	"xability/internal/event"
+)
+
+// Regression tests for the zombie-retry interleavings that shaped the
+// environment's epoch-guard design (DESIGN.md §2, decision 5): a falsely
+// suspected owner that keeps executing a round after the cleaner cancelled
+// it. These histories are exactly what the protocol can emit; they must
+// reduce — and the one interleaving the environment forbids must not.
+
+func TestZombieRetryAfterCleanerCancel(t *testing.T) {
+	// Owner starts round 1 and stalls; cleaner cancels round 1; the owner's
+	// retry re-activates the round, completes, learns the abort decision,
+	// and cancels again; the cleaner meanwhile committed round 2.
+	reg := testRegistry(t)
+	n := New(reg)
+	base := action.NewRequest("debit", "a").WithID("q")
+	r1, r2 := base.WithRound(1), base.WithRound(2)
+
+	s1, c1 := undoableEvents(r1, "v1")
+	cs1, cc1 := cancelPair(r1)
+	ff2, _ := EventsOf(reg, r2, "v2")
+
+	hist := h(
+		s1,       // owner's first invocation (never completes)
+		cs1, cc1, // cleaner cancels round 1
+		s1, c1, // owner's zombie retry re-activates and completes
+	).Concat(ff2). // cleaner's round 2 executes and commits
+			Concat(h(cs1, cc1)) // owner learns abort, cancels its zombie effect
+
+	spec, _ := SpecFor(reg, base)
+	ok, outs := n.XAbleTo(hist, []TargetSpec{spec})
+	if !ok || outs[0] != "v2" {
+		t.Fatalf("zombie retry history must reduce to round 2's commit; got (%v, %v)\nnormal form: %v",
+			ok, outs, n.Normalize(hist))
+	}
+}
+
+func TestZombieCompletionAfterCancelIsIrreducible(t *testing.T) {
+	// The interleaving the environment's epoch guard forbids: a single
+	// invocation whose completion lands after the round's cancel pair.
+	// Formally irreducible — rule 19's window must end at the cancel
+	// completion, stranding the late C.
+	reg := testRegistry(t)
+	n := New(reg)
+	base := action.NewRequest("debit", "a").WithID("q")
+	r1, r2 := base.WithRound(1), base.WithRound(2)
+
+	s1, c1 := undoableEvents(r1, "v1")
+	cs1, cc1 := cancelPair(r1)
+	ff2, _ := EventsOf(reg, r2, "v2")
+
+	hist := h(s1, cs1, cc1, c1).Concat(ff2) // C(au) after the cancel pair
+	spec, _ := SpecFor(reg, base)
+	if ok, _ := n.XAbleTo(hist, []TargetSpec{spec}); ok {
+		t.Fatal("completion after the round's cancellation must not be x-able")
+	}
+}
+
+func TestZombieDoubleRetryCycles(t *testing.T) {
+	// Two full cancel/re-execute cycles within one round before the round
+	// finally aborts, then a committed round 2.
+	reg := testRegistry(t)
+	n := New(reg)
+	base := action.NewRequest("debit", "a").WithID("q")
+	r1, r2 := base.WithRound(1), base.WithRound(2)
+
+	s1, c1 := undoableEvents(r1, "v1")
+	cs1, cc1 := cancelPair(r1)
+	ff2, _ := EventsOf(reg, r2, "v2")
+
+	hist := h(
+		s1, cs1, cc1, // attempt 1 fails, owner cancels
+		s1, c1, cs1, cc1, // attempt 2 completes, abort decided, cancelled
+	).Concat(ff2)
+	spec, _ := SpecFor(reg, base)
+	ok, outs := n.XAbleTo(hist, []TargetSpec{spec})
+	if !ok || outs[0] != "v2" {
+		t.Fatalf("double retry cycle must reduce; got (%v, %v)", ok, outs)
+	}
+}
+
+func TestZombieIdempotentStragglerWithinRequest(t *testing.T) {
+	// Idempotent action, false suspicion: the suspected owner's completion
+	// arrives after the cleaner's round already completed — inside the
+	// same request this reduces (the straggler is absorbed as the
+	// surviving execution; the earlier pair becomes the attempt).
+	reg := testRegistry(t)
+	n := New(reg)
+	req := action.NewRequest("read", "t").WithID("q")
+	iv := req.EffectiveInput()
+	hist := h(
+		event.S("read", iv),  // owner starts
+		event.S("read", iv),  // cleaner's round starts
+		event.C("read", "v"), // cleaner completes (resolve-once fixes v)
+		event.C("read", "v"), // owner's straggler completes with the same v
+	)
+	spec, _ := SpecFor(reg, req)
+	if ok, _ := n.XAbleTo(hist, []TargetSpec{spec}); !ok {
+		t.Fatal("same-request straggler must reduce")
+	}
+}
+
+func TestCleanerCommitsForCrashedOwner(t *testing.T) {
+	// Owner executed and proposed commit, then crashed; the cleaner
+	// executes the decided commit itself. Duplicate commit pairs collapse
+	// under rule 20.
+	reg := testRegistry(t)
+	n := New(reg)
+	base := action.NewRequest("debit", "a").WithID("q")
+	r1 := base.WithRound(1)
+
+	s1, c1 := undoableEvents(r1, "v")
+	ms1, mc1 := commitPair(r1)
+	hist := h(s1, c1, ms1, mc1, ms1, mc1)
+	spec, _ := SpecFor(reg, base)
+	ok, outs := n.XAbleTo(hist, []TargetSpec{spec})
+	if !ok || outs[0] != "v" {
+		t.Fatalf("cleaner-duplicated commit must reduce; got (%v, %v)", ok, outs)
+	}
+}
+
+func TestCrashedOwnerCommitStartOnly(t *testing.T) {
+	// Owner crashed mid-commit (start event only); the cleaner's commit
+	// succeeds. The dangling commit start is absorbed by rule 20.
+	reg := testRegistry(t)
+	n := New(reg)
+	base := action.NewRequest("debit", "a").WithID("q")
+	r1 := base.WithRound(1)
+
+	s1, c1 := undoableEvents(r1, "v")
+	ms1, mc1 := commitPair(r1)
+	hist := h(s1, c1, ms1, ms1, mc1) // first commit never completed
+	spec, _ := SpecFor(reg, base)
+	if ok, _ := n.XAbleTo(hist, []TargetSpec{spec}); !ok {
+		t.Fatalf("dangling commit start must absorb; normal form: %v", n.Normalize(hist))
+	}
+}

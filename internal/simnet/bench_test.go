@@ -1,0 +1,40 @@
+package simnet
+
+import "testing"
+
+// BenchmarkSendRecv measures one message through the network with zero
+// configured delay (pure substrate overhead).
+func BenchmarkSendRecv(b *testing.B) {
+	n := New(Config{Seed: 1})
+	defer n.Close()
+	a := n.Register("a")
+	dst := n.Register("b")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send("b", "m", i)
+		if _, ok := dst.Recv(); !ok {
+			b.Fatal("recv failed")
+		}
+	}
+}
+
+// BenchmarkBroadcast measures fan-out to 6 peers.
+func BenchmarkBroadcast(b *testing.B) {
+	n := New(Config{Seed: 1})
+	defer n.Close()
+	src := n.Register("src")
+	var eps []*Endpoint
+	for i := 0; i < 6; i++ {
+		eps = append(eps, n.Register(ProcessID(rune('a'+i))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Broadcast("m", i)
+		for _, ep := range eps {
+			if _, ok := ep.Recv(); !ok {
+				b.Fatal("recv failed")
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package simnet is an in-memory asynchronous message-passing network with
+// crash-stop processes, implementing the system model of §5.2:
+//
+//   - Processes fail by crashing and do not recover. A crashed process
+//     silently stops sending and receiving.
+//   - Channels are reliable between correct processes: every message sent
+//     from a correct process to a correct process is eventually delivered,
+//     exactly once. Delivery order is *not* FIFO: each message experiences
+//     an independent random delay drawn from a seeded generator, which is
+//     what makes the system asynchronous.
+//
+// The network also keeps per-process send counters so experiments can
+// report message complexity.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ProcessID names a process on the network.
+type ProcessID string
+
+// Message is a tagged payload in flight. Payloads are shared by reference
+// (the network is in-memory); senders must not mutate a payload after
+// sending.
+type Message struct {
+	From    ProcessID
+	To      ProcessID
+	Type    string
+	Payload any
+}
+
+// Config tunes the network.
+type Config struct {
+	// Seed drives the delay generator; runs with equal seeds and equal
+	// send sequences see equal delays.
+	Seed int64
+	// MinDelay and MaxDelay bound the uniform per-message delay. Zero
+	// values mean immediate handoff (still asynchronous: delivery happens
+	// on a separate goroutine).
+	MinDelay, MaxDelay time.Duration
+}
+
+// Network connects endpoints. Create with New, then Register each process.
+type Network struct {
+	cfg Config
+
+	mu        sync.Mutex
+	idle      *sync.Cond // signaled when inflight returns to zero
+	rng       *rand.Rand
+	endpoints map[ProcessID]*Endpoint
+	crashed   map[ProcessID]bool
+	sent      map[ProcessID]int
+	inflight  int
+	closed    bool
+}
+
+// New returns an empty network.
+func New(cfg Config) *Network {
+	n := &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		endpoints: make(map[ProcessID]*Endpoint),
+		crashed:   make(map[ProcessID]bool),
+		sent:      make(map[ProcessID]int),
+	}
+	n.idle = sync.NewCond(&n.mu)
+	return n
+}
+
+// Endpoint is one process's attachment to the network: an unbounded mailbox
+// with blocking receive.
+type Endpoint struct {
+	id  ProcessID
+	net *Network
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+// Register attaches a process and returns its endpoint. Registering the
+// same ID twice panics: process identities are fixed for a run.
+func (n *Network) Register(id ProcessID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.endpoints[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate process %q", id))
+	}
+	ep := &Endpoint{id: id, net: n}
+	ep.cond = sync.NewCond(&ep.mu)
+	n.endpoints[id] = ep
+	return ep
+}
+
+// Crash marks a process as crashed: its outstanding and future messages are
+// dropped, and its pending receives unblock with ok=false. Crash is
+// permanent (§5.2: no recovery).
+func (n *Network) Crash(id ProcessID) {
+	n.mu.Lock()
+	ep := n.endpoints[id]
+	n.crashed[id] = true
+	n.mu.Unlock()
+	if ep != nil {
+		ep.mu.Lock()
+		ep.closed = true
+		ep.queue = nil
+		ep.cond.Broadcast()
+		ep.mu.Unlock()
+	}
+}
+
+// Crashed reports whether a process has crashed.
+func (n *Network) Crashed(id ProcessID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id]
+}
+
+// Processes returns the registered process IDs.
+func (n *Network) Processes() []ProcessID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]ProcessID, 0, len(n.endpoints))
+	for id := range n.endpoints {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SentBy reports how many messages a process has sent.
+func (n *Network) SentBy(id ProcessID) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent[id]
+}
+
+// TotalSent reports the number of messages sent on the network.
+func (n *Network) TotalSent() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, c := range n.sent {
+		total += c
+	}
+	return total
+}
+
+// Quiesce blocks until all in-flight deliveries have settled. Useful at the
+// end of a scenario before reading counters.
+func (n *Network) Quiesce() {
+	n.mu.Lock()
+	for n.inflight > 0 {
+		n.idle.Wait()
+	}
+	n.mu.Unlock()
+}
+
+// Send transmits a message. Sends from or to crashed processes are silently
+// dropped (a crashed process does nothing; messages to a crashed process
+// can never be received). Delivery happens asynchronously after a random
+// delay.
+func (e *Endpoint) Send(to ProcessID, typ string, payload any) {
+	n := e.net
+	n.mu.Lock()
+	if n.closed || n.crashed[e.id] {
+		n.mu.Unlock()
+		return
+	}
+	dst, ok := n.endpoints[to]
+	if !ok {
+		n.mu.Unlock()
+		panic(fmt.Sprintf("simnet: send to unknown process %q", to))
+	}
+	n.sent[e.id]++
+	var delay time.Duration
+	if n.cfg.MaxDelay > n.cfg.MinDelay {
+		delay = n.cfg.MinDelay + time.Duration(n.rng.Int63n(int64(n.cfg.MaxDelay-n.cfg.MinDelay)))
+	} else {
+		delay = n.cfg.MinDelay
+	}
+	msg := Message{From: e.id, To: to, Type: typ, Payload: payload}
+	n.inflight++
+	n.mu.Unlock()
+
+	go func() {
+		defer func() {
+			n.mu.Lock()
+			n.inflight--
+			if n.inflight == 0 {
+				n.idle.Broadcast()
+			}
+			n.mu.Unlock()
+		}()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		n.mu.Lock()
+		dead := n.crashed[to] || n.closed
+		n.mu.Unlock()
+		if dead {
+			return
+		}
+		dst.mu.Lock()
+		if !dst.closed {
+			dst.queue = append(dst.queue, msg)
+			dst.cond.Broadcast()
+		}
+		dst.mu.Unlock()
+	}()
+}
+
+// Broadcast sends the message to every registered process except the
+// sender.
+func (e *Endpoint) Broadcast(typ string, payload any) {
+	for _, id := range e.net.Processes() {
+		if id != e.id {
+			e.Send(id, typ, payload)
+		}
+	}
+}
+
+// Recv blocks until a message arrives and returns it. ok is false when the
+// endpoint's process has crashed (or the network shut down), after which no
+// further messages will ever arrive.
+func (e *Endpoint) Recv() (Message, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if e.closed {
+		return Message{}, false
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	return m, true
+}
+
+// TryRecv returns a queued message without blocking.
+func (e *Endpoint) TryRecv() (Message, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || len(e.queue) == 0 {
+		return Message{}, false
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	return m, true
+}
+
+// ID returns the endpoint's process ID.
+func (e *Endpoint) ID() ProcessID { return e.id }
+
+// Close shuts the whole network down, unblocking all receivers. Intended
+// for the end of a run.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.mu.Lock()
+		ep.closed = true
+		ep.cond.Broadcast()
+		ep.mu.Unlock()
+	}
+}

@@ -1,0 +1,207 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendRecv(t *testing.T) {
+	n := New(Config{Seed: 1})
+	defer n.Close()
+	a := n.Register("a")
+	b := n.Register("b")
+	a.Send("b", "ping", 42)
+	msg, ok := b.Recv()
+	if !ok {
+		t.Fatal("recv failed")
+	}
+	if msg.From != "a" || msg.To != "b" || msg.Type != "ping" || msg.Payload.(int) != 42 {
+		t.Errorf("msg = %+v", msg)
+	}
+}
+
+func TestReliableDelivery(t *testing.T) {
+	n := New(Config{Seed: 2, MinDelay: 0, MaxDelay: 500 * time.Microsecond})
+	defer n.Close()
+	a := n.Register("a")
+	b := n.Register("b")
+	const count = 200
+	for i := 0; i < count; i++ {
+		a.Send("b", "m", i)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < count; i++ {
+		msg, ok := b.Recv()
+		if !ok {
+			t.Fatal("recv failed early")
+		}
+		v := msg.Payload.(int)
+		if seen[v] {
+			t.Fatalf("duplicate delivery of %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != count {
+		t.Errorf("delivered %d distinct messages, want %d", len(seen), count)
+	}
+}
+
+func TestCrashDropsTraffic(t *testing.T) {
+	n := New(Config{Seed: 3})
+	defer n.Close()
+	a := n.Register("a")
+	b := n.Register("b")
+	n.Crash("b")
+	a.Send("b", "m", 1) // silently dropped
+	n.Quiesce()
+	if _, ok := b.TryRecv(); ok {
+		t.Error("crashed endpoint received a message")
+	}
+	// Crashed sender drops too.
+	n.Crash("a")
+	a.Send("b", "m", 2)
+	if n.SentBy("a") != 1 {
+		t.Errorf("crashed sender counted %d sends, want 1 (pre-crash only)", n.SentBy("a"))
+	}
+	if !n.Crashed("a") || !n.Crashed("b") {
+		t.Error("crash flags wrong")
+	}
+}
+
+func TestCrashUnblocksReceivers(t *testing.T) {
+	n := New(Config{Seed: 4})
+	defer n.Close()
+	b := n.Register("b")
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := b.Recv()
+		done <- ok
+	}()
+	time.Sleep(time.Millisecond)
+	n.Crash("b")
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("recv on crashed endpoint returned ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv did not unblock on crash")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := New(Config{Seed: 5})
+	defer n.Close()
+	a := n.Register("a")
+	b := n.Register("b")
+	c := n.Register("c")
+	a.Broadcast("hello", "x")
+	n.Quiesce()
+	if _, ok := b.TryRecv(); !ok {
+		t.Error("b missed broadcast")
+	}
+	if _, ok := c.TryRecv(); !ok {
+		t.Error("c missed broadcast")
+	}
+	if _, ok := a.TryRecv(); ok {
+		t.Error("broadcast echoed to sender")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	n := New(Config{Seed: 6})
+	defer n.Close()
+	a := n.Register("a")
+	n.Register("b")
+	for i := 0; i < 5; i++ {
+		a.Send("b", "m", i)
+	}
+	if n.SentBy("a") != 5 {
+		t.Errorf("SentBy = %d", n.SentBy("a"))
+	}
+	if n.TotalSent() != 5 {
+		t.Errorf("TotalSent = %d", n.TotalSent())
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	n.Register("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate register did not panic")
+		}
+	}()
+	n.Register("a")
+}
+
+func TestSendToUnknownPanics(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a := n.Register("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("send to unknown did not panic")
+		}
+	}()
+	a.Send("ghost", "m", nil)
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	n := New(Config{Seed: 7, MaxDelay: 100 * time.Microsecond})
+	defer n.Close()
+	dst := n.Register("dst")
+	var wg sync.WaitGroup
+	const senders, per = 8, 50
+	for s := 0; s < senders; s++ {
+		ep := n.Register(ProcessID(rune('a' + s)))
+		wg.Add(1)
+		go func(ep *Endpoint) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ep.Send("dst", "m", i)
+			}
+		}(ep)
+	}
+	wg.Wait()
+	got := 0
+	for got < senders*per {
+		if _, ok := dst.Recv(); !ok {
+			t.Fatal("recv failed")
+		}
+		got++
+	}
+	if n.TotalSent() != senders*per {
+		t.Errorf("TotalSent = %d", n.TotalSent())
+	}
+}
+
+func TestProcessesListing(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	n.Register("a")
+	n.Register("b")
+	if got := len(n.Processes()); got != 2 {
+		t.Errorf("Processes = %d", got)
+	}
+}
+
+func TestCloseUnblocksAll(t *testing.T) {
+	n := New(Config{})
+	a := n.Register("a")
+	done := make(chan struct{})
+	go func() {
+		a.Recv()
+		close(done)
+	}()
+	time.Sleep(time.Millisecond)
+	n.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock receiver")
+	}
+	n.Close() // idempotent
+}

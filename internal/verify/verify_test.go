@@ -1,0 +1,190 @@
+package verify
+
+import (
+	"testing"
+
+	"xability/internal/action"
+	"xability/internal/event"
+	"xability/internal/reduce"
+)
+
+func reg() *action.Registry {
+	r := action.NewRegistry()
+	r.MustRegister("read", action.KindIdempotent)
+	r.MustRegister("debit", action.KindUndoable)
+	return r
+}
+
+func TestCheckCleanRun(t *testing.T) {
+	r := reg()
+	req := action.NewRequest("read", "k").WithID("q1")
+	ff, err := reduce.EventsOf(r, req, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(Run{
+		Registry: r,
+		Requests: []action.Request{req},
+		Replies:  []action.Value{"v"},
+		History:  ff,
+	})
+	if !rep.OK() || !rep.R3Strict || !rep.R2 || !rep.R4Consistent {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestCheckRetriedRun(t *testing.T) {
+	r := reg()
+	req := action.NewRequest("read", "k").WithID("q1")
+	iv := req.EffectiveInput()
+	h := event.History{
+		event.S("read", iv),
+		event.S("read", iv),
+		event.C("read", "v"),
+	}
+	rep := Check(Run{
+		Registry: r,
+		Requests: []action.Request{req},
+		Replies:  []action.Value{"v"},
+		History:  h,
+	})
+	if !rep.OK() || !rep.R3Strict {
+		t.Errorf("retried run should verify: %+v", rep)
+	}
+}
+
+func TestCheckMissingReplyFailsR2(t *testing.T) {
+	r := reg()
+	req := action.NewRequest("read", "k").WithID("q1")
+	ff, _ := reduce.EventsOf(r, req, "v")
+	rep := Check(Run{
+		Registry: r,
+		Requests: []action.Request{req},
+		Replies:  nil,
+		History:  ff,
+	})
+	if rep.R2 || rep.OK() {
+		t.Errorf("missing reply must fail R2: %+v", rep)
+	}
+}
+
+func TestCheckDuplicatedEffectFailsR3(t *testing.T) {
+	r := reg()
+	req := action.NewRequest("read", "k").WithID("q1")
+	iv := req.EffectiveInput()
+	// Two completed executions with diverging values: irreducible.
+	h := event.History{
+		event.S("read", iv), event.C("read", "v1"),
+		event.S("read", iv), event.C("read", "v2"),
+	}
+	rep := Check(Run{
+		Registry: r,
+		Requests: []action.Request{req},
+		Replies:  []action.Value{"v1"},
+		History:  h,
+	})
+	if rep.R3Strict || rep.R3Projected || rep.OK() {
+		t.Errorf("diverging duplicate must fail R3: %+v", rep)
+	}
+}
+
+func TestCheckWrongReplyFailsR4(t *testing.T) {
+	r := reg()
+	req := action.NewRequest("read", "k").WithID("q1")
+	ff, _ := reduce.EventsOf(r, req, "v")
+	rep := Check(Run{
+		Registry: r,
+		Requests: []action.Request{req},
+		Replies:  []action.Value{"not-v"},
+		History:  ff,
+	})
+	if rep.R4Consistent {
+		t.Errorf("reply differing from surviving output must fail R4 consistency: %+v", rep)
+	}
+}
+
+func TestCheckPossibleReplyPredicate(t *testing.T) {
+	r := reg()
+	req := action.NewRequest("read", "k").WithID("q1")
+	ff, _ := reduce.EventsOf(r, req, "v")
+	rep := Check(Run{
+		Registry:      r,
+		Requests:      []action.Request{req},
+		Replies:       []action.Value{"v"},
+		History:       ff,
+		PossibleReply: func(req action.Request, ov action.Value) bool { return false },
+	})
+	if rep.R4Possible {
+		t.Errorf("rejecting predicate must fail R4Possible: %+v", rep)
+	}
+}
+
+func TestCheckStragglerFallsBackToProjected(t *testing.T) {
+	r := reg()
+	// Request 1 has a duplicate completion that straggles past request 2's
+	// events: strict R3 fails (no rule reorders across the pair), but the
+	// per-request projection holds.
+	q1 := action.NewRequest("read", "k1").WithID("q1")
+	q2 := action.NewRequest("read", "k2").WithID("q2")
+	iv1, iv2 := q1.EffectiveInput(), q2.EffectiveInput()
+	h := event.History{
+		event.S("read", iv1),
+		event.S("read", iv1),
+		event.C("read", "v1"),
+		event.S("read", iv2),
+		event.C("read", "v2"),
+		event.C("read", "v1"), // straggler of q1's duplicate execution
+	}
+	rep := Check(Run{
+		Registry: r,
+		Requests: []action.Request{q1, q2},
+		Replies:  []action.Value{"v1", "v2"},
+		History:  h,
+	})
+	if rep.R3Strict {
+		t.Error("straggler across requests should fail strict R3")
+	}
+	if !rep.R3Projected {
+		t.Errorf("projection should tolerate the straggler: %+v", rep)
+	}
+	if !rep.OK() {
+		t.Errorf("report should be OK overall: %+v", rep)
+	}
+}
+
+func TestCheckUnknownActionReported(t *testing.T) {
+	r := reg()
+	req := action.NewRequest("ghost", "k").WithID("q1")
+	rep := Check(Run{
+		Registry: r,
+		Requests: []action.Request{req},
+		Replies:  []action.Value{"v"},
+		History:  event.Lambda,
+	})
+	if rep.R3Strict || rep.R3Projected {
+		t.Errorf("unknown action must not verify: %+v", rep)
+	}
+	if len(rep.Details) == 0 {
+		t.Error("expected diagnostic details")
+	}
+}
+
+func TestCheckSequenceOutputs(t *testing.T) {
+	r := reg()
+	q1 := action.NewRequest("debit", "a").WithID("q1")
+	q2 := action.NewRequest("read", "a").WithID("q2")
+	ff1, _ := reduce.EventsOf(r, q1.WithRound(1), "debited")
+	ff2, _ := reduce.EventsOf(r, q2, "90")
+	rep := Check(Run{
+		Registry: r,
+		Requests: []action.Request{q1, q2},
+		Replies:  []action.Value{"debited", "90"},
+		History:  ff1.Concat(ff2),
+	})
+	if !rep.OK() || !rep.R3Strict {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Outputs) != 2 || rep.Outputs[0] != "debited" || rep.Outputs[1] != "90" {
+		t.Errorf("outputs = %v", rep.Outputs)
+	}
+}

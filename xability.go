@@ -1,0 +1,214 @@
+// Package xability is a Go implementation of X-Ability: A Theory of
+// Replication (Frølund & Guerraoui, PODC 2000).
+//
+// X-ability (exactly-once-ability) is a correctness criterion for
+// replicated services: a replicated service is x-able when the actions it
+// executes — possibly several times, by several replicas — appear to their
+// environment to have been executed exactly once. The theory covers
+// non-deterministic actions and actions with external side effects (calls
+// to third-party services), which classical criteria for replication do
+// not.
+//
+// The package exposes three layers:
+//
+//   - The calculus: events, histories, patterns, the reduction relation ⇒,
+//     the x-able predicate, and history signatures (§2–§3 of the paper),
+//     as a mechanical checker — see NewChecker.
+//   - The protocol: the paper's general asynchronous replication algorithm
+//     (§5), which drifts at run time between a primary-backup flavor and
+//     an active-replication flavor — see NewService.
+//   - The specification: requirements R1–R4 for x-able services (§4),
+//     checked against concrete runs — see CheckRun.
+//
+// Quickstart:
+//
+//	reg := xability.NewRegistry()
+//	reg.MustRegister("greet", xability.Idempotent)
+//
+//	svc := xability.NewService(xability.ServiceConfig{
+//		Replicas: 3,
+//		Registry: reg,
+//		Setup: func(m *xability.Machine) {
+//			m.HandleIdempotent("greet", func(ctx *xability.Ctx) xability.Value {
+//				return "hello, " + ctx.Req.Input
+//			})
+//		},
+//	})
+//	defer svc.Close()
+//
+//	reply := svc.Call(xability.NewRequest("greet", "world"))
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// paper-to-code map, and EXPERIMENTS.md for the reproduction results.
+package xability
+
+import (
+	"xability/internal/action"
+	"xability/internal/core"
+	"xability/internal/env"
+	"xability/internal/event"
+	"xability/internal/reduce"
+	"xability/internal/sm"
+	"xability/internal/trace"
+	"xability/internal/verify"
+)
+
+// Core vocabulary (§2.1, §3.1).
+type (
+	// Name identifies an action.
+	Name = action.Name
+	// Value is an action input or output value.
+	Value = action.Value
+	// Request pairs an action with an input value.
+	Request = action.Request
+	// Registry classifies actions as idempotent or undoable.
+	Registry = action.Registry
+	// Kind is an action's fault-tolerance class.
+	Kind = action.Kind
+)
+
+// Action classes.
+const (
+	// Idempotent marks actions whose repeated execution has the side
+	// effect of a single execution.
+	Idempotent = action.KindIdempotent
+	// Undoable marks actions that can be cancelled until committed.
+	Undoable = action.KindUndoable
+)
+
+// Nil is the distinguished return value of cancel and commit actions.
+const Nil = action.Nil
+
+// Event calculus (§2.2–§2.3).
+type (
+	// Event is a start or completion event.
+	Event = event.Event
+	// History is a totally ordered event sequence.
+	History = event.History
+)
+
+// S constructs a start event S(a, iv).
+func S(a Name, iv Value) Event { return event.S(a, iv) }
+
+// C constructs a completion event C(a, ov).
+func C(a Name, ov Value) Event { return event.C(a, ov) }
+
+// NewRegistry returns an empty action registry.
+func NewRegistry() *Registry { return action.NewRegistry() }
+
+// NewRequest builds a request.
+func NewRequest(a Name, iv Value) Request { return action.NewRequest(a, iv) }
+
+// Cancel and Commit derive the cancellation and commit action names of an
+// undoable action (§3.1).
+func Cancel(a Name) Name { return action.Cancel(a) }
+
+// Commit derives the commit action name of an undoable action.
+func Commit(a Name) Name { return action.Commit(a) }
+
+// State machines (§2.1) and the environment.
+type (
+	// Machine is one replica's state machine.
+	Machine = sm.Machine
+	// Ctx is the execution context passed to action bodies.
+	Ctx = sm.Ctx
+	// Env is the third-party environment actions have side effects on.
+	Env = env.Env
+	// Observer is the run's event observer (§2.2).
+	Observer = trace.Observer
+)
+
+// Checker is the mechanical x-ability checker: the reduction relation of
+// Figure 4 plus the predicates built on it.
+type Checker = reduce.Normalizer
+
+// TargetSpec describes the failure-free histories of one request (§3.2).
+type TargetSpec = reduce.TargetSpec
+
+// NewChecker builds a checker over a vocabulary.
+func NewChecker(reg *Registry) *Checker { return reduce.New(reg) }
+
+// SpecFor derives the failure-free target of a request.
+func SpecFor(reg *Registry, req Request) (TargetSpec, error) { return reduce.SpecFor(reg, req) }
+
+// EventsOf is the paper's eventsof function (eqs. 21–22).
+func EventsOf(reg *Registry, req Request, ov Value) (History, error) {
+	return reduce.EventsOf(reg, req, ov)
+}
+
+// Run verification (§4).
+type (
+	// Run captures one execution for verification.
+	Run = verify.Run
+	// Report is the R1–R4 verdict.
+	Report = verify.Report
+)
+
+// CheckRun verifies requirements R2–R4 against a run.
+func CheckRun(run Run) Report { return verify.Check(run) }
+
+// The replication protocol (§5).
+type (
+	// ServiceConfig configures a replicated service.
+	ServiceConfig = core.ClusterConfig
+	// Service is a running replicated service with its client stub.
+	Service struct{ cluster *core.Cluster }
+)
+
+// Consensus and detector substrate selectors.
+const (
+	// ConsensusLocal uses the linearizable objects the paper assumes.
+	ConsensusLocal = core.ConsensusLocal
+	// ConsensusCT uses the message-passing rotating-coordinator protocol.
+	ConsensusCT = core.ConsensusCT
+	// DetectorScripted uses test-controlled detectors.
+	DetectorScripted = core.DetectorScripted
+	// DetectorHeartbeat uses heartbeat-driven ◇P detectors.
+	DetectorHeartbeat = core.DetectorHeartbeat
+)
+
+// NewService assembles and starts a replicated service on a simulated
+// asynchronous network.
+func NewService(cfg ServiceConfig) *Service {
+	return &Service{cluster: core.NewCluster(cfg)}
+}
+
+// Call submits a request and retries until it succeeds (the client
+// behavior R1 and R2 license).
+func (s *Service) Call(req Request) Value {
+	return s.cluster.Client.SubmitUntilSuccess(req)
+}
+
+// History returns the run's observed event history so far.
+func (s *Service) History() History {
+	s.cluster.Net.Quiesce()
+	return s.cluster.Observer.History()
+}
+
+// Environment returns the service's third-party environment (for audits).
+func (s *Service) Environment() *Env { return s.cluster.Env }
+
+// Log returns the successfully submitted requests and replies.
+func (s *Service) Log() ([]Request, []Value) { return s.cluster.Client.Log() }
+
+// Attempts returns the number of submit attempts made.
+func (s *Service) Attempts() int { return s.cluster.Client.Attempts() }
+
+// Cluster exposes the underlying cluster for advanced scenarios (fault
+// injection, per-replica access).
+func (s *Service) Cluster() *core.Cluster { return s.cluster }
+
+// Verify checks the service's run so far against R2–R4.
+func (s *Service) Verify(reg *Registry) Report {
+	reqs, replies := s.Log()
+	return CheckRun(Run{
+		Registry:       reg,
+		Requests:       reqs,
+		Replies:        replies,
+		History:        s.History(),
+		SubmitAttempts: s.Attempts(),
+	})
+}
+
+// Close shuts the service down.
+func (s *Service) Close() { s.cluster.Stop() }

@@ -1,0 +1,81 @@
+package xability_test
+
+import (
+	"strings"
+	"testing"
+
+	"xability"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	reg := xability.NewRegistry()
+	reg.MustRegister("greet", xability.Idempotent)
+
+	svc := xability.NewService(xability.ServiceConfig{
+		Replicas: 3,
+		Seed:     1,
+		Registry: reg,
+		Setup: func(m *xability.Machine) {
+			if err := m.HandleIdempotent("greet", func(ctx *xability.Ctx) xability.Value {
+				return "hello, " + ctx.Req.Input
+			}); err != nil {
+				t.Error(err)
+			}
+		},
+	})
+	defer svc.Close()
+
+	reply := svc.Call(xability.NewRequest("greet", "world"))
+	if reply != "hello, world" {
+		t.Errorf("reply = %q", reply)
+	}
+	rep := svc.Verify(reg)
+	if !rep.OK() || !rep.R3Strict {
+		t.Errorf("verification failed: %+v", rep)
+	}
+	if len(svc.History()) == 0 {
+		t.Error("no events observed")
+	}
+}
+
+func TestFacadeCheckerRoundTrip(t *testing.T) {
+	reg := xability.NewRegistry()
+	reg.MustRegister("ship", xability.Undoable)
+	req := xability.NewRequest("ship", "order-1").WithID("q").WithRound(1)
+
+	ff, err := xability.EventsOf(reg, req, "shipped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ff) != 4 {
+		t.Fatalf("undoable eventsof = %v", ff)
+	}
+	chk := xability.NewChecker(reg)
+	spec, err := xability.SpecFor(reg, xability.NewRequest("ship", "order-1").WithID("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, outs := chk.XAbleTo(ff, []xability.TargetSpec{spec})
+	if !ok || outs[0] != "shipped" {
+		t.Errorf("XAbleTo = (%v, %v)", ok, outs)
+	}
+}
+
+func TestFacadeDerivedNames(t *testing.T) {
+	if !strings.HasPrefix(string(xability.Cancel("a")), "a") {
+		t.Error("cancel name should derive from the base name")
+	}
+	if xability.Cancel("a") == xability.Commit("a") {
+		t.Error("cancel and commit must differ")
+	}
+	if xability.Nil == "" {
+		t.Error("Nil must be distinguishable from the empty value")
+	}
+}
+
+func TestFacadeEventConstructors(t *testing.T) {
+	h := xability.History{xability.S("a", "1"), xability.C("a", "2")}
+	if err := h.WellFormed(); err != nil {
+		t.Error(err)
+	}
+}
