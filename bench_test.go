@@ -114,12 +114,15 @@ func BenchmarkScenarioCrashRecovery(b *testing.B) {
 			Setup:    bank.Setup(),
 		})
 		c.Env.SetFailures("debit", 1.0, 4, 0)
-		go func() {
-			time.Sleep(time.Millisecond)
+		clk := c.Clock()
+		clk.Enter()
+		clk.Go(func() {
+			clk.Sleep(time.Millisecond)
 			c.CrashServer(0)
 			c.ClientSuspect("replica-0", true)
-		}()
+		})
 		c.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct-0"))
+		clk.Exit()
 		c.Stop()
 	}
 }

@@ -54,19 +54,25 @@ func main() {
 		submit(c, action.NewRequest("debit", "acct-0"))
 	case "crash":
 		c.Env.SetFailures("debit", 1.0, 6, 0)
-		go func() {
-			time.Sleep(2 * time.Millisecond)
+		clk := c.Clock()
+		clk.Enter()
+		clk.Go(func() {
+			clk.Sleep(2 * time.Millisecond)
 			c.CrashServer(0)
 			c.ClientSuspect("replica-0", true)
-		}()
+		})
 		submit(c, action.NewRequest("debit", "acct-0"))
+		clk.Exit()
 	case "suspect":
 		c.Env.SetFailures("token", 1.0, 5, 0)
-		go func() {
-			time.Sleep(2 * time.Millisecond)
+		clk := c.Clock()
+		clk.Enter()
+		clk.Go(func() {
+			clk.Sleep(2 * time.Millisecond)
 			c.SuspectEverywhere("replica-0", true)
-		}()
+		})
 		submit(c, action.NewRequest("token", "t"))
+		clk.Exit()
 	case "failures":
 		c.Env.SetFailures("debit", 0.7, 6, 0.5)
 		submit(c, action.NewRequest("debit", "acct-0"))

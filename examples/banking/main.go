@@ -70,13 +70,17 @@ func main() {
 	// must cancel and retry) and the first replica crashes mid-request (a
 	// cleaner replica cancels its round and takes over).
 	svc.Environment().SetFailures("transfer", 1.0, 6, 0.5)
-	go func() {
-		time.Sleep(2 * time.Millisecond)
+	clk := svc.Clock()
+	clk.Enter() // hold simulated time until the transfer is in flight
+	clk.Go(func() {
+		clk.Sleep(2 * time.Millisecond)
 		svc.Cluster().CrashServer(0)
 		svc.Cluster().ClientSuspect("replica-0", true)
-	}()
+	})
 
-	fmt.Println("transfer:", svc.Call(xability.NewRequest("transfer", "alice->bob")))
+	transferred := svc.Call(xability.NewRequest("transfer", "alice->bob"))
+	clk.Exit()
+	fmt.Println("transfer:", transferred)
 	fmt.Println("alice:   ", svc.Call(xability.NewRequest("balance", "alice")))
 	fmt.Println("bob:     ", svc.Call(xability.NewRequest("balance", "bob")))
 

@@ -57,20 +57,23 @@ func run(pulses int) (executions, cancels int, xable bool) {
 	})
 	defer svc.Close()
 
+	clk := svc.Clock()
+	clk.Enter() // hold simulated time until the charge is in flight
 	if pulses > 0 {
 		// Slow the owner down so suspicions land mid-execution.
 		svc.Environment().SetFailures("charge", 1.0, 3*pulses, 0)
-		go func() {
+		clk.Go(func() {
 			for i := 0; i < pulses; i++ {
-				time.Sleep(time.Duration(1+i) * time.Millisecond)
+				clk.Sleep(time.Duration(1+i) * time.Millisecond)
 				svc.Cluster().SuspectEverywhere("replica-0", true)
-				time.Sleep(500 * time.Microsecond)
+				clk.Sleep(500 * time.Microsecond)
 				svc.Cluster().SuspectEverywhere("replica-0", false)
 			}
-		}()
+		})
 	}
 
 	svc.Call(xability.NewRequest("charge", "card-1"))
+	clk.Exit()
 	h := svc.History()
 	for _, e := range h {
 		if e.Type == event.Start && e.Action == "charge" {

@@ -1,0 +1,3 @@
+module xability
+
+go 1.24

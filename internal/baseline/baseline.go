@@ -27,6 +27,7 @@ import (
 	"xability/internal/event"
 	"xability/internal/fd"
 	"xability/internal/simnet"
+	"xability/internal/vclock"
 )
 
 // Handler executes a request's business logic and returns the output
@@ -74,6 +75,7 @@ type PBServer struct {
 	world    *env.Env
 	handler  Handler
 	net      *simnet.Network
+	clk      vclock.Clock
 	crashGap time.Duration // test hook: delay between execute and processed-notice
 
 	mu        sync.Mutex
@@ -107,13 +109,14 @@ func NewPBServer(cfg PBConfig) *PBServer {
 		world:     cfg.Env,
 		handler:   cfg.Handler,
 		net:       cfg.Network,
+		clk:       cfg.Network.Clock(),
 		crashGap:  cfg.SyncDelay,
 		processed: make(map[string]action.Value),
 	}
 }
 
-// Start launches the receive loop.
-func (s *PBServer) Start() { go s.loop() }
+// Start launches the receive loop on the network clock.
+func (s *PBServer) Start() { s.clk.Go(s.loop) }
 
 // Stop halts the server.
 func (s *PBServer) Stop() {
@@ -194,7 +197,7 @@ func (s *PBServer) handleSubmit(p submitPayload) {
 		return // action failed; the client will retry
 	}
 	if s.crashGap > 0 {
-		time.Sleep(s.crashGap) // the duplication window, widened for tests
+		s.clk.Sleep(s.crashGap) // the duplication window, widened for tests
 	}
 	s.mu.Lock()
 	stopped := s.stopped
@@ -225,6 +228,7 @@ type ActiveServer struct {
 	world     *env.Env
 	handler   Handler
 	net       *simnet.Network
+	clk       vclock.Clock
 	isSeq     bool
 	replyOnly simnet.ProcessID // only the sequencer replies (clients dedup anyway)
 
@@ -255,13 +259,14 @@ func NewActiveServer(cfg ActiveConfig) *ActiveServer {
 		world:   cfg.Env,
 		handler: cfg.Handler,
 		net:     cfg.Network,
+		clk:     cfg.Network.Clock(),
 		isSeq:   cfg.ID == cfg.Order[0],
 		buffer:  make(map[int]sequencedPayload),
 	}
 }
 
-// Start launches the receive loop.
-func (s *ActiveServer) Start() { go s.loop() }
+// Start launches the receive loop on the network clock.
+func (s *ActiveServer) Start() { s.clk.Go(s.loop) }
 
 // Stop halts the server.
 func (s *ActiveServer) Stop() {

@@ -71,14 +71,17 @@ func TestPrimaryBackupDuplicatesOnFailover(t *testing.T) {
 	})
 	defer c.Stop()
 
+	clk := c.Clock()
 	done := make(chan action.Value, 1)
-	go func() { done <- c.Client.SubmitUntilSuccess(action.NewRequest("transfer", "acct")) }()
+	clk.Go(func() { done <- c.Client.SubmitUntilSuccess(action.NewRequest("transfer", "acct")) })
 
 	// Crash the primary inside the duplication window: it has executed but
 	// neither synced to the backups nor replied.
-	time.Sleep(2 * time.Millisecond)
-	c.CrashServer(0)
-	c.cdet.SetSuspected("replica-0", true)
+	clk.Go(func() {
+		clk.Sleep(2 * time.Millisecond)
+		c.CrashServer(0)
+		c.cdet.SetSuspected("replica-0", true)
+	})
 
 	v := <-done
 	if v == "" {

@@ -10,6 +10,7 @@ import (
 	"xability/internal/fd"
 	"xability/internal/simnet"
 	"xability/internal/trace"
+	"xability/internal/vclock"
 )
 
 // Scheme selects the baseline protocol.
@@ -88,15 +89,22 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	}
 
 	c.cdet = fd.NewScripted(net)
+	clientEP := net.Register(clientID)
 	c.Client = &Client{
 		id:       clientID,
-		ep:       net.Register(clientID),
+		ep:       clientEP,
+		clk:      clientEP.Clock(),
 		replicas: ids,
 		det:      c.cdet,
 		poll:     200 * time.Microsecond,
 	}
 	return c
 }
+
+// Clock returns the cluster's clock (virtual by default; configure via
+// ClusterConfig.Net.Clock). Scenario drivers schedule fault injection on it
+// so injections land at fixed points of simulated time.
+func (c *Cluster) Clock() vclock.Clock { return c.Net.Clock() }
 
 // ClientDetector returns the client's scripted failure detector.
 func (c *Cluster) ClientDetector() *fd.Scripted { return c.cdet }
@@ -138,6 +146,7 @@ func (c *Cluster) Stop() {
 type Client struct {
 	id       simnet.ProcessID
 	ep       *simnet.Endpoint
+	clk      vclock.Clock
 	replicas []simnet.ProcessID
 	det      *fd.Scripted
 	poll     time.Duration
@@ -152,9 +161,14 @@ type Client struct {
 // ErrSubmitFailed mirrors core.ErrSubmitFailed for baselines.
 var ErrSubmitFailed = errors.New("baseline: submit failed (replica suspected)")
 
+// ErrClientClosed mirrors core.ErrClientClosed.
+var ErrClientClosed = errors.New("baseline: client endpoint closed")
+
 // Submit sends a tagged request to the current replica and awaits a result
 // or a suspicion.
 func (c *Client) Submit(req action.Request) (action.Value, error) {
+	c.clk.Enter()
+	defer c.clk.Exit()
 	target := c.replicas[c.i]
 	c.attempts++
 	c.ep.Send(target, msgSubmit, submitPayload{Req: req, Client: c.id})
@@ -171,17 +185,24 @@ func (c *Client) Submit(req action.Request) (action.Value, error) {
 				return p.Value, nil
 			}
 		}
+		if c.ep.Closed() {
+			return "", ErrClientClosed
+		}
 		if c.det.Suspect(target) {
 			c.i = (c.i + 1) % len(c.replicas)
 			return "", ErrSubmitFailed
 		}
-		time.Sleep(c.poll)
+		// Event-driven await: a delivery wakes the wait immediately; the
+		// poll period only bounds how stale the suspicion check may get.
+		c.ep.Wait(c.poll)
 	}
 }
 
 // SubmitUntilSuccess retries Submit until a reply arrives and logs the
 // request/reply pair.
 func (c *Client) SubmitUntilSuccess(req action.Request) action.Value {
+	c.clk.Enter()
+	defer c.clk.Exit()
 	c.seq++
 	req = req.WithID(fmt.Sprintf("%s-%d", c.id, c.seq))
 	for {
@@ -191,6 +212,11 @@ func (c *Client) SubmitUntilSuccess(req action.Request) action.Value {
 			c.replies = append(c.replies, v)
 			return v
 		}
+		if errors.Is(err, ErrClientClosed) {
+			return ""
+		}
+		// Pace the retry on the clock (see core.Client.SubmitUntilSuccess).
+		c.clk.Sleep(c.poll)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"xability/internal/fd"
 	"xability/internal/simnet"
+	"xability/internal/vclock"
 )
 
 // Node is one replica's participant in a message-passing consensus service
@@ -39,6 +40,7 @@ type Node struct {
 	peers []simnet.ProcessID
 	ep    *simnet.Endpoint
 	det   fd.Detector
+	clk   vclock.Clock
 
 	mu        sync.Mutex
 	instances map[string]*ctInstance
@@ -59,13 +61,14 @@ func NewNode(self simnet.ProcessID, ep *simnet.Endpoint, peers []simnet.ProcessI
 		peers:     append([]simnet.ProcessID(nil), peers...),
 		ep:        ep,
 		det:       det,
+		clk:       ep.Clock(),
 		instances: make(map[string]*ctInstance),
 		stop:      make(chan struct{}),
 	}
 }
 
-// Start launches the receive loop.
-func (n *Node) Start() { go n.recvLoop() }
+// Start launches the receive loop on the network clock.
+func (n *Node) Start() { n.clk.Go(n.recvLoop) }
 
 // Stop terminates the node's goroutines. In-flight Propose calls unblock
 // with the zero value.
@@ -77,7 +80,18 @@ func (n *Node) Stop() {
 	}
 	n.stopped = true
 	close(n.stop)
+	insts := make([]*ctInstance, 0, len(n.instances))
+	for _, inst := range n.instances {
+		insts = append(insts, inst)
+	}
 	n.mu.Unlock()
+	// Waits on instance conditions are event-driven; wake them so blocked
+	// Propose calls and round loops observe the stop promptly.
+	for _, inst := range insts {
+		inst.mu.Lock()
+		inst.cond.Broadcast()
+		inst.mu.Unlock()
+	}
 }
 
 type ctKind int
@@ -102,7 +116,7 @@ type ctMsg struct {
 
 type ctInstance struct {
 	mu       sync.Mutex
-	cond     *sync.Cond
+	cond     vclock.Cond
 	key      string
 	estimate any
 	hasEst   bool
@@ -121,7 +135,7 @@ func (n *Node) instance(key string) *ctInstance {
 	inst, ok := n.instances[key]
 	if !ok {
 		inst = &ctInstance{key: key, ts: -1}
-		inst.cond = sync.NewCond(&inst.mu)
+		inst.cond = n.clk.NewCond(&inst.mu)
 		n.instances[key] = inst
 	}
 	return inst
@@ -141,8 +155,12 @@ func (o *ctObject) Read() (any, bool) { return o.n.Read(o.key) }
 func (o *ctObject) String() string    { return fmt.Sprintf("ct:%s@%s", o.key, o.n.self) }
 
 // Propose submits a value for the instance and blocks until a decision is
-// known locally (or the node stops, returning nil).
+// known locally (or the node stops, returning nil). It attaches the calling
+// goroutine to the network clock for the duration, so it is safe from any
+// goroutine — protocol servers and test drivers alike.
 func (n *Node) Propose(key string, v any) any {
+	n.clk.Enter()
+	defer n.clk.Exit()
 	inst := n.instance(key)
 	inst.mu.Lock()
 	if inst.decided {
@@ -182,7 +200,7 @@ func (n *Node) ensureRunning(inst *ctInstance) {
 		return
 	}
 	inst.running = true
-	go n.roundLoop(inst)
+	n.clk.Go(func() { n.roundLoop(inst) })
 }
 
 func (n *Node) recvLoop() {
@@ -235,6 +253,10 @@ func (inst *ctInstance) take(round int, kind ctKind) []ctMsg {
 	return got
 }
 
+// ctPoll bounds how stale a coordinator-suspicion check may get while a
+// participant waits for a proposal. The wait itself is event-driven (new
+// messages broadcast the instance condition); the timeout only re-arms the
+// detector probe, and on the virtual clock it costs no wall time.
 const ctPoll = 500 * time.Microsecond
 
 func (n *Node) roundLoop(inst *ctInstance) {
@@ -351,30 +373,37 @@ func (n *Node) roundLoop(inst *ctInstance) {
 }
 
 // waitCond blocks until ready() (checked under inst.mu) or abort() (checked
-// outside the lock at ctPoll intervals, may be nil) returns true. It
-// returns false when the node is stopping or the instance decided while
-// waiting with abort semantics still pending.
+// outside the lock, re-armed every ctPoll of clock time, may be nil)
+// returns true. It returns false when the node is stopping or the instance
+// decided while waiting with abort semantics still pending. Waiting is
+// event-driven: the receive loop broadcasts the instance condition whenever
+// messages arrive, and Stop broadcasts it on shutdown.
 func (n *Node) waitCond(inst *ctInstance, ready func() bool, abort func() bool) bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
 	for {
 		select {
 		case <-n.stop:
 			return false
 		default:
 		}
-		inst.mu.Lock()
 		if inst.decided {
-			inst.mu.Unlock()
 			return false
 		}
 		if ready() {
+			return true
+		}
+		if abort != nil {
 			inst.mu.Unlock()
-			return true
+			aborted := abort()
+			inst.mu.Lock()
+			if aborted {
+				return true
+			}
+			inst.cond.WaitTimeout(ctPoll)
+		} else {
+			inst.cond.Wait()
 		}
-		inst.mu.Unlock()
-		if abort != nil && abort() {
-			return true
-		}
-		time.Sleep(ctPoll)
 	}
 }
 

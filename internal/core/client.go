@@ -9,6 +9,7 @@ import (
 	"xability/internal/action"
 	"xability/internal/fd"
 	"xability/internal/simnet"
+	"xability/internal/vclock"
 )
 
 // ErrSubmitFailed is the error value a single submit attempt returns when
@@ -17,12 +18,18 @@ import (
 // SubmitUntilSuccess does exactly that.
 var ErrSubmitFailed = errors.New("core: submit failed (replica suspected)")
 
+// ErrClientClosed is returned when the client's endpoint is closed (the
+// network shut down or the client process crashed): no reply can ever
+// arrive, so retrying is meaningless.
+var ErrClientClosed = errors.New("core: client endpoint closed")
+
 // Client is the client-side stub of Figure 5. It is not safe for concurrent
 // Submits: the paper's model is a single client issuing one request at a
 // time (§4).
 type Client struct {
 	id       simnet.ProcessID
 	ep       *simnet.Endpoint
+	clk      vclock.Clock
 	replicas []simnet.ProcessID
 	det      fd.Detector
 	poll     time.Duration
@@ -56,6 +63,7 @@ func NewClient(cfg ClientConfig) *Client {
 	return &Client{
 		id:       cfg.ID,
 		ep:       cfg.Endpoint,
+		clk:      cfg.Endpoint.Clock(),
 		replicas: append([]simnet.ProcessID(nil), cfg.Replicas...),
 		det:      cfg.Detector,
 		poll:     poll,
@@ -80,6 +88,8 @@ func (c *Client) Submit(req action.Request) (action.Value, error) {
 	if req.ID == "" {
 		return "", errors.New("core: request must be tagged with an ID (use Tag)")
 	}
+	c.clk.Enter()
+	defer c.clk.Exit()
 	c.mu.Lock()
 	target := c.replicas[c.i]
 	c.attempts++
@@ -104,13 +114,20 @@ func (c *Client) Submit(req action.Request) (action.Value, error) {
 			}
 			return p.Value, nil
 		}
+		if c.ep.Closed() {
+			// The mailbox will never fill again; without this check the
+			// await loop would spin (and pin the virtual clock).
+			return "", ErrClientClosed
+		}
 		if c.det.Suspect(target) {
 			c.mu.Lock()
 			c.i = (c.i + 1) % len(c.replicas)
 			c.mu.Unlock()
 			return "", ErrSubmitFailed
 		}
-		time.Sleep(c.poll)
+		// Event-driven await: a delivery wakes the wait immediately; the
+		// poll period only bounds how stale the suspicion check may get.
+		c.ep.Wait(c.poll)
 	}
 }
 
@@ -124,6 +141,8 @@ func (c *Client) Tag(req action.Request) action.Request {
 // R1 and R2 license: submit is idempotent and cannot fail forever) and logs
 // the request and reply for verification.
 func (c *Client) SubmitUntilSuccess(req action.Request) action.Value {
+	c.clk.Enter()
+	defer c.clk.Exit()
 	req = c.Tag(req)
 	for {
 		v, err := c.Submit(req)
@@ -134,6 +153,16 @@ func (c *Client) SubmitUntilSuccess(req action.Request) action.Value {
 			c.mu.Unlock()
 			return v
 		}
+		if errors.Is(err, ErrClientClosed) {
+			// R2 presumes a live network; once it is gone the retry
+			// obligation lapses. Zero value signals the aborted call.
+			return ""
+		}
+		// Pace the retry on the clock: a client that hot-loops through
+		// suspected replicas would otherwise never yield, and on the
+		// virtual clock that would stall the very deliveries (a late
+		// reply, a heartbeat) that let it make progress.
+		c.clk.Sleep(c.poll)
 	}
 }
 

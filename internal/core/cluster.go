@@ -11,6 +11,7 @@ import (
 	"xability/internal/simnet"
 	"xability/internal/sm"
 	"xability/internal/trace"
+	"xability/internal/vclock"
 )
 
 // ConsensusMode selects the consensus substrate.
@@ -173,6 +174,12 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	})
 	return c
 }
+
+// Clock returns the cluster's clock (virtual by default; configure via
+// ClusterConfig.Net.Clock). Scenario drivers schedule fault injection on it
+// — Clock().Go with a Clock().Sleep — so injections land at fixed points of
+// simulated time regardless of how fast the host executes the run.
+func (c *Cluster) Clock() vclock.Clock { return c.Net.Clock() }
 
 // Suspect injects (or clears) a suspicion at one replica's scripted
 // detector. It panics in heartbeat mode.

@@ -108,11 +108,12 @@ func TestCompositionInnerCrash(t *testing.T) {
 	// nested call must still terminate (R2 of the inner tier) and both
 	// tiers must stay x-able.
 	inner.Env.SetFailures("reserve", 1.0, 5, 0)
-	go func() {
-		time.Sleep(2 * time.Millisecond)
+	iclk := inner.Clock()
+	iclk.Go(func() {
+		iclk.Sleep(2 * time.Millisecond)
 		inner.CrashServer(0)
 		inner.ClientSuspect("replica-0", true)
-	}()
+	})
 
 	done := make(chan action.Value, 1)
 	go func() { done <- outer.Client.SubmitUntilSuccess(action.NewRequest("order", "sku-2")) }()
@@ -137,10 +138,11 @@ func TestCompositionOuterSuspicion(t *testing.T) {
 	// nested call. R1 of the inner tier makes the duplicate nested submits
 	// harmless; both tiers must verify.
 	inner.Env.SetFailures("reserve", 1.0, 4, 0)
-	go func() {
-		time.Sleep(2 * time.Millisecond)
+	oclk := outer.Clock()
+	oclk.Go(func() {
+		oclk.Sleep(2 * time.Millisecond)
 		outer.SuspectEverywhere("replica-0", true)
-	}()
+	})
 
 	v := outer.Client.SubmitUntilSuccess(action.NewRequest("order", "sku-3"))
 	if v == "" {

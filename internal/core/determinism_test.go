@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"xability/internal/action"
+	"xability/internal/event"
+)
+
+// seededRun captures everything a replay must reproduce bit-for-bit.
+type seededRun struct {
+	history  event.History
+	sent     int
+	attempts int
+	replies  []action.Value
+}
+
+// runSeededScenario executes one fully seeded cluster scenario on the
+// virtual clock and returns its observable outcome. With crash set, the
+// run's first replica crashes at a fixed point of simulated time while the
+// request is stretched by injected failures (the T1 crash-failover shape);
+// otherwise it is a nice multi-request run.
+func runSeededScenario(t *testing.T, seed int64, crash bool) seededRun {
+	t.Helper()
+	tc := newBankCluster(t, ClusterConfig{Replicas: 3, Seed: seed})
+	clk := tc.Clock()
+	clk.Enter()
+	if crash {
+		tc.Env.SetFailures("debit", 1.0, 6, 0)
+		clk.Go(func() {
+			clk.Sleep(2 * time.Millisecond)
+			tc.CrashServer(0)
+			tc.ClientSuspect("replica-0", true)
+		})
+		tc.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct"))
+	} else {
+		tc.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct"))
+		tc.Client.SubmitUntilSuccess(action.NewRequest("read", "acct"))
+		tc.Client.SubmitUntilSuccess(action.NewRequest("token", "t"))
+	}
+	clk.Exit()
+	tc.Net.Quiesce()
+	_, replies := tc.Client.Log()
+	return seededRun{
+		history:  tc.Observer.History(),
+		sent:     tc.Net.TotalSent(),
+		attempts: tc.Client.Attempts(),
+		replies:  replies,
+	}
+}
+
+// TestDeterministicReplay pins the virtual-time scheduler's replayability
+// guarantee: running the same seeded scenario twice yields identical
+// observed histories, message counts, submit attempts, and replies — for a
+// nice run and for a crash-failover run alike. Timing jitter of the host
+// must not be observable.
+func TestDeterministicReplay(t *testing.T) {
+	for _, tt := range []struct {
+		name  string
+		crash bool
+		seed  int64
+	}{
+		{"nice", false, 4242},
+		{"crash-failover", true, 4242},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			a := runSeededScenario(t, tt.seed, tt.crash)
+			b := runSeededScenario(t, tt.seed, tt.crash)
+			if !a.history.Equal(b.history) {
+				t.Errorf("histories diverged between identically seeded runs:\nrun 1: %v\nrun 2: %v", a.history, b.history)
+			}
+			if a.sent != b.sent {
+				t.Errorf("TotalSent diverged: %d vs %d", a.sent, b.sent)
+			}
+			if a.attempts != b.attempts {
+				t.Errorf("submit attempts diverged: %d vs %d", a.attempts, b.attempts)
+			}
+			if len(a.replies) != len(b.replies) {
+				t.Fatalf("reply counts diverged: %d vs %d", len(a.replies), len(b.replies))
+			}
+			for i := range a.replies {
+				if a.replies[i] != b.replies[i] {
+					t.Errorf("reply %d diverged: %q vs %q", i, a.replies[i], b.replies[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicSeedsDiffer is the sanity complement: different seeds
+// must be able to produce different schedules (otherwise the replay test
+// would be vacuous). Message delays differ, so at minimum the virtual
+// timeline differs; we check the weakest observable — that the runs are not
+// forced into a single schedule — without demanding any particular
+// divergence.
+func TestDeterministicSeedsDiffer(t *testing.T) {
+	a := runSeededScenario(t, 1, true)
+	b := runSeededScenario(t, 99, true)
+	if a.history.Equal(b.history) && a.sent == b.sent && a.attempts == b.attempts {
+		t.Log("seeds 1 and 99 happened to coincide on every observable; not an error, but worth a look")
+	}
+}

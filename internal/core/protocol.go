@@ -45,6 +45,7 @@ import (
 	"xability/internal/fd"
 	"xability/internal/simnet"
 	"xability/internal/sm"
+	"xability/internal/vclock"
 )
 
 // EmptyResult is the paper's empty-result sentinel: the value the cleaner
@@ -54,6 +55,13 @@ const EmptyResult action.Value = "\x00empty-result"
 
 // MaxRound bounds the owner-agreement array (the paper's max-round).
 const MaxRound = 64
+
+// execRetryDelay is the backoff between attempts of a failing action in
+// execute-until-success. Measured on the cluster clock: failure-stretched
+// executions span simulated time (so suspicions and crashes injected at
+// virtual instants can land mid-execution, as in a real deployment where
+// retries are paced), yet cost no wall time under the virtual clock.
+const execRetryDelay = 500 * time.Microsecond
 
 // Message types exchanged between client stubs and servers.
 const (
@@ -100,6 +108,7 @@ type Server struct {
 	det  fd.Detector
 	cons consensus.Provider
 	net  *simnet.Network
+	clk  vclock.Clock
 
 	cleanInterval time.Duration
 
@@ -144,6 +153,7 @@ func NewServer(cfg ServerConfig) *Server {
 		det:           cfg.Detector,
 		cons:          cfg.Consensus,
 		net:           cfg.Network,
+		clk:           cfg.Network.Clock(),
 		cleanInterval: ci,
 		active:        make(map[string]*requestState),
 		stop:          make(chan struct{}),
@@ -151,11 +161,11 @@ func NewServer(cfg ServerConfig) *Server {
 }
 
 // Start launches the request loop and the cleaner (the cobegin of
-// Figure 6).
+// Figure 6) on the network clock.
 func (s *Server) Start() {
 	s.wg.Add(2)
-	go func() { defer s.wg.Done(); s.mainLoop() }()
-	go func() { defer s.wg.Done(); s.cleaner() }()
+	s.clk.Go(func() { defer s.wg.Done(); s.mainLoop() })
+	s.clk.Go(func() { defer s.wg.Done(); s.cleaner() })
 }
 
 // Stop terminates the server's goroutines without simulating a crash.
@@ -216,10 +226,10 @@ func (s *Server) mainLoop() {
 			}
 			// req.round := 1 (Figure 6).
 			s.wg.Add(1)
-			go func(p SubmitPayload) {
+			s.clk.Go(func() {
 				defer s.wg.Done()
 				s.processRequest(p.Req, 1, p.Client)
-			}(p)
+			})
 		case MsgAnnounce:
 			if p, ok := msg.Payload.(SubmitPayload); ok {
 				s.noteRequest(p.Req, p.Client)
@@ -282,17 +292,20 @@ func (s *Server) processRequest(req action.Request, round int, client simnet.Pro
 // coordination) and, if no result was fixed, start the next round as its
 // owner.
 func (s *Server) cleaner() {
-	t := time.NewTicker(s.cleanInterval)
-	defer t.Stop()
+	// The first pass is offset by a per-replica phase so symmetric cleaner
+	// loops never share a virtual deadline (the deterministic schedule then
+	// never needs to tie-break between replicas).
+	s.clk.Sleep(s.cleanInterval + vclock.Stagger(string(s.id), s.cleanInterval/4+1))
 	for {
 		select {
 		case <-s.stop:
 			return
-		case <-t.C:
+		default:
 		}
 		for _, st := range s.snapshotActive() {
 			s.cleanRequest(st)
 		}
+		s.clk.Sleep(s.cleanInterval)
 	}
 }
 
@@ -382,9 +395,15 @@ func (s *Server) resultCoordination(req action.Request, round int, val action.Va
 // retry. Returns ok=false only when the server stopped (crashed) before
 // succeeding.
 func (s *Server) executeUntilSuccess(req action.Request) (action.Value, bool) {
-	for {
+	for attempt := 0; ; attempt++ {
 		if s.isStopped() {
 			return "", false
+		}
+		if attempt > 0 {
+			s.clk.Sleep(execRetryDelay)
+			if s.isStopped() {
+				return "", false
+			}
 		}
 		res, err := s.mach.Execute(req)
 		if err == nil {

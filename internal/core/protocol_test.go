@@ -176,11 +176,14 @@ func TestCrashDuringExecution(t *testing.T) {
 	// it crashes; a cleaner must cancel round 1 and run a later round.
 	tc.Env.SetFailures("debit", 1.0, 8, 0)
 
+	clk := tc.Clock()
 	done := make(chan action.Value, 1)
-	go func() { done <- tc.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct")) }()
-	time.Sleep(3 * time.Millisecond) // let replica-0 start and hit failures
-	tc.CrashServer(0)
-	tc.ClientSuspect("replica-0", true)
+	clk.Go(func() { done <- tc.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct")) })
+	clk.Go(func() {
+		clk.Sleep(3 * time.Millisecond) // let replica-0 start and hit failures
+		tc.CrashServer(0)
+		tc.ClientSuspect("replica-0", true)
+	})
 
 	select {
 	case v := <-done:
@@ -204,10 +207,13 @@ func TestFalseSuspicionIdempotent(t *testing.T) {
 	// Slow the owner down with injected failures, then make replica-1
 	// falsely suspect replica-0: both end up executing (active flavor).
 	tc.Env.SetFailures("token", 1.0, 5, 0)
+	clk := tc.Clock()
 	done := make(chan action.Value, 1)
-	go func() { done <- tc.Client.SubmitUntilSuccess(action.NewRequest("token", "t1")) }()
-	time.Sleep(2 * time.Millisecond)
-	tc.Suspect("replica-1", "replica-0", true)
+	clk.Go(func() { done <- tc.Client.SubmitUntilSuccess(action.NewRequest("token", "t1")) })
+	clk.Go(func() {
+		clk.Sleep(2 * time.Millisecond)
+		tc.Suspect("replica-1", "replica-0", true)
+	})
 
 	v := <-done
 	if v == "" || v == EmptyResult {
@@ -219,11 +225,14 @@ func TestFalseSuspicionIdempotent(t *testing.T) {
 func TestFalseSuspicionUndoable(t *testing.T) {
 	tc := newBankCluster(t, ClusterConfig{Replicas: 3, Seed: 7})
 	tc.Env.SetFailures("debit", 1.0, 5, 0)
+	clk := tc.Clock()
 	done := make(chan action.Value, 1)
-	go func() { done <- tc.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct")) }()
-	time.Sleep(2 * time.Millisecond)
-	tc.Suspect("replica-1", "replica-0", true)
-	tc.Suspect("replica-2", "replica-0", true)
+	clk.Go(func() { done <- tc.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct")) })
+	clk.Go(func() {
+		clk.Sleep(2 * time.Millisecond)
+		tc.Suspect("replica-1", "replica-0", true)
+		tc.Suspect("replica-2", "replica-0", true)
+	})
 
 	v := <-done
 	if v != "debited" {
@@ -362,11 +371,14 @@ func TestSpectrumDuplicationUnderSuspicion(t *testing.T) {
 
 	busy := newBankCluster(t, ClusterConfig{Replicas: 3, Seed: 16})
 	busy.Env.SetFailures("token", 1.0, 6, 0)
+	clk := busy.Clock()
 	done := make(chan action.Value, 1)
-	go func() { done <- busy.Client.SubmitUntilSuccess(action.NewRequest("token", "t")) }()
-	time.Sleep(2 * time.Millisecond)
-	busy.Suspect("replica-1", "replica-0", true)
-	busy.Suspect("replica-2", "replica-0", true)
+	clk.Go(func() { done <- busy.Client.SubmitUntilSuccess(action.NewRequest("token", "t")) })
+	clk.Go(func() {
+		clk.Sleep(2 * time.Millisecond)
+		busy.Suspect("replica-1", "replica-0", true)
+		busy.Suspect("replica-2", "replica-0", true)
+	})
 	<-done
 	busy.Net.Quiesce()
 	if got := countStarts(busy, "token"); got < 2 {

@@ -16,14 +16,17 @@ func TestFiveReplicasDoubleCrash(t *testing.T) {
 	tc := newBankCluster(t, ClusterConfig{Replicas: 5, Seed: 31})
 	tc.Env.SetFailures("debit", 1.0, 10, 0)
 
+	clk := tc.Clock()
 	done := make(chan action.Value, 1)
-	go func() { done <- tc.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct")) }()
-	time.Sleep(2 * time.Millisecond)
-	tc.CrashServer(0)
-	tc.ClientSuspect("replica-0", true)
-	time.Sleep(2 * time.Millisecond)
-	tc.CrashServer(1)
-	tc.ClientSuspect("replica-1", true)
+	clk.Go(func() { done <- tc.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct")) })
+	clk.Go(func() {
+		clk.Sleep(2 * time.Millisecond)
+		tc.CrashServer(0)
+		tc.ClientSuspect("replica-0", true)
+		clk.Sleep(2 * time.Millisecond)
+		tc.CrashServer(1)
+		tc.ClientSuspect("replica-1", true)
+	})
 
 	select {
 	case v := <-done:
@@ -62,11 +65,14 @@ func TestSequenceWithSustainedFailures(t *testing.T) {
 func TestCTWithFalseSuspicion(t *testing.T) {
 	tc := newBankCluster(t, ClusterConfig{Replicas: 3, Seed: 33, Consensus: ConsensusCT})
 	tc.Env.SetFailures("debit", 1.0, 4, 0)
+	clk := tc.Clock()
 	done := make(chan action.Value, 1)
-	go func() { done <- tc.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct")) }()
-	time.Sleep(3 * time.Millisecond)
-	tc.Suspect("replica-1", "replica-0", true)
-	tc.Suspect("replica-2", "replica-0", true)
+	clk.Go(func() { done <- tc.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct")) })
+	clk.Go(func() {
+		clk.Sleep(3 * time.Millisecond)
+		tc.Suspect("replica-1", "replica-0", true)
+		tc.Suspect("replica-2", "replica-0", true)
+	})
 	select {
 	case v := <-done:
 		if v != "debited" {
@@ -86,8 +92,9 @@ func TestSuspicionStormStaysExactlyOnce(t *testing.T) {
 	tc := newBankCluster(t, ClusterConfig{Replicas: 3, Seed: 34})
 	tc.Env.SetFailures("debit", 0.8, 12, 0.3)
 
+	clk := tc.Clock()
 	stop := make(chan struct{})
-	go func() {
+	clk.Go(func() {
 		// Rotate false suspicions of whichever replica owns the request.
 		targets := []string{"replica-0", "replica-1", "replica-2"}
 		i := 0
@@ -99,12 +106,12 @@ func TestSuspicionStormStaysExactlyOnce(t *testing.T) {
 			}
 			target := simnet.ProcessID(targets[i%3])
 			tc.SuspectEverywhere(target, true)
-			time.Sleep(time.Millisecond)
+			clk.Sleep(time.Millisecond)
 			tc.SuspectEverywhere(target, false)
 			i++
-			time.Sleep(500 * time.Microsecond)
+			clk.Sleep(500 * time.Microsecond)
 		}
-	}()
+	})
 
 	for i := 0; i < 3; i++ {
 		if v := tc.Client.SubmitUntilSuccess(action.NewRequest("debit", "acct")); v != "debited" {

@@ -81,7 +81,27 @@ func (e Event) Equal(o Event) bool {
 // Key returns a canonical comparable key for the event's formal identity,
 // suitable for memoization maps.
 func (e Event) Key() string {
-	return fmt.Sprintf("%s(%s,%s)", e.Type, e.Action, e.Value)
+	return string(e.appendKey(make([]byte, 0, len(e.Action)+len(e.Value)+4)))
+}
+
+// appendKey appends the event's Key to b. The checker builds keys on every
+// memo probe; appending into a caller-sized buffer keeps that off the
+// fmt/alloc path.
+func (e Event) appendKey(b []byte) []byte {
+	switch e.Type {
+	case Start:
+		b = append(b, 'S')
+	case Complete:
+		b = append(b, 'C')
+	default:
+		b = append(b, e.Type.String()...)
+	}
+	b = append(b, '(')
+	b = append(b, e.Action...)
+	b = append(b, ',')
+	b = append(b, e.Value...)
+	b = append(b, ')')
+	return b
 }
 
 // String renders the event in paper notation, e.g. "S(debit, acct=7)".
@@ -185,19 +205,25 @@ func (h History) Clone() History {
 }
 
 // Key returns a canonical string for the formal content of h, suitable for
-// memoization. Λ has key "Λ".
+// memoization. Λ has key "Λ". The key is assembled with one allocation:
+// history keys are the checker's memoization currency, built once per
+// explored rewrite.
 func (h History) Key() string {
 	if len(h) == 0 {
 		return "Λ"
 	}
-	var b strings.Builder
+	n := 0
+	for _, e := range h {
+		n += len(e.Action) + len(e.Value) + 6 // type marker + punctuation + separator
+	}
+	b := make([]byte, 0, n)
 	for i, e := range h {
 		if i > 0 {
-			b.WriteByte('·')
+			b = append(b, "·"...)
 		}
-		b.WriteString(e.Key())
+		b = e.appendKey(b)
 	}
-	return b.String()
+	return string(b)
 }
 
 // String renders h in paper notation: events separated by spaces, Λ for the

@@ -15,7 +15,9 @@
 // real detector over simnet: processes gossip heartbeats, a peer is
 // suspected when its heartbeat is overdue, and the timeout doubles after
 // each false suspicion, giving eventual accuracy once the timeout exceeds
-// the network's maximum delay.
+// the network's maximum delay. All heartbeat timing runs on the network's
+// clock, so under the default virtual clock detection latency costs no
+// wall time.
 package fd
 
 import (
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"xability/internal/simnet"
+	"xability/internal/vclock"
 )
 
 // Detector is the suspect() predicate of §5.3: Suspect(p) reports whether
@@ -70,10 +73,11 @@ type Heartbeat struct {
 	self     simnet.ProcessID
 	peers    []simnet.ProcessID
 	ep       *simnet.Endpoint
+	clk      vclock.Clock
 	interval time.Duration
 
 	mu       sync.Mutex
-	lastSeen map[simnet.ProcessID]time.Time
+	lastSeen map[simnet.ProcessID]time.Duration
 	timeout  map[simnet.ProcessID]time.Duration
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -103,12 +107,13 @@ func NewHeartbeat(self simnet.ProcessID, ep *simnet.Endpoint, peers []simnet.Pro
 		self:     self,
 		peers:    peers,
 		ep:       ep,
+		clk:      ep.Clock(),
 		interval: cfg.Interval,
-		lastSeen: make(map[simnet.ProcessID]time.Time),
+		lastSeen: make(map[simnet.ProcessID]time.Duration),
 		timeout:  make(map[simnet.ProcessID]time.Duration),
 		stop:     make(chan struct{}),
 	}
-	now := time.Now()
+	now := h.clk.Now()
 	for _, p := range peers {
 		h.lastSeen[p] = now
 		h.timeout[p] = 3 * cfg.Interval
@@ -116,10 +121,10 @@ func NewHeartbeat(self simnet.ProcessID, ep *simnet.Endpoint, peers []simnet.Pro
 	return h
 }
 
-// Start launches the heartbeat sender and receiver.
+// Start launches the heartbeat sender and receiver on the network clock.
 func (h *Heartbeat) Start() {
-	go h.sendLoop()
-	go h.recvLoop()
+	h.clk.Go(h.sendLoop)
+	h.clk.Go(h.recvLoop)
 }
 
 // Stop terminates the background goroutines.
@@ -127,27 +132,34 @@ func (h *Heartbeat) Stop() {
 	h.stopOnce.Do(func() { close(h.stop) })
 }
 
+func (h *Heartbeat) stopped() bool {
+	select {
+	case <-h.stop:
+		return true
+	default:
+		return false
+	}
+}
+
 func (h *Heartbeat) sendLoop() {
-	t := time.NewTicker(h.interval)
-	defer t.Stop()
+	// The first beat lands after interval plus a per-process phase offset;
+	// later beats follow every interval, like the ticker they replace.
+	h.clk.Sleep(h.interval + vclock.Stagger(string(h.self), h.interval/4+1))
 	for {
-		select {
-		case <-h.stop:
+		if h.stopped() {
 			return
-		case <-t.C:
-			for _, p := range h.peers {
-				h.ep.Send(FDEndpoint(p), "heartbeat", h.self)
-			}
 		}
+		for _, p := range h.peers {
+			h.ep.Send(FDEndpoint(p), "heartbeat", h.self)
+		}
+		h.clk.Sleep(h.interval)
 	}
 }
 
 func (h *Heartbeat) recvLoop() {
 	for {
-		select {
-		case <-h.stop:
+		if h.stopped() {
 			return
-		default:
 		}
 		msg, ok := h.ep.Recv()
 		if !ok {
@@ -157,24 +169,26 @@ func (h *Heartbeat) recvLoop() {
 			continue
 		}
 		from, _ := msg.Payload.(simnet.ProcessID)
+		now := h.clk.Now()
 		h.mu.Lock()
 		// A heartbeat from a previously suspected process proves the
 		// suspicion false: double its timeout (eventual strong accuracy).
-		if time.Since(h.lastSeen[from]) > h.timeout[from] {
+		if now-h.lastSeen[from] > h.timeout[from] {
 			h.timeout[from] *= 2
 		}
-		h.lastSeen[from] = time.Now()
+		h.lastSeen[from] = now
 		h.mu.Unlock()
 	}
 }
 
 // Suspect implements Detector: true when the peer's heartbeat is overdue.
 func (h *Heartbeat) Suspect(p simnet.ProcessID) bool {
+	now := h.clk.Now()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	last, ok := h.lastSeen[p]
 	if !ok {
 		return false
 	}
-	return time.Since(last) > h.timeout[p]
+	return now-last > h.timeout[p]
 }

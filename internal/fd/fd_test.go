@@ -110,10 +110,19 @@ func TestHeartbeatAdaptiveTimeout(t *testing.T) {
 	for time.Now().Before(deadline) {
 		hbA.mu.Lock()
 		after := hbA.timeout["b"]
+		last := hbA.lastSeen["b"]
 		hbA.mu.Unlock()
 		if after > before {
-			if hbA.Suspect("b") {
-				t.Error("suspicion should clear after the heartbeat arrives")
+			// The late heartbeat proved the suspicion false: the timeout
+			// doubled and b's freshness was re-established. b stays silent
+			// afterwards, so the suspicion legitimately returns once the
+			// doubled timeout elapses — on the virtual clock that can be
+			// almost immediately in wall terms, so instead of asserting
+			// "not suspected" at a racing instant, pin the predicate: a
+			// suspicion may only be reported once the doubled timeout has
+			// actually elapsed past the refreshed lastSeen.
+			if hbA.Suspect("b") && hbA.clk.Now()-last <= after {
+				t.Error("suspected b while its refreshed heartbeat was still within the adapted timeout")
 			}
 			return
 		}

@@ -156,18 +156,18 @@ func (n *Normalizer) cancelOnce(h event.History) (event.History, bool) {
 		if l < 0 {
 			continue
 		}
-		remove := map[int]bool{i: true, m: true, l: true}
+		remove := rm(i, m, l)
 		// Absorb the attempt's completion, if it completed (free ov).
 		for j := i + 1; j < l; j++ {
 			if h[j].Type == event.Complete && h[j].Action == au {
-				remove[j] = true
+				remove = rm(i, m, l, j)
 				break
 			}
 		}
 		// (aᶜ,iv) ∉ h′: the junk must not contain the commit's start.
 		clean := true
 		for x := i; x <= l; x++ {
-			if !remove[x] && h[x].Type == event.Start && h[x].Action == commitName && h[x].Value == iv {
+			if !remove.has(x) && h[x].Type == event.Start && h[x].Action == commitName && h[x].Value == iv {
 				clean = false
 				break
 			}
@@ -211,10 +211,10 @@ func (n *Normalizer) cancelOnce(h event.History) (event.History, bool) {
 			continue
 		}
 		commitName := action.Commit(au)
-		remove := map[int]bool{m: true, l: true}
+		remove := rm(m, l)
 		clean := true
 		for x := m; x <= l; x++ {
-			if !remove[x] && h[x].Type == event.Start && h[x].Action == commitName && h[x].Value == iv {
+			if !remove.has(x) && h[x].Type == event.Start && h[x].Action == commitName && h[x].Value == iv {
 				clean = false
 				break
 			}
@@ -276,12 +276,12 @@ func (n *Normalizer) dedupOnce(h event.History) (event.History, bool) {
 		if isCommit {
 			rule = Rule20
 		}
-		commitClean := func(ws, we int, remove map[int]bool) bool {
+		commitClean := func(ws, we int, remove removeSet) bool {
 			if !isCommit {
 				return true
 			}
 			for x := ws; x <= we; x++ {
-				if !remove[x] && h[x].Type == event.Start && h[x].Action == base && h[x].Value == iv {
+				if !remove.has(x) && h[x].Type == event.Start && h[x].Action == base && h[x].Value == iv {
 					return false
 				}
 			}
@@ -303,7 +303,7 @@ func (n *Normalizer) dedupOnce(h event.History) (event.History, bool) {
 						if k == j || !h[k].Equal(event.S(a, iv)) {
 							continue
 						}
-						remove := map[int]bool{i: true, j: true, k: true, l: true}
+						remove := rm(i, j, k, l)
 						if !commitClean(i, l, remove) {
 							continue
 						}
@@ -325,7 +325,7 @@ func (n *Normalizer) dedupOnce(h event.History) (event.History, bool) {
 					if h[l].Type != event.Complete || h[l].Action != a {
 						continue
 					}
-					remove := map[int]bool{i: true, k: true, l: true}
+					remove := rm(i, k, l)
 					if !commitClean(i, l, remove) {
 						break
 					}
@@ -384,7 +384,7 @@ func (n *Normalizer) compact(h event.History) event.History {
 					continue
 				}
 			}
-			remove := map[int]bool{k: true, l: true}
+			remove := rm(k, l)
 			out := spliceAbsorb(h, k, l, remove, a, iv, ov)
 			rule := Rule18
 			if isCommit {
@@ -402,13 +402,16 @@ func (n *Normalizer) compact(h event.History) event.History {
 
 // splice removes the events marked in remove from the window [ws..we],
 // keeping everything else in place.
-func splice(h event.History, ws, we int, remove map[int]bool) event.History {
+func splice(h event.History, ws, we int, remove removeSet) event.History {
 	out := make(event.History, 0, len(h)-len(remove))
 	out = append(out, h[:ws]...)
+	ri := 0
 	for x := ws; x <= we; x++ {
-		if !remove[x] {
-			out = append(out, h[x])
+		if ri < len(remove) && remove[ri] == x {
+			ri++
+			continue
 		}
+		out = append(out, h[x])
 	}
 	out = append(out, h[we+1:]...)
 	return out

@@ -71,16 +71,46 @@ func Steps(reg *action.Registry, h event.History) []Step {
 	return out
 }
 
+// removeSet is a small ascending set of history indices slated for removal
+// by one rewrite. Every rule instance removes at most four events, so a
+// sorted slice replaces the map the rewriting loops would otherwise
+// allocate per candidate — the checker's hottest allocation site.
+type removeSet []int
+
+// rm builds a removeSet from at most a handful of indices (sorted here; the
+// callers' index variables carry no order guarantee).
+func rm(idx ...int) removeSet {
+	for i := 1; i < len(idx); i++ { // insertion sort: len ≤ 4
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return removeSet(idx)
+}
+
+// has reports membership.
+func (r removeSet) has(i int) bool {
+	for _, x := range r {
+		if x >= i {
+			return x == i
+		}
+	}
+	return false
+}
+
 // spliceAbsorb builds the result of an absorption rewrite (rules 18/20):
 // the window h[ws:we+1] is replaced by junk • S(a,iv) C(a,ov), where junk is
 // the window minus the events at the removed and success indices.
-func spliceAbsorb(h event.History, ws, we int, remove map[int]bool, a action.Name, iv, ov action.Value) event.History {
+func spliceAbsorb(h event.History, ws, we int, remove removeSet, a action.Name, iv, ov action.Value) event.History {
 	out := make(event.History, 0, len(h)-len(remove)+2)
 	out = append(out, h[:ws]...)
+	ri := 0
 	for i := ws; i <= we; i++ {
-		if !remove[i] {
-			out = append(out, h[i])
+		if ri < len(remove) && remove[ri] == i {
+			ri++
+			continue
 		}
+		out = append(out, h[i])
 	}
 	out = append(out, event.S(a, iv), event.C(a, ov))
 	out = append(out, h[we+1:]...)
@@ -140,8 +170,8 @@ func stepsRule18and20(reg *action.Registry, h event.History, add func(Step)) {
 			// Case Λ: the ?-part matches the empty history. Window [ws..l]
 			// for any ws ≤ k; the rewrite reorders junk before the pair.
 			for ws := 0; ws <= k; ws++ {
-				remove := map[int]bool{k: true, l: true}
-				junkHas := func(i int) bool { return i >= ws && i <= l && !remove[i] }
+				remove := rm(k, l)
+				junkHas := func(i int) bool { return i >= ws && i <= l && !remove.has(i) }
 				if commitConflict(junkHas) {
 					continue
 				}
@@ -159,8 +189,8 @@ func stepsRule18and20(reg *action.Registry, h event.History, add func(Step)) {
 					continue
 				}
 				// Attempt start only.
-				remove := map[int]bool{i: true, k: true, l: true}
-				junkHas := func(x int) bool { return x >= i && x <= l && !remove[x] }
+				remove := rm(i, k, l)
+				junkHas := func(x int) bool { return x >= i && x <= l && !remove.has(x) }
 				if !commitConflict(junkHas) {
 					add(Step{
 						Rule:   rule,
@@ -175,8 +205,8 @@ func stepsRule18and20(reg *action.Registry, h event.History, add func(Step)) {
 					if j == k || !h[j].Equal(event.C(a, ov)) {
 						continue
 					}
-					remove := map[int]bool{i: true, j: true, k: true, l: true}
-					junkHas := func(x int) bool { return x >= i && x <= l && !remove[x] }
+					remove := rm(i, j, k, l)
+					junkHas := func(x int) bool { return x >= i && x <= l && !remove.has(x) }
 					if commitConflict(junkHas) {
 						continue
 					}
@@ -228,9 +258,9 @@ func stepsRule19(reg *action.Registry, h event.History, add func(Step)) {
 				}
 				return true
 			}
-			junkClean := func(ws int, remove map[int]bool) bool {
+			junkClean := func(ws int, remove removeSet) bool {
 				for x := ws; x <= l; x++ {
-					if remove[x] {
+					if remove.has(x) {
 						continue
 					}
 					if h[x].Type == event.Start && h[x].Action == commitName && h[x].Value == iv {
@@ -239,13 +269,16 @@ func stepsRule19(reg *action.Registry, h event.History, add func(Step)) {
 				}
 				return true
 			}
-			splice := func(ws int, remove map[int]bool) event.History {
+			splice := func(ws int, remove removeSet) event.History {
 				out := make(event.History, 0, len(h)-len(remove))
 				out = append(out, h[:ws]...)
+				ri := 0
 				for x := ws; x <= l; x++ {
-					if !remove[x] {
-						out = append(out, h[x])
+					if ri < len(remove) && remove[ri] == x {
+						ri++
+						continue
 					}
+					out = append(out, h[x])
 				}
 				out = append(out, h[l+1:]...)
 				return out
@@ -257,7 +290,7 @@ func stepsRule19(reg *action.Registry, h event.History, add func(Step)) {
 				if !noPriorAttempt(ws) {
 					continue
 				}
-				remove := map[int]bool{m: true, l: true}
+				remove := rm(m, l)
 				if !junkClean(ws, remove) {
 					continue
 				}
@@ -277,7 +310,7 @@ func stepsRule19(reg *action.Registry, h event.History, add func(Step)) {
 					continue
 				}
 				// Attempt start only.
-				remove := map[int]bool{i: true, m: true, l: true}
+				remove := rm(i, m, l)
 				if junkClean(i, remove) {
 					add(Step{
 						Rule:   Rule19,
@@ -291,7 +324,7 @@ func stepsRule19(reg *action.Registry, h event.History, add func(Step)) {
 					if j == m || !(h[j].Type == event.Complete && h[j].Action == au) {
 						continue
 					}
-					remove := map[int]bool{i: true, j: true, m: true, l: true}
+					remove := rm(i, j, m, l)
 					if !junkClean(i, remove) {
 						continue
 					}

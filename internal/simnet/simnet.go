@@ -9,6 +9,13 @@
 //     an independent random delay drawn from a seeded generator, which is
 //     what makes the system asynchronous.
 //
+// Delays are measured on the network's clock (internal/vclock). By default
+// that clock is virtual: deliveries are entries in a discrete-event queue,
+// the simulation advances to the next pending deadline whenever every
+// participating goroutine is blocked, and a run's wall-clock cost is the
+// CPU it burns, not the delays it simulates. Passing vclock.NewReal() in
+// Config.Clock restores wall-clock behavior.
+//
 // The network also keeps per-process send counters so experiments can
 // report message complexity.
 package simnet
@@ -18,6 +25,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"xability/internal/vclock"
 )
 
 // ProcessID names a process on the network.
@@ -39,19 +48,25 @@ type Config struct {
 	// send sequences see equal delays.
 	Seed int64
 	// MinDelay and MaxDelay bound the uniform per-message delay. Zero
-	// values mean immediate handoff (still asynchronous: delivery happens
-	// on a separate goroutine).
+	// values mean immediate handoff (still asynchronous: delivery is a
+	// separate scheduled event).
 	MinDelay, MaxDelay time.Duration
+	// Clock supplies the network's notion of time. Nil selects a fresh
+	// virtual clock (vclock.NewVirtual); pass vclock.NewReal() for
+	// wall-clock delays.
+	Clock vclock.Clock
 }
 
 // Network connects endpoints. Create with New, then Register each process.
 type Network struct {
 	cfg Config
+	clk vclock.Clock
 
 	mu        sync.Mutex
 	idle      *sync.Cond // signaled when inflight returns to zero
 	rng       *rand.Rand
 	endpoints map[ProcessID]*Endpoint
+	order     []ProcessID // registration order, for deterministic iteration
 	crashed   map[ProcessID]bool
 	sent      map[ProcessID]int
 	inflight  int
@@ -60,8 +75,13 @@ type Network struct {
 
 // New returns an empty network.
 func New(cfg Config) *Network {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = vclock.NewVirtual()
+	}
 	n := &Network{
 		cfg:       cfg,
+		clk:       clk,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		endpoints: make(map[ProcessID]*Endpoint),
 		crashed:   make(map[ProcessID]bool),
@@ -71,6 +91,12 @@ func New(cfg Config) *Network {
 	return n
 }
 
+// Clock returns the network's clock. Components that live on the network
+// (failure detectors, servers, clients) take their time from here, so one
+// Config.Clock choice switches the whole deployment between virtual and
+// real time.
+func (n *Network) Clock() vclock.Clock { return n.clk }
+
 // Endpoint is one process's attachment to the network: an unbounded mailbox
 // with blocking receive.
 type Endpoint struct {
@@ -78,7 +104,7 @@ type Endpoint struct {
 	net *Network
 
 	mu     sync.Mutex
-	cond   *sync.Cond
+	cond   vclock.Cond
 	queue  []Message
 	closed bool
 }
@@ -92,8 +118,9 @@ func (n *Network) Register(id ProcessID) *Endpoint {
 		panic(fmt.Sprintf("simnet: duplicate process %q", id))
 	}
 	ep := &Endpoint{id: id, net: n}
-	ep.cond = sync.NewCond(&ep.mu)
+	ep.cond = n.clk.NewCond(&ep.mu)
 	n.endpoints[id] = ep
+	n.order = append(n.order, id)
 	return ep
 }
 
@@ -121,15 +148,13 @@ func (n *Network) Crashed(id ProcessID) bool {
 	return n.crashed[id]
 }
 
-// Processes returns the registered process IDs.
+// Processes returns the registered process IDs in registration order. The
+// fixed order keeps broadcasts — and with them the seeded delay draws —
+// deterministic across runs.
 func (n *Network) Processes() []ProcessID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]ProcessID, 0, len(n.endpoints))
-	for id := range n.endpoints {
-		out = append(out, id)
-	}
-	return out
+	return append([]ProcessID(nil), n.order...)
 }
 
 // SentBy reports how many messages a process has sent.
@@ -151,19 +176,27 @@ func (n *Network) TotalSent() int {
 }
 
 // Quiesce blocks until all in-flight deliveries have settled. Useful at the
-// end of a scenario before reading counters.
+// end of a scenario before reading counters. Safe from goroutines attached
+// to the clock and from external (test) goroutines alike.
 func (n *Network) Quiesce() {
-	n.mu.Lock()
-	for n.inflight > 0 {
-		n.idle.Wait()
-	}
-	n.mu.Unlock()
+	n.clk.Detached(func() {
+		n.mu.Lock()
+		for n.inflight > 0 {
+			n.idle.Wait()
+		}
+		n.mu.Unlock()
+	})
 }
 
 // Send transmits a message. Sends from or to crashed processes are silently
 // dropped (a crashed process does nothing; messages to a crashed process
-// can never be received). Delivery happens asynchronously after a random
-// delay.
+// can never be received). Delivery is scheduled on the network clock after
+// a seeded random delay; the delivery's heap position is fixed at send
+// time. Schedule determinism therefore reduces to send-order determinism:
+// the virtual clock wakes one event at a time, and the brief windows where
+// two protocol goroutines are runnable at once (a spawn returning to Recv,
+// a broadcast waking several waiters) do not themselves send, which the
+// determinism regression test pins for the protocol paths.
 func (e *Endpoint) Send(to ProcessID, typ string, payload any) {
 	n := e.net
 	n.mu.Lock()
@@ -187,31 +220,28 @@ func (e *Endpoint) Send(to ProcessID, typ string, payload any) {
 	n.inflight++
 	n.mu.Unlock()
 
-	go func() {
-		defer func() {
-			n.mu.Lock()
-			n.inflight--
-			if n.inflight == 0 {
-				n.idle.Broadcast()
-			}
-			n.mu.Unlock()
-		}()
-		if delay > 0 {
-			time.Sleep(delay)
-		}
-		n.mu.Lock()
-		dead := n.crashed[to] || n.closed
-		n.mu.Unlock()
-		if dead {
-			return
-		}
+	n.clk.GoAfter(delay, func() { n.deliver(dst, msg) })
+}
+
+// deliver completes one scheduled delivery.
+func (n *Network) deliver(dst *Endpoint, msg Message) {
+	n.mu.Lock()
+	dead := n.crashed[msg.To] || n.closed
+	n.mu.Unlock()
+	if !dead {
 		dst.mu.Lock()
 		if !dst.closed {
 			dst.queue = append(dst.queue, msg)
 			dst.cond.Broadcast()
 		}
 		dst.mu.Unlock()
-	}()
+	}
+	n.mu.Lock()
+	n.inflight--
+	if n.inflight == 0 {
+		n.idle.Broadcast()
+	}
+	n.mu.Unlock()
 }
 
 // Broadcast sends the message to every registered process except the
@@ -228,6 +258,9 @@ func (e *Endpoint) Broadcast(typ string, payload any) {
 // endpoint's process has crashed (or the network shut down), after which no
 // further messages will ever arrive.
 func (e *Endpoint) Recv() (Message, bool) {
+	clk := e.net.clk
+	clk.Enter()
+	defer clk.Exit()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for len(e.queue) == 0 && !e.closed {
@@ -253,8 +286,35 @@ func (e *Endpoint) TryRecv() (Message, bool) {
 	return m, true
 }
 
+// Wait blocks until the mailbox is non-empty, the endpoint is closed, or d
+// has elapsed on the network clock, whichever comes first. Await loops use
+// it to sleep event-driven between polls: a delivery wakes the waiter
+// immediately instead of costing a full poll period.
+func (e *Endpoint) Wait(d time.Duration) {
+	clk := e.net.clk
+	clk.Enter()
+	defer clk.Exit()
+	e.mu.Lock()
+	if len(e.queue) == 0 && !e.closed {
+		e.cond.WaitTimeout(d)
+	}
+	e.mu.Unlock()
+}
+
+// Closed reports whether the endpoint can no longer receive: its process
+// crashed or the network shut down. Await loops check it to avoid spinning
+// on a mailbox that will never fill again.
+func (e *Endpoint) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
 // ID returns the endpoint's process ID.
 func (e *Endpoint) ID() ProcessID { return e.id }
+
+// Clock returns the network clock this endpoint lives on.
+func (e *Endpoint) Clock() vclock.Clock { return e.net.clk }
 
 // Close shuts the whole network down, unblocking all receivers. Intended
 // for the end of a run.

@@ -1,0 +1,453 @@
+package vclock
+
+import (
+	"container/heap"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the simulation. Two implementations exist:
+//
+//   - Virtual (the default): a discrete-event scheduler. Time is a counter
+//     that jumps to the next scheduled deadline whenever every attached
+//     goroutine is blocked in a clock primitive. Sleeping costs no wall
+//     time; a run is limited by CPU, not by the durations it simulates.
+//   - Real: delegates to package time. Durations mean wall-clock time.
+//
+// The virtual clock tracks a set of *attached* goroutines — those whose
+// runnability it may rely on. Attachment is reference-counted per goroutine,
+// so nested Enter/Exit pairs and re-entrant public APIs compose. The clock
+// advances only when the number of attached, runnable goroutines reaches
+// zero; it then fires exactly one pending event (ordered by deadline, then
+// by scheduling sequence), wakes its owner, and waits for quiescence again.
+// Event execution is therefore serialized, which is what makes runs with
+// equal seeds reproduce equal schedules.
+type Clock interface {
+	// Now returns the time elapsed since the clock started.
+	Now() time.Duration
+	// Sleep blocks for d. It attaches the calling goroutine for the
+	// duration of the call, so it is safe from any goroutine.
+	Sleep(d time.Duration)
+	// Go runs fn on a new goroutine attached to the clock. The goroutine
+	// counts as runnable from before Go returns until fn returns, except
+	// while it is blocked in a clock primitive.
+	Go(fn func())
+	// GoAfter schedules fn to run on a new attached goroutine after d.
+	// The event's position in the schedule is fixed at call time.
+	GoAfter(d time.Duration, fn func())
+	// Enter attaches the calling goroutine (reference-counted); Exit
+	// undoes one Enter. Public blocking APIs built on the clock wrap
+	// themselves in Enter/Exit so that any caller composes correctly.
+	Enter()
+	Exit()
+	// Detached runs fn with the calling goroutine's attachment (if any)
+	// released: use it around waits on synchronization that the clock
+	// does not manage, so virtual time can advance meanwhile.
+	Detached(fn func())
+	// NewCond returns a condition variable integrated with the clock:
+	// waiting releases the caller's runnability so virtual time can
+	// advance, and timed waits use clock time.
+	NewCond(l sync.Locker) Cond
+}
+
+// Cond is a sync.Cond-shaped condition variable whose waits the clock
+// understands. Wait and WaitTimeout must be called with l held, as with
+// sync.Cond; both are restricted to goroutines attached to the clock.
+type Cond interface {
+	// Wait releases l, blocks until Broadcast, and re-acquires l.
+	Wait()
+	// WaitTimeout is Wait with a deadline d from now. It reports whether
+	// the caller was woken by Broadcast (false: the timeout elapsed).
+	WaitTimeout(d time.Duration) bool
+	// Broadcast wakes all current waiters. The caller may hold l or not.
+	Broadcast()
+}
+
+// Stagger derives a deterministic phase offset in [0, span) from a name.
+// Symmetric periodic loops (heartbeat senders, server cleaners) offset
+// their first deadline by it so equal-period peers never share a virtual
+// deadline — the deterministic schedule then never has to tie-break
+// between them.
+func Stagger(name string, span time.Duration) time.Duration {
+	if span <= 0 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return time.Duration(h.Sum32()) % span
+}
+
+// goid returns the current goroutine's ID, parsed from the runtime stack
+// header ("goroutine N [running]:"). The Go runtime never reuses IDs.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	var id uint64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// vevent is one pending entry in the virtual schedule: either a waiter to
+// wake (w) or a callback to spawn (fn).
+type vevent struct {
+	at  time.Duration
+	seq uint64
+	w   *waiter
+	fn  func()
+}
+
+type eventHeap []*vevent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*vevent)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; old[n-1] = nil; *h = old[:n-1]; return x }
+
+// waiter is one blocked goroutine (or timed cond wait). fired guards
+// against double wake-up when a waiter has both a broadcast and a timer.
+type waiter struct {
+	ch       chan struct{}
+	fired    bool
+	timedOut bool
+	cond     *vcond // set for cond waiters, for list cleanup on timeout
+}
+
+type gent struct{ depth int }
+
+// Virtual is the discrete-event clock. Create with NewVirtual.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Duration
+	seq    uint64
+	busy   int // attached goroutines not blocked in a clock primitive
+	pq     eventHeap
+	ledger map[uint64]*gent // goroutine ID → attachment depth
+}
+
+// NewVirtual returns a virtual clock at time zero.
+func NewVirtual() *Virtual {
+	return &Virtual{ledger: make(map[uint64]*gent)}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+func (v *Virtual) pushLocked(at time.Duration, w *waiter, fn func()) {
+	v.seq++
+	heap.Push(&v.pq, &vevent{at: at, seq: v.seq, w: w, fn: fn})
+}
+
+// addBusyLocked adjusts the runnable count; on quiescence it advances time.
+func (v *Virtual) addBusyLocked(d int) {
+	v.busy += d
+	if v.busy < 0 {
+		panic("vclock: blocking call from a goroutine not attached to the clock (missing Enter or Go)")
+	}
+	if v.busy == 0 {
+		v.pumpLocked()
+	}
+}
+
+// pumpLocked fires the next pending event: it advances now to the event's
+// deadline, marks its owner runnable, and wakes it. Exactly one runnable
+// goroutine results, so event execution is serialized and deterministic.
+func (v *Virtual) pumpLocked() {
+	for v.busy == 0 && len(v.pq) > 0 {
+		ev := heap.Pop(&v.pq).(*vevent)
+		if ev.w != nil && ev.w.fired {
+			continue // already woken by a broadcast
+		}
+		if ev.at > v.now {
+			v.now = ev.at
+		}
+		v.busy++
+		if ev.fn != nil {
+			go v.runAdopted(ev.fn)
+			return
+		}
+		ev.w.fired = true
+		ev.w.timedOut = true
+		if ev.w.cond != nil {
+			ev.w.cond.removeLocked(ev.w)
+		}
+		close(ev.w.ch)
+		return
+	}
+}
+
+// runAdopted runs fn on the calling (fresh) goroutine with a ledger entry;
+// the runnability unit was already added by the spawner.
+func (v *Virtual) runAdopted(fn func()) {
+	id := goid()
+	v.mu.Lock()
+	v.ledger[id] = &gent{depth: 1}
+	v.mu.Unlock()
+	defer func() {
+		v.mu.Lock()
+		g := v.ledger[id]
+		g.depth--
+		if g.depth == 0 {
+			delete(v.ledger, id)
+			v.addBusyLocked(-1)
+		}
+		v.mu.Unlock()
+	}()
+	fn()
+}
+
+// Enter implements Clock.
+func (v *Virtual) Enter() {
+	id := goid()
+	v.mu.Lock()
+	g := v.ledger[id]
+	if g == nil {
+		g = &gent{}
+		v.ledger[id] = g
+	}
+	g.depth++
+	if g.depth == 1 {
+		v.busy++
+	}
+	v.mu.Unlock()
+}
+
+// Exit implements Clock.
+func (v *Virtual) Exit() {
+	id := goid()
+	v.mu.Lock()
+	g := v.ledger[id]
+	if g == nil || g.depth == 0 {
+		v.mu.Unlock()
+		panic("vclock: Exit without matching Enter")
+	}
+	g.depth--
+	if g.depth == 0 {
+		delete(v.ledger, id)
+		v.addBusyLocked(-1)
+	}
+	v.mu.Unlock()
+}
+
+// Detached implements Clock.
+func (v *Virtual) Detached(fn func()) {
+	id := goid()
+	v.mu.Lock()
+	g := v.ledger[id]
+	attached := g != nil && g.depth > 0
+	if attached {
+		v.addBusyLocked(-1)
+	}
+	v.mu.Unlock()
+	defer func() {
+		if attached {
+			v.mu.Lock()
+			v.busy++
+			v.mu.Unlock()
+		}
+	}()
+	fn()
+}
+
+// Sleep implements Clock.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	v.Enter()
+	w := &waiter{ch: make(chan struct{})}
+	v.mu.Lock()
+	v.pushLocked(v.now+d, w, nil)
+	v.addBusyLocked(-1)
+	v.mu.Unlock()
+	<-w.ch
+	v.Exit()
+}
+
+// Go implements Clock. The runnability unit is added before Go returns, so
+// the schedule cannot advance past the spawn.
+func (v *Virtual) Go(fn func()) {
+	v.mu.Lock()
+	v.busy++
+	v.mu.Unlock()
+	go v.runAdopted(fn)
+}
+
+// GoAfter implements Clock.
+func (v *Virtual) GoAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	v.pushLocked(v.now+d, nil, fn)
+	if v.busy == 0 {
+		v.pumpLocked()
+	}
+	v.mu.Unlock()
+}
+
+// NewCond implements Clock.
+func (v *Virtual) NewCond(l sync.Locker) Cond {
+	return &vcond{v: v, l: l}
+}
+
+// vcond is the virtual-clock condition variable. The waiter list is guarded
+// by the clock mutex, which is always acquired after the user lock l —
+// never the reverse — so the pair cannot deadlock.
+type vcond struct {
+	v       *Virtual
+	l       sync.Locker
+	waiters []*waiter
+}
+
+func (c *vcond) Wait() { c.wait(-1) }
+
+func (c *vcond) WaitTimeout(d time.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	return c.wait(d)
+}
+
+func (c *vcond) wait(d time.Duration) bool {
+	v := c.v
+	w := &waiter{ch: make(chan struct{}), cond: c}
+	v.mu.Lock()
+	c.waiters = append(c.waiters, w)
+	if d >= 0 {
+		v.pushLocked(v.now+d, w, nil)
+	}
+	v.addBusyLocked(-1)
+	v.mu.Unlock()
+	c.l.Unlock()
+	<-w.ch
+	c.l.Lock()
+	return !w.timedOut
+}
+
+func (c *vcond) Broadcast() {
+	v := c.v
+	v.mu.Lock()
+	for _, w := range c.waiters {
+		if !w.fired {
+			w.fired = true
+			v.busy++
+			close(w.ch)
+		}
+	}
+	c.waiters = c.waiters[:0]
+	v.mu.Unlock()
+}
+
+// removeLocked drops a timed-out waiter from the list; callers hold v.mu.
+func (c *vcond) removeLocked(w *waiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Real is the wall-clock implementation. Create with NewReal.
+type Real struct {
+	epoch time.Time
+}
+
+// NewReal returns a clock backed by package time.
+func NewReal() *Real { return &Real{epoch: time.Now()} }
+
+// Now implements Clock.
+func (r *Real) Now() time.Duration { return time.Since(r.epoch) }
+
+// Sleep implements Clock.
+func (r *Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Go implements Clock.
+func (r *Real) Go(fn func()) { go fn() }
+
+// GoAfter implements Clock.
+func (r *Real) GoAfter(d time.Duration, fn func()) {
+	go func() {
+		if d > 0 {
+			time.Sleep(d)
+		}
+		fn()
+	}()
+}
+
+// Enter implements Clock (no-op: real time advances on its own).
+func (r *Real) Enter() {}
+
+// Exit implements Clock.
+func (r *Real) Exit() {}
+
+// Detached implements Clock.
+func (r *Real) Detached(fn func()) { fn() }
+
+// NewCond implements Clock.
+func (r *Real) NewCond(l sync.Locker) Cond {
+	return &rcond{l: l, ch: make(chan struct{})}
+}
+
+// rcond implements Cond over real time with the closed-channel broadcast
+// idiom (sync.Cond has no timed wait).
+type rcond struct {
+	l  sync.Locker
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func (c *rcond) current() chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ch
+}
+
+func (c *rcond) Wait() {
+	ch := c.current()
+	c.l.Unlock()
+	<-ch
+	c.l.Lock()
+}
+
+func (c *rcond) WaitTimeout(d time.Duration) bool {
+	ch := c.current()
+	c.l.Unlock()
+	defer c.l.Lock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+func (c *rcond) Broadcast() {
+	c.mu.Lock()
+	close(c.ch)
+	c.ch = make(chan struct{})
+	c.mu.Unlock()
+}

@@ -1,0 +1,223 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualSleepAdvancesInstantly(t *testing.T) {
+	v := NewVirtual()
+	start := time.Now()
+	v.Sleep(10 * time.Second) // virtual: must not take wall time
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("virtual sleep took %v of wall time", wall)
+	}
+	if now := v.Now(); now != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", now)
+	}
+}
+
+func TestVirtualSleepOrdering(t *testing.T) {
+	v := NewVirtual()
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	// Spawn in an order unrelated to the deadlines; wake order must follow
+	// the deadlines.
+	for i, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		wg.Add(1)
+		i, d := i, d
+		v.Go(func() {
+			defer wg.Done()
+			v.Sleep(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	wg.Wait()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+	if v.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", v.Now())
+	}
+}
+
+func TestVirtualEqualDeadlinesFIFO(t *testing.T) {
+	v := NewVirtual()
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{})
+	// GoAfter fixes the sequence at call time: equal deadlines fire in
+	// scheduling order.
+	for i := 0; i < 5; i++ {
+		i := i
+		v.GoAfter(time.Millisecond, func() {
+			mu.Lock()
+			order = append(order, i)
+			if len(order) == 5 {
+				close(done)
+			}
+			mu.Unlock()
+		})
+	}
+	<-done
+	for i := 0; i < 5; i++ {
+		if order[i] != i {
+			t.Fatalf("fire order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestVirtualCondBroadcast(t *testing.T) {
+	v := NewVirtual()
+	var mu sync.Mutex
+	cond := v.NewCond(&mu)
+	ready := false
+	got := make(chan bool, 1)
+	v.Go(func() {
+		mu.Lock()
+		for !ready {
+			cond.Wait()
+		}
+		mu.Unlock()
+		got <- true
+	})
+	v.Go(func() {
+		v.Sleep(time.Millisecond)
+		mu.Lock()
+		ready = true
+		mu.Unlock()
+		cond.Broadcast()
+	})
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cond waiter never woke")
+	}
+}
+
+func TestVirtualCondWaitTimeout(t *testing.T) {
+	v := NewVirtual()
+	var mu sync.Mutex
+	cond := v.NewCond(&mu)
+	res := make(chan bool, 1)
+	v.Go(func() {
+		mu.Lock()
+		woken := cond.WaitTimeout(3 * time.Millisecond)
+		mu.Unlock()
+		res <- woken
+	})
+	if woken := <-res; woken {
+		t.Error("WaitTimeout with no broadcast reported a wake-up")
+	}
+	if v.Now() != 3*time.Millisecond {
+		t.Errorf("Now = %v, want 3ms (timeout advanced the clock)", v.Now())
+	}
+
+	// A broadcast before the deadline wins over the timer.
+	res2 := make(chan bool, 1)
+	v.Go(func() {
+		mu.Lock()
+		woken := cond.WaitTimeout(time.Hour)
+		mu.Unlock()
+		res2 <- woken
+	})
+	v.Go(func() {
+		v.Sleep(time.Millisecond)
+		cond.Broadcast()
+	})
+	if woken := <-res2; !woken {
+		t.Error("broadcast before deadline reported as timeout")
+	}
+	if v.Now() >= time.Hour {
+		t.Errorf("Now = %v: stale timer advanced the clock", v.Now())
+	}
+}
+
+func TestEnterExitNesting(t *testing.T) {
+	v := NewVirtual()
+	v.Enter()
+	v.Enter() // nested: public APIs wrap themselves, callers may too
+	v.Sleep(time.Millisecond)
+	v.Exit()
+	v.Exit()
+	if v.Now() != time.Millisecond {
+		t.Errorf("Now = %v", v.Now())
+	}
+}
+
+func TestDetachedAllowsAdvance(t *testing.T) {
+	v := NewVirtual()
+	fired := make(chan struct{})
+	v.GoAfter(time.Millisecond, func() { close(fired) })
+	v.Enter()
+	defer v.Exit()
+	// While attached and runnable, the event must not fire; Detached
+	// releases the unit so the clock can advance.
+	v.Detached(func() {
+		select {
+		case <-fired:
+		case <-time.After(5 * time.Second):
+			t.Error("event did not fire during Detached wait")
+		}
+	})
+}
+
+func TestDetachedUnattachedCaller(t *testing.T) {
+	v := NewVirtual()
+	ran := false
+	v.Detached(func() { ran = true }) // must be a no-op wrapper when unattached
+	if !ran {
+		t.Error("Detached skipped fn")
+	}
+}
+
+func TestRealClockSmoke(t *testing.T) {
+	r := NewReal()
+	r.Enter()
+	r.Exit()
+	r.Sleep(time.Millisecond)
+	if r.Now() < time.Millisecond {
+		t.Errorf("Now = %v", r.Now())
+	}
+	var mu sync.Mutex
+	cond := r.NewCond(&mu)
+	mu.Lock()
+	if woken := cond.WaitTimeout(time.Millisecond); woken {
+		t.Error("real WaitTimeout reported spurious wake")
+	}
+	mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		cond.Wait()
+		mu.Unlock()
+		close(done)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cond.Broadcast()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("real cond waiter never woke")
+	}
+}
+
+func TestGoAfterFromIdleClock(t *testing.T) {
+	// GoAfter while nothing is attached must still fire (the push pumps).
+	v := NewVirtual()
+	done := make(chan struct{})
+	v.GoAfter(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle-clock GoAfter never fired")
+	}
+}

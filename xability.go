@@ -50,6 +50,7 @@ import (
 	"xability/internal/reduce"
 	"xability/internal/sm"
 	"xability/internal/trace"
+	"xability/internal/vclock"
 	"xability/internal/verify"
 )
 
@@ -153,7 +154,20 @@ type (
 	ServiceConfig = core.ClusterConfig
 	// Service is a running replicated service with its client stub.
 	Service struct{ cluster *core.Cluster }
+	// Clock is the service's notion of time (internal/vclock): virtual by
+	// default, so simulated delays cost CPU instead of wall time and equal
+	// seeds reproduce equal schedules. Set ServiceConfig.Net.Clock to
+	// RealClock() for wall-clock behavior.
+	Clock = vclock.Clock
 )
+
+// VirtualClock returns a fresh discrete-event clock — the default a service
+// creates for itself when ServiceConfig.Net.Clock is nil.
+func VirtualClock() Clock { return vclock.NewVirtual() }
+
+// RealClock returns a wall-clock-backed Clock for runs that should take
+// real time (demos, latency studies against the host timer).
+func RealClock() Clock { return vclock.NewReal() }
 
 // Consensus and detector substrate selectors.
 const (
@@ -197,6 +211,11 @@ func (s *Service) Attempts() int { return s.cluster.Client.Attempts() }
 // Cluster exposes the underlying cluster for advanced scenarios (fault
 // injection, per-replica access).
 func (s *Service) Cluster() *core.Cluster { return s.cluster }
+
+// Clock returns the service's clock. Schedule fault injection on it
+// (Clock().Go with Clock().Sleep) so scenarios land at fixed points of
+// simulated time regardless of host speed.
+func (s *Service) Clock() Clock { return s.cluster.Clock() }
 
 // Verify checks the service's run so far against R2–R4.
 func (s *Service) Verify(reg *Registry) Report {
