@@ -16,18 +16,34 @@ import (
 	"xability/internal/core"
 	"xability/internal/exper"
 	"xability/internal/reduce"
+	"xability/internal/scenario"
 	"xability/internal/simnet"
 	"xability/internal/workload"
 )
 
 // BenchmarkT1VerdictMatrix regenerates Table T1 (claim E7): x-ability
-// verdict and side-effect audit for the x-ability protocol and the two
-// baselines across nice and failover runs.
+// verdict and side-effect audit for the x-ability protocol (nice, crash
+// failover, partition, delay storm) and the two baselines.
 func BenchmarkT1VerdictMatrix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows := exper.TableT1(int64(i + 1))
-		if len(rows) != 5 {
+		if len(rows) != 7 {
 			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkT7Sweep measures the seed-sweep runner: 64 crash-failover
+// schedules per iteration, folded into a verdict distribution.
+func BenchmarkT7Sweep(b *testing.B) {
+	sc, ok := scenario.Get("crash-failover")
+	if !ok {
+		b.Fatal("crash-failover not registered")
+	}
+	for i := 0; i < b.N; i++ {
+		d := scenario.Sweep(sc, scenario.Seeds(int64(i*64+1), 64), 0)
+		if d.XAbleRate() != 1.0 {
+			b.Fatalf("x-able rate %.4f; failing %v", d.XAbleRate(), d.Failing)
 		}
 	}
 }

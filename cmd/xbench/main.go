@@ -1,6 +1,7 @@
 // Command xbench regenerates the experiment tables of EXPERIMENTS.md
-// (T1–T4, T6; T5 is produced by examples/threetier). Each table validates
-// one of the paper's claims — see DESIGN.md §3 for the claim-to-table map.
+// (T1–T4, T6, T7; T5 is produced by examples/threetier). Each table
+// validates one of the paper's claims — see DESIGN.md §3 for the
+// claim-to-table map.
 package main
 
 import (
@@ -14,10 +15,12 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 1, "base seed for all experiments")
-		tables = flag.String("tables", "1,2,3,4,6", "comma-separated table numbers to run")
-		reqs   = flag.Int("requests", 20, "requests per cost measurement (T3)")
-		insts  = flag.Int("instances", 50, "consensus instances (T4)")
+		seed    = flag.Int64("seed", 1, "base seed for all experiments")
+		tables  = flag.String("tables", "1,2,3,4,6,7", "comma-separated table numbers to run")
+		reqs    = flag.Int("requests", 20, "requests per cost measurement (T3)")
+		insts   = flag.Int("instances", 50, "consensus instances (T4)")
+		sweep   = flag.Int("sweep", 200, "seeds per scenario sweep (T7)")
+		workers = flag.Int("workers", 0, "parallel sweep workers (T7; 0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -67,6 +70,20 @@ func main() {
 		fmt.Printf("  %-10s %-6s %-8s %-12s %-8s\n", "requests", "dup", "events", "normalize", "x-able")
 		for _, r := range exper.TableT6() {
 			fmt.Printf("  %-10d %-6d %-8d %-12v %-8v\n", r.Requests, r.DupFactor, r.Events, r.Normalize, r.XAble)
+		}
+		fmt.Println()
+	}
+
+	if want["7"] {
+		fmt.Printf("T7 — verdict distributions over %d-seed sweeps (claims E7/E11 at scale)\n", *sweep)
+		for _, r := range exper.TableT7(*seed, *sweep, *workers) {
+			d := r.Dist
+			fmt.Printf("  %-16s x-able %.4f  replied %.4f  effects[1] %d/%d  mean attempts %.2f  mean msgs %.1f\n",
+				r.Scenario, d.XAbleRate(), d.RepliedRate(), d.Effects[1], d.Runs,
+				float64(d.Attempts)/float64(d.Runs), float64(d.Messages)/float64(d.Runs))
+			if len(d.Failing) > 0 {
+				fmt.Printf("  %-16s failing seeds: %v\n", "", d.Failing)
+			}
 		}
 		fmt.Println()
 	}

@@ -1,121 +1,111 @@
-// Command xsim runs one scenario of the replicated service end to end and
-// verifies the resulting history against the x-ability specification
-// (R2–R4 of §4), printing the observed history and the verdict.
+// Command xsim runs registered scenarios of the replicated service end to
+// end and verifies the results against the x-ability specification (R2–R4
+// of §4).
 //
-// Scenarios:
+// Single-run mode executes one seed, prints the observed history, and
+// reports the R-clause verdicts. Sweep mode (-sweep N) replays the
+// scenario across N seeds in parallel workers — runs are CPU-bound on the
+// virtual clock — and prints the verdict distribution: x-able rate, reply
+// rate, effects-in-force histogram, and any failing seeds.
 //
-//	nice      — failure-free run (primary-backup flavor)
-//	crash     — the first replica crashes mid-execution; the cleaner takes over
-//	suspect   — a false suspicion makes two replicas execute (active flavor)
-//	failures  — the environment injects action failures; execute-until-success retries
-//	sequence  — a multi-request session mixing reads, tokens, and debits
+// Scenarios come from the registry (-list prints them): nice,
+// crash-failover, partition, delay-storm, suspect, failures, sequence, the
+// spectrum-N pulse sweeps, and the baseline contrast rows (pb-nice,
+// pb-crash-failover, active-nice).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
-	"xability/internal/action"
 	"xability/internal/core"
-	"xability/internal/simnet"
-	"xability/internal/verify"
-	"xability/internal/workload"
+	"xability/internal/scenario"
 )
 
 func main() {
 	var (
-		scenario  = flag.String("scenario", "nice", "nice | crash | suspect | failures | sequence")
-		replicas  = flag.Int("replicas", 3, "number of replicas")
-		seed      = flag.Int64("seed", 1, "run seed")
-		useCT     = flag.Bool("ct", false, "use the message-passing consensus substrate")
-		showTrace = flag.Bool("history", true, "print the observed event history")
+		name      = flag.String("scenario", "nice", "registered scenario name (see -list)")
+		list      = flag.Bool("list", false, "list registered scenarios and exit")
+		seed      = flag.Int64("seed", 1, "run seed (sweep mode: first seed of the population)")
+		sweep     = flag.Int("sweep", 0, "sweep the scenario across N seeds instead of one run")
+		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+		replicas  = flag.Int("replicas", 0, "override the scenario's replication degree")
+		useCT     = flag.Bool("ct", false, "force the message-passing consensus substrate")
+		showTrace = flag.Bool("history", true, "print the observed event history (single-run mode)")
 	)
 	flag.Parse()
 
-	mode := core.ConsensusLocal
-	if *useCT {
-		mode = core.ConsensusCT
-	}
-	bank := workload.NewBank(4, 100)
-	c := core.NewCluster(core.ClusterConfig{
-		Replicas:  *replicas,
-		Seed:      *seed,
-		Net:       simnet.Config{MaxDelay: 200 * time.Microsecond},
-		Consensus: mode,
-		Registry:  workload.Registry(),
-		Setup:     bank.Setup(),
-	})
-	defer c.Stop()
-
-	switch *scenario {
-	case "nice":
-		submit(c, action.NewRequest("debit", "acct-0"))
-	case "crash":
-		c.Env.SetFailures("debit", 1.0, 6, 0)
-		clk := c.Clock()
-		clk.Enter()
-		clk.Go(func() {
-			clk.Sleep(2 * time.Millisecond)
-			c.CrashServer(0)
-			c.ClientSuspect("replica-0", true)
-		})
-		submit(c, action.NewRequest("debit", "acct-0"))
-		clk.Exit()
-	case "suspect":
-		c.Env.SetFailures("token", 1.0, 5, 0)
-		clk := c.Clock()
-		clk.Enter()
-		clk.Go(func() {
-			clk.Sleep(2 * time.Millisecond)
-			c.SuspectEverywhere("replica-0", true)
-		})
-		submit(c, action.NewRequest("token", "t"))
-		clk.Exit()
-	case "failures":
-		c.Env.SetFailures("debit", 0.7, 6, 0.5)
-		submit(c, action.NewRequest("debit", "acct-0"))
-	case "sequence":
-		for _, r := range workload.Generate(workload.Spec{Requests: 6, Accounts: 2}, *seed) {
-			submit(c, r)
+	if *list {
+		for _, n := range scenario.Names() {
+			sc, _ := scenario.Get(n)
+			fmt.Printf("  %-18s %s\n", n, sc.Description)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "xsim: unknown scenario %q\n", *scenario)
+		return
+	}
+
+	sc, ok := scenario.Get(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xsim: unknown scenario %q (use -list)\n", *name)
 		os.Exit(2)
 	}
+	if *replicas > 0 {
+		if sc.Plan.TopologyBound() {
+			fmt.Fprintf(os.Stderr,
+				"xsim: scenario %q partitions/drops links between named processes; -replicas would silently change the fault's meaning\n", *name)
+			os.Exit(2)
+		}
+		sc.Replicas = *replicas
+	}
+	if *useCT {
+		sc.Consensus = core.ConsensusCT
+	}
 
-	c.Net.Quiesce()
-	h := c.Observer.History()
-	if *showTrace {
+	if *sweep > 0 {
+		runSweep(sc, *seed, *sweep, *workers)
+		return
+	}
+	runOne(sc, *seed, *showTrace)
+}
+
+func runOne(sc scenario.Scenario, seed int64, showTrace bool) {
+	o := scenario.Execute(sc, seed)
+	if showTrace {
 		fmt.Println("history:")
-		for _, e := range h {
+		for _, e := range o.History {
 			fmt.Printf("  %v\n", e)
 		}
 	}
-	reqs, replies := c.Client.Log()
-	rep := verify.Check(verify.Run{
-		Registry:       workload.Registry(),
-		Requests:       reqs,
-		Replies:        replies,
-		History:        h,
-		SubmitAttempts: c.Client.Attempts(),
-	})
-	fmt.Printf("requests: %d  submit attempts: %d  messages: %d\n",
-		len(reqs), c.Client.Attempts(), c.Net.TotalSent())
-	fmt.Printf("R2 (liveness): %v\n", rep.R2)
-	fmt.Printf("R3 (x-able, strict): %v\n", rep.R3Strict)
-	fmt.Printf("R3 (x-able, per-request): %v\n", rep.R3Projected)
-	fmt.Printf("R4 (reply consistency): %v\n", rep.R4Possible && rep.R4Consistent)
-	for _, d := range rep.Details {
-		fmt.Printf("  note: %s\n", d)
+	fmt.Printf("scenario: %s (%s)  seed: %d\n", sc.Name, sc.Protocol, seed)
+	fmt.Printf("requests: %d  submit attempts: %d  messages: %d  simulated time: %v\n",
+		o.Requests, o.Attempts, o.Messages, o.SimTime)
+	fmt.Printf("executions: %d  cancels: %d  effects in force: %d\n",
+		o.Executions, o.Cancels, o.EffectsInForce)
+	if sc.Protocol == scenario.XAbility {
+		rep := o.Report
+		fmt.Printf("R2 (liveness): %v\n", rep.R2)
+		fmt.Printf("R3 (x-able, strict): %v\n", rep.R3Strict)
+		fmt.Printf("R3 (x-able, per-request): %v\n", rep.R3Projected)
+		fmt.Printf("R4 (reply consistency): %v\n", rep.R4Possible && rep.R4Consistent)
+		for _, d := range rep.Details {
+			fmt.Printf("  note: %s\n", d)
+		}
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
 	}
-	if !rep.OK() {
-		os.Exit(1)
-	}
+	// Baselines are judged by the charitable checker reading and the
+	// audit; duplication is the expected, reported outcome.
+	fmt.Printf("x-able: %v  replied: %v\n", o.XAble, o.Replied)
 }
 
-func submit(c *core.Cluster, req action.Request) {
-	v := c.Client.SubmitUntilSuccess(req)
-	fmt.Printf("%v -> %s\n", req, action.Display(v))
+func runSweep(sc scenario.Scenario, seed int64, n, workers int) {
+	d := scenario.Sweep(sc, scenario.Seeds(seed, n), workers)
+	fmt.Println(d)
+	// For the x-ability protocol any failing seed falsifies the paper's
+	// claim; baselines are swept for their distributions only.
+	if sc.Protocol == scenario.XAbility && (d.XAbleRate() < 1 || d.RepliedRate() < 1) {
+		os.Exit(1)
+	}
 }

@@ -60,16 +60,18 @@ func run(pulses int) (executions, cancels int, xable bool) {
 	clk := svc.Clock()
 	clk.Enter() // hold simulated time until the charge is in flight
 	if pulses > 0 {
-		// Slow the owner down so suspicions land mid-execution.
+		// Slow the owner down so suspicions land mid-execution, then
+		// declare the pulse schedule as a fault plan on the virtual clock.
 		svc.Environment().SetFailures("charge", 1.0, 3*pulses, 0)
-		clk.Go(func() {
-			for i := 0; i < pulses; i++ {
-				clk.Sleep(time.Duration(1+i) * time.Millisecond)
-				svc.Cluster().SuspectEverywhere("replica-0", true)
-				clk.Sleep(500 * time.Microsecond)
-				svc.Cluster().SuspectEverywhere("replica-0", false)
-			}
-		})
+		plan := xability.NewPlan()
+		var at time.Duration
+		for i := 0; i < pulses; i++ {
+			at += time.Duration(1+i) * time.Millisecond
+			plan.SuspectAt(at, "replica-0")
+			at += 500 * time.Microsecond
+			plan.RecoverAt(at, "replica-0")
+		}
+		svc.Apply(plan)
 	}
 
 	svc.Call(xability.NewRequest("charge", "card-1"))

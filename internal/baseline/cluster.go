@@ -106,8 +106,28 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 // so injections land at fixed points of simulated time.
 func (c *Cluster) Clock() vclock.Clock { return c.Net.Clock() }
 
+// Network returns the cluster's simulated network. Scenario drivers reach
+// through it to the link fault plane.
+func (c *Cluster) Network() *simnet.Network { return c.Net }
+
 // ClientDetector returns the client's scripted failure detector.
 func (c *Cluster) ClientDetector() *fd.Scripted { return c.cdet }
+
+// SuspectEverywhere injects (or clears) a suspicion of target at every
+// replica's scripted detector (not the client's) — the same surface
+// core.Cluster exposes, so one scenario fault plan drives both stacks.
+func (c *Cluster) SuspectEverywhere(target simnet.ProcessID, v bool) {
+	for id, d := range c.dets {
+		if id != target {
+			d.SetSuspected(target, v)
+		}
+	}
+}
+
+// ClientSuspect injects (or clears) a suspicion at the client's detector.
+func (c *Cluster) ClientSuspect(target simnet.ProcessID, v bool) {
+	c.cdet.SetSuspected(target, v)
+}
 
 // Detector returns the scripted detector of a replica.
 func (c *Cluster) Detector(id simnet.ProcessID) *fd.Scripted { return c.dets[id] }

@@ -229,6 +229,71 @@ func TestCTFalseSuspicionStillAgrees(t *testing.T) {
 	}
 }
 
+// TestCTPartitionStallsAndHealResumes pins the loss-recovery machinery: a
+// proposer isolated by a partition decides nothing while the cut is in
+// force (its detector does not suspect the live, merely unreachable
+// coordinator), and the stalled instance resumes and decides once the
+// network heals — driven by the participant's periodic estimate
+// retransmission.
+func TestCTPartitionStallsAndHealResumes(t *testing.T) {
+	h := newCTHarness(t, 3, 7)
+	clk := h.net.Clock()
+	clk.Enter()
+	h.net.Partition([]simnet.ProcessID{"n0"}, []simnet.ProcessID{"n1", "n2"})
+	done := make(chan any, 1)
+	clk.Go(func() { done <- h.nodes[0].Propose("k", "v0") })
+
+	// 50ms of simulated time: round 1's coordinator (n1) is on the other
+	// side of the cut and never suspected, so the instance must stall.
+	clk.Sleep(50 * time.Millisecond)
+	select {
+	case v := <-done:
+		t.Fatalf("decision %v during partition", v)
+	default:
+	}
+	for i := 1; i < 3; i++ {
+		if _, ok := h.nodes[i].Read("k"); ok {
+			t.Fatalf("node %d decided during partition", i)
+		}
+	}
+
+	h.net.Heal()
+	clk.Exit()
+	if v := <-done; v != "v0" {
+		t.Fatalf("post-heal decision = %v, want v0", v)
+	}
+	h.net.Quiesce()
+	for i := 0; i < 3; i++ {
+		if v, ok := h.nodes[i].Read("k"); !ok || v != "v0" {
+			t.Errorf("node %d post-heal state = (%v, %v), want v0", i, v, ok)
+		}
+	}
+}
+
+// TestCTPartitionedMinorityCatchesUpAfterHeal pins the decided-reply path:
+// the majority side decides while a node is cut off; after Heal, the
+// latecomer's first contact with any decided node returns the decision.
+func TestCTPartitionedMinorityCatchesUpAfterHeal(t *testing.T) {
+	h := newCTHarness(t, 3, 8)
+	clk := h.net.Clock()
+	clk.Enter()
+	h.net.Partition([]simnet.ProcessID{"n0", "n1"}, []simnet.ProcessID{"n2"})
+	if v := h.nodes[0].Propose("k", "v0"); v != "v0" {
+		t.Fatalf("majority-side decision = %v, want v0", v)
+	}
+	h.net.Quiesce()
+	if _, ok := h.nodes[2].Read("k"); ok {
+		t.Fatal("isolated node learned the decision through the partition")
+	}
+	h.net.Heal()
+	// The latecomer proposes its own value; agreement forces the earlier
+	// decision.
+	if v := h.nodes[2].Propose("k", "v2"); v != "v0" {
+		t.Fatalf("latecomer decision = %v, want v0", v)
+	}
+	clk.Exit()
+}
+
 func TestCTObjectAdapter(t *testing.T) {
 	h := newCTHarness(t, 3, 7)
 	obj := h.nodes[0].Object("adapter-key")

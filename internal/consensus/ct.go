@@ -230,6 +230,16 @@ func (n *Node) recvLoop() {
 			inst.mu.Unlock()
 			continue
 		}
+		if inst.decided {
+			// Any late message (an estimate resent across a healed
+			// partition, a straggling ack) is answered with the decision,
+			// so a node that missed the decide relay recovers as soon as a
+			// link to any decided node comes back.
+			d := inst.decision
+			inst.mu.Unlock()
+			n.ep.Send(msg.From, "cons", ctMsg{Key: cm.Key, Kind: ctDecide, Value: d})
+			continue
+		}
 		inst.inbox = append(inst.inbox, cm)
 		n.ensureRunning(inst) // participate passively when contacted
 		inst.cond.Broadcast()
@@ -259,6 +269,14 @@ func (inst *ctInstance) take(round int, kind ctKind) []ctMsg {
 // detector probe, and on the virtual clock it costs no wall time.
 const ctPoll = 500 * time.Microsecond
 
+// ctResendAfter is how long a phase may stall before retransmitting the
+// message that drives it. Channels between correct connected processes are
+// reliable, so in fault-free runs nothing is ever resent; retransmission
+// only matters when the link plane black-holes traffic (partitions, dropped
+// links) — it is what lets a stalled instance resume once the network
+// heals.
+const ctResendAfter = 4 * time.Millisecond
+
 func (n *Node) roundLoop(inst *ctInstance) {
 	majority := len(n.peers)/2 + 1
 	for round := 1; ; round++ {
@@ -287,11 +305,20 @@ func (n *Node) roundLoop(inst *ctInstance) {
 		}
 
 		// Phase 2 (coordinator): gather a majority of estimates including
-		// at least one real value, then broadcast a proposal.
+		// at least one real value, then broadcast a proposal. Estimates are
+		// deduplicated by sender — retransmission across a lossy link plane
+		// may deliver the same peer's estimate more than once, and a quorum
+		// must count distinct processes.
 		if coord == n.self {
 			var got []ctMsg
+			seen := make(map[simnet.ProcessID]bool)
 			ok := n.waitCond(inst, func() bool {
-				got = append(got, inst.take(round, ctEstimate)...)
+				for _, m := range inst.take(round, ctEstimate) {
+					if !seen[m.From] {
+						seen[m.From] = true
+						got = append(got, m)
+					}
+				}
 				real := 0
 				for _, m := range got {
 					if m.HasValue {
@@ -299,7 +326,14 @@ func (n *Node) roundLoop(inst *ctInstance) {
 					}
 				}
 				return len(got) >= majority && real > 0
-			}, nil)
+			}, nil, func() {
+				// Stalled gathering: re-announce the round so peers cut off
+				// when the original estimates went out rediscover the
+				// instance once links heal.
+				for _, p := range n.peers {
+					n.sendCons(p, est)
+				}
+			})
 			if !ok {
 				return
 			}
@@ -315,7 +349,10 @@ func (n *Node) roundLoop(inst *ctInstance) {
 			}
 		}
 
-		// Phase 3: adopt the coordinator's proposal or give up on it.
+		// Phase 3: adopt the coordinator's proposal or give up on it. A
+		// participant whose wait stalls re-sends its estimate to the
+		// coordinator: if the estimate was black-holed, the retransmission
+		// is what un-wedges the coordinator's phase 2 after a heal.
 		var proposal *ctMsg
 		suspected := false
 		ok := n.waitCond(inst, func() bool {
@@ -327,6 +364,8 @@ func (n *Node) roundLoop(inst *ctInstance) {
 		}, func() bool {
 			suspected = n.det.Suspect(coord)
 			return suspected
+		}, func() {
+			n.sendCons(coord, est)
 		})
 		if !ok {
 			return
@@ -342,18 +381,36 @@ func (n *Node) roundLoop(inst *ctInstance) {
 
 		// Phase 4 (coordinator): wait for a majority of replies; decide when
 		// all of them are acks ([CT96]). Waiting for more than a majority
-		// could block forever on crashed participants.
+		// could block forever on crashed participants. Replies are
+		// deduplicated by sender for the same reason estimates are; a stall
+		// re-broadcasts the proposal in case it was black-holed.
 		if coord == n.self {
 			acks, nacks := 0, 0
+			replied := make(map[simnet.ProcessID]bool)
 			var value any
 			inst.mu.Lock()
 			value = inst.estimate
+			prop := ctMsg{Key: inst.key, Round: round, Kind: ctProposal, Value: value}
 			inst.mu.Unlock()
 			ok := n.waitCond(inst, func() bool {
-				acks += len(inst.take(round, ctAck))
-				nacks += len(inst.take(round, ctNack))
+				for _, m := range inst.take(round, ctAck) {
+					if !replied[m.From] {
+						replied[m.From] = true
+						acks++
+					}
+				}
+				for _, m := range inst.take(round, ctNack) {
+					if !replied[m.From] {
+						replied[m.From] = true
+						nacks++
+					}
+				}
 				return acks+nacks >= majority
-			}, nil)
+			}, nil, func() {
+				for _, p := range n.peers {
+					n.sendCons(p, prop)
+				}
+			})
 			if !ok {
 				return
 			}
@@ -377,10 +434,14 @@ func (n *Node) roundLoop(inst *ctInstance) {
 // returns true. It returns false when the node is stopping or the instance
 // decided while waiting with abort semantics still pending. Waiting is
 // event-driven: the receive loop broadcasts the instance condition whenever
-// messages arrive, and Stop broadcasts it on shutdown.
-func (n *Node) waitCond(inst *ctInstance, ready func() bool, abort func() bool) bool {
+// messages arrive, and Stop broadcasts it on shutdown. resend (may be nil)
+// runs outside the lock after every ctResendAfter of clock time without
+// progress, retransmitting the phase's driving message across a link plane
+// that may have black-holed it.
+func (n *Node) waitCond(inst *ctInstance, ready func() bool, abort func() bool, resend func()) bool {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
+	last := n.clk.Now()
 	for {
 		select {
 		case <-n.stop:
@@ -400,9 +461,22 @@ func (n *Node) waitCond(inst *ctInstance, ready func() bool, abort func() bool) 
 			if aborted {
 				return true
 			}
+		}
+		switch {
+		case abort != nil:
 			inst.cond.WaitTimeout(ctPoll)
-		} else {
+		case resend != nil:
+			inst.cond.WaitTimeout(ctResendAfter)
+		default:
 			inst.cond.Wait()
+		}
+		if resend != nil {
+			if now := n.clk.Now(); now-last >= ctResendAfter {
+				last = now
+				inst.mu.Unlock()
+				resend()
+				inst.mu.Lock()
+			}
 		}
 	}
 }

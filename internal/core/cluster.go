@@ -181,6 +181,11 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 // simulated time regardless of how fast the host executes the run.
 func (c *Cluster) Clock() vclock.Clock { return c.Net.Clock() }
 
+// Network returns the cluster's simulated network. Scenario drivers reach
+// through it to the link fault plane (Partition, Heal, DropLink,
+// SetDelayScale).
+func (c *Cluster) Network() *simnet.Network { return c.Net }
+
 // Suspect injects (or clears) a suspicion at one replica's scripted
 // detector. It panics in heartbeat mode.
 func (c *Cluster) Suspect(observer, target simnet.ProcessID, v bool) {

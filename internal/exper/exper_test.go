@@ -24,6 +24,17 @@ func TestT1Shapes(t *testing.T) {
 	if !xaCrash.XAble || xaCrash.EffectsInForce != 1 {
 		t.Errorf("x-ability crash failover should stay exactly-once: %+v", xaCrash)
 	}
+	// The adversarial rows landed with the scenario layer: a partition
+	// (over the message-passing consensus substrate) and a delay storm
+	// must not break exactly-once either.
+	xaPart := byKey["x-ability/partition"]
+	if !xaPart.XAble || xaPart.EffectsInForce != 1 || !xaPart.Replied {
+		t.Errorf("x-ability partition run should stay exactly-once: %+v", xaPart)
+	}
+	xaStorm := byKey["x-ability/delay-storm"]
+	if !xaStorm.XAble || xaStorm.EffectsInForce != 1 || !xaStorm.Replied {
+		t.Errorf("x-ability delay-storm run should stay exactly-once: %+v", xaStorm)
+	}
 
 	pbNice := byKey["primary-backup/nice"]
 	if pbNice.EffectsInForce != 1 {
@@ -100,6 +111,27 @@ func TestT4ConsensusShape(t *testing.T) {
 	if ct1.PerDecide <= local1.PerDecide {
 		t.Errorf("message-passing consensus (%v) should be slower than the shared object (%v)",
 			ct1.PerDecide, local1.PerDecide)
+	}
+}
+
+func TestT7SweepShapes(t *testing.T) {
+	rows := TableT7(1, 25, 0)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Dist.Runs != 25 {
+			t.Errorf("%s: runs = %d", r.Scenario, r.Dist.Runs)
+		}
+		// The paper's claim at population scale: every schedule of every
+		// swept scenario stays x-able and answered.
+		if r.Dist.XAbleRate() != 1.0 || r.Dist.RepliedRate() != 1.0 {
+			t.Errorf("%s: x-able %.4f replied %.4f; failing seeds %v",
+				r.Scenario, r.Dist.XAbleRate(), r.Dist.RepliedRate(), r.Dist.Failing)
+		}
+		if r.Dist.Effects[1] != r.Dist.Runs {
+			t.Errorf("%s: effects histogram %v, want all mass on 1", r.Scenario, r.Dist.Effects)
+		}
 	}
 }
 

@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"xability/internal/action"
+	"xability/internal/core"
+	"xability/internal/simnet"
+	"xability/internal/workload"
+)
+
+// The builtin scenarios. Each is a declarative value: the experiment
+// tables (internal/exper), the CLIs (cmd/xsim, cmd/xbench), and the root
+// package's public registry all draw from here, so a new adversarial
+// workload is a new Scenario literal — no inline fault code anywhere.
+func init() {
+	r0 := simnet.ProcessID("replica-0")
+	sides := [][]simnet.ProcessID{
+		{"replica-0"},
+		{"replica-1", "replica-2", "client"},
+	}
+
+	// nice: the failure-free run. Round 1's owner executes alone — the
+	// primary-backup flavor of §5.1.
+	MustRegister(Scenario{
+		Name:        "nice",
+		Description: "failure-free run; the round-1 owner executes alone",
+	})
+
+	// crash-failover: the schedule that breaks primary-backup (T1's
+	// centerpiece). Injected failures stretch the execution so the owner
+	// crashes mid-run; the cleaner neutralizes its round and takes over.
+	MustRegister(Scenario{
+		Name:        "crash-failover",
+		Description: "owner crashes mid-execution; the cleaner takes over",
+		Failures:    []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		Plan:        NewPlan().CrashAt(2*time.Millisecond, 0),
+	})
+
+	// partition: the owner is cut off mid-execution — alive, executing,
+	// but unreachable. The majority side suspects it, aborts its round,
+	// and answers the client; after the heal the isolated owner learns the
+	// abort and rolls its effect back. Runs over the message-passing
+	// consensus substrate so the partition bites the agreement layer too
+	// (the local-object substrate is shared memory and would tunnel
+	// through the cut).
+	MustRegister(Scenario{
+		Name:        "partition",
+		Description: "owner partitioned mid-execution; majority takes over, heal reconciles",
+		Consensus:   core.ConsensusCT,
+		Failures:    []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		Plan: NewPlan().
+			PartitionAt(time.Millisecond, sides...).
+			SuspectAt(time.Millisecond, r0).
+			ClientSuspectAt(time.Millisecond, r0).
+			HealAt(8*time.Millisecond).
+			RecoverAt(9*time.Millisecond, r0),
+		Settle: 20 * time.Millisecond,
+	})
+
+	// delay-storm: a window where every delay is multiplied 24×, with two
+	// false-suspicion pulses landing inside it — the drifting
+	// primary/active schedule under heavily reordered, straggling
+	// traffic.
+	MustRegister(Scenario{
+		Name:        "delay-storm",
+		Description: "24× delay storm with false-suspicion pulses inside the window",
+		Failures:    []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		Plan: NewPlan().
+			DelayStormAt(500*time.Microsecond, 4*time.Millisecond, 24).
+			SuspectAt(time.Millisecond, r0).
+			RecoverAt(1500*time.Microsecond, r0).
+			SuspectAt(3500*time.Microsecond, r0).
+			RecoverAt(4*time.Millisecond, r0),
+		Settle: 20 * time.Millisecond,
+	})
+
+	// suspect: a permanent false suspicion of the round-1 owner makes a
+	// second replica execute concurrently (the active flavor) over a
+	// non-deterministic idempotent action.
+	MustRegister(Scenario{
+		Name:        "suspect",
+		Description: "false suspicion forces concurrent execution of a token request",
+		Failures:    []Failure{{Action: "token", Prob: 1, Budget: 5}},
+		Plan:        NewPlan().SuspectAt(2*time.Millisecond, r0),
+		Requests:    []action.Request{action.NewRequest("token", "t")},
+	})
+
+	// failures: no faults beyond the environment's own injected action
+	// failures; execute-until-success absorbs them.
+	MustRegister(Scenario{
+		Name:        "failures",
+		Description: "environment injects action failures; execute-until-success retries",
+		Failures:    []Failure{{Action: "debit", Prob: 0.7, Budget: 6, AfterProb: 0.5}},
+	})
+
+	// sequence: a seeded multi-request session mixing reads, tokens, and
+	// debits.
+	MustRegister(Scenario{
+		Name:        "sequence",
+		Description: "multi-request session mixing reads, tokens, and debits",
+		Accounts:    4,
+		Workload:    &workload.Spec{Requests: 6, Accounts: 2},
+	})
+
+	// spectrum-N (T2's rows): N false-suspicion pulses of growing spacing
+	// drag the run from the primary-backup flavor (one executor) toward
+	// active replication (concurrent executors), over an undoable action.
+	for pulses := 0; pulses <= 3; pulses++ {
+		sc := Scenario{
+			Name:        fmt.Sprintf("spectrum-%d", pulses),
+			Label:       fmt.Sprintf("spectrum/%d-pulses", pulses),
+			Description: fmt.Sprintf("%d false-suspicion pulses over an undoable request", pulses),
+			Opening:     1000,
+		}
+		if pulses > 0 {
+			sc.Failures = []Failure{{Action: "debit", Prob: 1, Budget: 3 * pulses}}
+			plan := NewPlan()
+			var t time.Duration
+			for i := 0; i < pulses; i++ {
+				t += time.Duration(1+i) * time.Millisecond
+				plan.SuspectAt(t, r0)
+				t += 500 * time.Microsecond
+				plan.RecoverAt(t, r0)
+			}
+			sc.Plan = plan
+		}
+		MustRegister(sc)
+	}
+
+	// Baseline rows of T1.
+	MustRegister(Scenario{
+		Name:        "pb-nice",
+		Label:       "nice",
+		Description: "primary-backup, failure-free run",
+		Protocol:    PrimaryBackup,
+	})
+	MustRegister(Scenario{
+		Name:        "pb-crash-failover",
+		Label:       "crash-failover",
+		Description: "primary-backup; the primary crashes in the duplication window",
+		Protocol:    PrimaryBackup,
+		SyncDelay:   4 * time.Millisecond,
+		Plan:        NewPlan().CrashAt(2*time.Millisecond, 0),
+	})
+	MustRegister(Scenario{
+		Name:        "active-nice",
+		Label:       "nice",
+		Description: "active replication; every replica executes every request",
+		Protocol:    Active,
+	})
+}

@@ -1,0 +1,232 @@
+// Package scenario is the declarative adversarial-workload layer: fault
+// plans (timed crash/partition/suspicion/delay-storm operations scheduled
+// on the virtual clock), a named-scenario registry describing complete
+// protocol-under-attack experiments, and a parallel seed-sweep runner that
+// reports verdict distributions instead of single runs.
+//
+// The paper's central claim is that the x-ability protocol survives
+// adversarial schedules — crashes, drifting primary/active modes,
+// partitions, delay storms — that break primary-backup and active
+// replication. This package makes those schedules first-class values: a
+// Scenario says *what* to attack and how, Execute carries one seed through
+// it, and Sweep replays it across thousands of seeds (runs are CPU-bound
+// on the virtual clock) so a claim becomes a rate over a seed population
+// rather than an anecdote.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"xability/internal/simnet"
+	"xability/internal/vclock"
+)
+
+// Target is what a fault plan drives: the cluster surface shared by
+// core.Cluster (the x-ability protocol) and baseline.Cluster (the
+// primary-backup and active baselines). One plan therefore attacks every
+// protocol the repository implements.
+type Target interface {
+	// Clock is the deployment's clock; ops are scheduled on it.
+	Clock() vclock.Clock
+	// Network exposes the link fault plane.
+	Network() *simnet.Network
+	// CrashServer crashes replica i (crash-stop, permanent).
+	CrashServer(i int)
+	// SuspectEverywhere injects or clears a suspicion of target at every
+	// replica's scripted detector.
+	SuspectEverywhere(target simnet.ProcessID, v bool)
+	// ClientSuspect injects or clears a suspicion at the client's detector.
+	ClientSuspect(target simnet.ProcessID, v bool)
+}
+
+// Op is one timed fault operation of a plan.
+type Op struct {
+	// At is the operation's firing time, measured on the virtual clock
+	// from the moment the plan is applied.
+	At time.Duration
+	// Name describes the operation for humans ("crash replica 0").
+	Name string
+	// Do performs the operation. It must not block: each op runs as a
+	// single discrete event of the schedule.
+	Do func(Target)
+}
+
+// Plan is an ordered fault schedule built with the *At methods and applied
+// to a running cluster with Apply. Plans are declarative values: build one
+// per scenario and reuse it across seeds — Apply schedules fresh events
+// each time and never mutates the plan.
+//
+// Builder calls may be chained:
+//
+//	plan := scenario.NewPlan().
+//		CrashAt(2*time.Millisecond, 0).
+//		PartitionAt(4*time.Millisecond, []simnet.ProcessID{"replica-1"}, []simnet.ProcessID{"replica-2", "client"}).
+//		HealAt(9*time.Millisecond)
+type Plan struct {
+	ops []Op
+	// topologyBound marks plans whose ops name explicit process groups
+	// (partitions, dropped links): their semantics only hold for the
+	// replica set they were written against.
+	topologyBound bool
+}
+
+// NewPlan returns an empty fault plan.
+func NewPlan() *Plan { return &Plan{} }
+
+func (p *Plan) add(at time.Duration, name string, do func(Target)) *Plan {
+	p.ops = append(p.ops, Op{At: at, Name: name, Do: do})
+	return p
+}
+
+// CrashAt crashes replica i at the given virtual time. Scripted detectors
+// suspect crashed processes automatically (strong completeness), so no
+// companion suspicion op is needed.
+func (p *Plan) CrashAt(at time.Duration, replica int) *Plan {
+	return p.add(at, fmt.Sprintf("crash replica %d", replica), func(t Target) {
+		t.CrashServer(replica)
+	})
+}
+
+// SuspectAt injects a (false) suspicion of target at every replica's
+// detector at the given virtual time — the primitive that drags the
+// protocol from its primary-backup flavor toward active replication.
+func (p *Plan) SuspectAt(at time.Duration, target simnet.ProcessID) *Plan {
+	return p.add(at, fmt.Sprintf("suspect %s", target), func(t Target) {
+		t.SuspectEverywhere(target, true)
+	})
+}
+
+// ClientSuspectAt injects a suspicion of target at the client's detector,
+// making the client fail over to the next replica.
+func (p *Plan) ClientSuspectAt(at time.Duration, target simnet.ProcessID) *Plan {
+	return p.add(at, fmt.Sprintf("client suspects %s", target), func(t Target) {
+		t.ClientSuspect(target, true)
+	})
+}
+
+// RecoverAt clears suspicions of target everywhere — replicas and client —
+// at the given virtual time, ending a false-suspicion pulse.
+func (p *Plan) RecoverAt(at time.Duration, target simnet.ProcessID) *Plan {
+	return p.add(at, fmt.Sprintf("recover %s", target), func(t Target) {
+		t.SuspectEverywhere(target, false)
+		t.ClientSuspect(target, false)
+	})
+}
+
+// PartitionAt splits the network into the given groups at the given
+// virtual time: messages between groups are black-holed until a HealAt.
+// Processes not listed in any group keep all their links; auxiliary
+// endpoints ("p/fd", "p/cons") follow their base process.
+func (p *Plan) PartitionAt(at time.Duration, groups ...[]simnet.ProcessID) *Plan {
+	var parts []string
+	for _, g := range groups {
+		ids := make([]string, len(g))
+		for i, id := range g {
+			ids[i] = string(id)
+		}
+		parts = append(parts, "{"+strings.Join(ids, " ")+"}")
+	}
+	p.topologyBound = true
+	return p.add(at, "partition "+strings.Join(parts, " | "), func(t Target) {
+		t.Network().Partition(groups...)
+	})
+}
+
+// DropLinkAt black-holes the link between two processes (both directions)
+// at the given virtual time, until a HealAt.
+func (p *Plan) DropLinkAt(at time.Duration, a, b simnet.ProcessID) *Plan {
+	p.topologyBound = true
+	return p.add(at, fmt.Sprintf("drop link %s—%s", a, b), func(t Target) {
+		t.Network().DropLink(a, b)
+	})
+}
+
+// HealAt repairs the link fault plane — active partition and dropped links
+// — at the given virtual time. Traffic black-holed while the faults were
+// in force stays lost.
+func (p *Plan) HealAt(at time.Duration) *Plan {
+	return p.add(at, "heal", func(t Target) {
+		t.Network().Heal()
+	})
+}
+
+// DelayStormAt multiplies every message delay by factor for a window of
+// the given duration starting at the given virtual time, then restores
+// calm.
+func (p *Plan) DelayStormAt(at, duration time.Duration, factor float64) *Plan {
+	p.add(at, fmt.Sprintf("delay storm ×%g", factor), func(t Target) {
+		t.Network().SetDelayScale(factor)
+	})
+	return p.add(at+duration, "delay storm ends", func(t Target) {
+		t.Network().SetDelayScale(1)
+	})
+}
+
+// Ops returns a copy of the plan's operations in the order they were
+// added.
+func (p *Plan) Ops() []Op { return append([]Op(nil), p.ops...) }
+
+// Clone returns an independent copy of the plan: builder calls on the
+// clone do not affect the original. The registry hands out clones so a
+// fetched scenario can be tweaked without mutating the registered one.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	return &Plan{ops: p.Ops(), topologyBound: p.topologyBound}
+}
+
+// TopologyBound reports whether the plan names explicit process groups
+// (PartitionAt, DropLinkAt). Such plans only make sense against the
+// replica set they were written for; overriding the replication degree
+// under them silently changes the fault's meaning.
+func (p *Plan) TopologyBound() bool {
+	if p == nil {
+		return false
+	}
+	return p.topologyBound
+}
+
+// Horizon returns the firing time of the plan's latest operation. Runs
+// that read verdicts should let the schedule settle past it.
+func (p *Plan) Horizon() time.Duration {
+	var h time.Duration
+	for _, op := range p.ops {
+		if op.At > h {
+			h = op.At
+		}
+	}
+	return h
+}
+
+// Apply schedules every operation of the plan on the target's clock,
+// relative to the current virtual time. Call it while the schedule is held
+// (clock Enter'd, before the workload is submitted) so ops land at the
+// declared offsets. Ops added at the same instant fire in the order they
+// were added to the plan; the whole schedule stays deterministic because
+// each op is one discrete event of the virtual clock.
+func (p *Plan) Apply(t Target) {
+	clk := t.Clock()
+	for _, op := range p.ops {
+		do := op.Do
+		clk.GoAfter(op.At, func() { do(t) })
+	}
+}
+
+// String renders the plan as one op per line, sorted by firing time (ties
+// keep insertion order), e.g. for xsim's scenario listing.
+func (p *Plan) String() string {
+	ops := p.Ops()
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].At < ops[j].At })
+	var b strings.Builder
+	for i, op := range ops {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%8v  %s", op.At, op.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu     sync.RWMutex
+	scenarios = make(map[string]Scenario)
+)
+
+// Register adds a scenario to the registry, with its documented zero-value
+// defaults resolved so callers reading fields (protocol, replication
+// degree) see the effective configuration. Names are unique; registering
+// an empty or duplicate name is an error.
+func Register(sc Scenario) error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: empty name")
+	}
+	sc = sc.withDefaults()
+	sc.Plan = sc.Plan.Clone() // detach from the caller's builder handle
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := scenarios[sc.Name]; dup {
+		return fmt.Errorf("scenario: duplicate name %q", sc.Name)
+	}
+	scenarios[sc.Name] = sc
+	return nil
+}
+
+// MustRegister is Register, panicking on error. Builtin and test
+// registrations use it.
+func MustRegister(sc Scenario) {
+	if err := Register(sc); err != nil {
+		panic(err)
+	}
+}
+
+// Get looks a scenario up by name. The returned scenario owns its fault
+// plan: builder calls on it do not mutate the registered scenario and
+// cannot race with sweeps executing it.
+func Get(name string) (Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	sc, ok := scenarios[name]
+	sc.Plan = sc.Plan.Clone()
+	return sc, ok
+}
+
+// Names returns every registered scenario name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// T1Set is the ordered scenario list that generates Table T1's rows: the
+// x-ability protocol through a nice run and three adversarial schedules,
+// then the baselines through the runs that expose them.
+func T1Set() []string {
+	return []string{
+		"nice",
+		"crash-failover",
+		"partition",
+		"delay-storm",
+		"pb-nice",
+		"pb-crash-failover",
+		"active-nice",
+	}
+}
+
+// SweepSet is the ordered scenario list Table T7 sweeps over seeds: the
+// x-ability protocol's rows of T1, whose verdicts the paper claims hold on
+// every schedule.
+func SweepSet() []string {
+	return []string{"nice", "crash-failover", "partition", "delay-storm"}
+}

@@ -1,0 +1,406 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xability/internal/action"
+	"xability/internal/baseline"
+	"xability/internal/core"
+	"xability/internal/event"
+	"xability/internal/reduce"
+	"xability/internal/simnet"
+	"xability/internal/vclock"
+	"xability/internal/verify"
+	"xability/internal/workload"
+)
+
+// Protocol names the replication protocol a scenario attacks.
+type Protocol string
+
+const (
+	// XAbility is the paper's protocol (internal/core).
+	XAbility Protocol = "x-ability"
+	// PrimaryBackup is the [BMST93]-style baseline.
+	PrimaryBackup Protocol = "primary-backup"
+	// Active is the [Sch93]-style baseline.
+	Active Protocol = "active"
+)
+
+// Failure arms environment failure injection for one action: invocations
+// fail with probability Prob until Budget failures have struck (eventual
+// success, §5.2); AfterProb is the fraction of failures striking after the
+// side effect applied. Failures stretch executions across virtual time so
+// timed fault ops land mid-run.
+type Failure struct {
+	Action    action.Name
+	Prob      float64
+	Budget    int
+	AfterProb float64
+}
+
+// Scenario is one complete adversarial experiment, declaratively: which
+// protocol to deploy, on what network, with which injected environment
+// failures, driven by which fault plan, submitting which requests. A
+// Scenario is a value — register it once, then Execute it on any seed or
+// Sweep it across thousands.
+type Scenario struct {
+	// Name identifies the scenario in the registry and on CLI flags.
+	Name string
+	// Label is the scenario column of the experiment tables; it defaults
+	// to Name. Distinct scenarios of different protocols may share a
+	// label ("nice", "crash-failover") so table rows align.
+	Label string
+	// Description is a one-line summary for listings.
+	Description string
+
+	// Protocol selects the stack under test (default XAbility).
+	Protocol Protocol
+	// Replicas is the replication degree (default 3).
+	Replicas int
+	// Consensus selects the x-ability protocol's consensus substrate.
+	Consensus core.ConsensusMode
+	// Detector selects the x-ability protocol's failure detectors.
+	Detector core.DetectorMode
+	// Net tunes the simulated network. The seed is supplied per run; a
+	// zero MaxDelay defaults to 200µs.
+	Net simnet.Config
+	// SyncDelay widens primary-backup's duplication window.
+	SyncDelay time.Duration
+
+	// Accounts and Opening size the bank the replicas serve (defaults 1
+	// account, 100 opening balance).
+	Accounts int
+	// Opening is the per-account opening balance (default 100).
+	Opening int
+
+	// Failures arms environment failure injection before the run starts.
+	Failures []Failure
+	// Plan is the timed fault schedule (may be nil for fault-free runs).
+	Plan *Plan
+
+	// Requests is the submitted workload (default: one debit of acct-0).
+	// Ignored when Workload is set.
+	Requests []action.Request
+	// Workload, when set, generates the request sequence from the run's
+	// seed, so every seed of a sweep exercises a different sequence.
+	Workload *workload.Spec
+
+	// Settle extends the run past the last submit by this much virtual
+	// time before verdicts are read, letting in-flight protocol activity
+	// (a partitioned replica resolving its round after a heal, late
+	// active-replication executions) finish. Runs always settle at least
+	// 2ms past the plan's horizon.
+	Settle time.Duration
+}
+
+// TableLabel returns the scenario's experiment-table label.
+func (sc Scenario) TableLabel() string {
+	if sc.Label != "" {
+		return sc.Label
+	}
+	return sc.Name
+}
+
+// withDefaults resolves the zero values documented on the fields.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Protocol == "" {
+		sc.Protocol = XAbility
+	}
+	if sc.Replicas <= 0 {
+		sc.Replicas = 3
+	}
+	if sc.Net.MinDelay == 0 && sc.Net.MaxDelay == 0 {
+		sc.Net.MaxDelay = 200 * time.Microsecond
+	}
+	if sc.Accounts <= 0 {
+		sc.Accounts = 1
+	}
+	if sc.Opening == 0 {
+		sc.Opening = 100
+	}
+	if len(sc.Requests) == 0 && sc.Workload == nil {
+		sc.Requests = []action.Request{action.NewRequest("debit", "acct-0")}
+	}
+	return sc
+}
+
+// Outcome is the verdict of one scenario run: did the run look
+// exactly-once to the checker and to the environment's audit, and what did
+// it cost.
+type Outcome struct {
+	// Scenario and Seed identify the run.
+	Scenario string
+	Seed     int64
+
+	// XAble is the checker's verdict on the observed history (strict or
+	// per-request projection for the x-ability protocol; the charitable
+	// idempotent reading for baselines).
+	XAble bool
+	// Replied reports whether every submitted request got an answer (R2).
+	Replied bool
+	// EffectsInForce is the environment audit for the first request's
+	// action: applications of the side effect still in force across all
+	// round tags. Exactly-once means 1 per request; the audit sums over
+	// the run's requests.
+	EffectsInForce int
+	// Executions counts start events of the first request's action — 1
+	// means the run stayed in the primary-backup flavor, more means
+	// active-replication drift (or baseline duplication).
+	Executions int
+	// Cancels counts completed cancellation actions (the protocol's
+	// cleanup work).
+	Cancels int
+
+	// Requests, Attempts, and Messages are the run's volume counters.
+	Requests int
+	Attempts int
+	Messages int
+	// SimTime is the virtual time the workload spanned (excluding
+	// settling).
+	SimTime time.Duration
+
+	// History is the observed event trace (dropped by Sweep to bound
+	// memory).
+	History event.History
+	// Report is the R2–R4 verdict; meaningful for the x-ability protocol
+	// only (baselines are judged by XAble and the audit).
+	Report verify.Report
+}
+
+// Execute runs one scenario on one seed and returns its outcome. Runs are
+// deterministic: equal (scenario, seed) pairs yield equal outcomes, which
+// is what makes sweep distributions replayable.
+func Execute(sc Scenario, seed int64) Outcome {
+	sc = sc.withDefaults()
+	reqs := sc.Requests
+	if sc.Workload != nil {
+		reqs = workload.Generate(*sc.Workload, seed)
+	}
+	if sc.Protocol == XAbility {
+		return executeXAbility(sc, seed, reqs)
+	}
+	return executeBaseline(sc, seed, reqs)
+}
+
+// settleFor computes how long past the last reply a run keeps simulating
+// before verdicts are read.
+func settleFor(sc Scenario) time.Duration {
+	settle := sc.Settle
+	if sc.Plan != nil {
+		if h := sc.Plan.Horizon() + 2*time.Millisecond; h > settle {
+			settle = h
+		}
+	}
+	return settle
+}
+
+func executeXAbility(sc Scenario, seed int64, reqs []action.Request) Outcome {
+	bank := workload.NewBank(sc.Accounts, sc.Opening)
+	c := core.NewCluster(core.ClusterConfig{
+		Replicas:  sc.Replicas,
+		Seed:      seed,
+		Net:       netConfig(sc, seed),
+		Consensus: sc.Consensus,
+		Detector:  sc.Detector,
+		Registry:  workload.Registry(),
+		Setup:     bank.Setup(),
+	})
+	defer c.Stop()
+	for _, f := range sc.Failures {
+		c.Env.SetFailures(f.Action, f.Prob, f.Budget, f.AfterProb)
+	}
+
+	clk := c.Clock()
+	clk.Enter()
+	if sc.Plan != nil {
+		sc.Plan.Apply(c)
+	}
+	start := clk.Now()
+	replied := true
+	for _, r := range reqs {
+		if c.Client.SubmitUntilSuccess(r) == "" {
+			replied = false
+		}
+	}
+	simTime := clk.Now() - start
+	clk.Sleep(settleFor(sc))
+	clk.Exit()
+	c.Net.Quiesce()
+
+	h := c.Observer.History()
+	logged, replies := c.Client.Log()
+	rep := verify.Check(verify.Run{
+		Registry:       workload.Registry(),
+		Requests:       logged,
+		Replies:        replies,
+		History:        h,
+		SubmitAttempts: c.Client.Attempts(),
+	})
+	o := outcomeFrom(sc, seed, reqs, h, replied)
+	o.XAble = rep.R3Strict || rep.R3Projected
+	o.Report = rep
+	o.Attempts = c.Client.Attempts()
+	o.Messages = c.Net.TotalSent()
+	o.SimTime = simTime
+	// InForceTotal sums over every round tag of a raw (action, input)
+	// pair, so count each distinct pair once even when the workload
+	// repeats it.
+	type pair struct {
+		a  action.Name
+		iv action.Value
+	}
+	counted := make(map[pair]bool)
+	for _, r := range reqs {
+		p := pair{r.Action, r.Input}
+		if !counted[p] {
+			counted[p] = true
+			o.EffectsInForce += c.Env.InForceTotal(r.Action, r.Input)
+		}
+	}
+	return o
+}
+
+func executeBaseline(sc Scenario, seed int64, reqs []action.Request) Outcome {
+	scheme := baseline.PrimaryBackup
+	if sc.Protocol == Active {
+		scheme = baseline.Active
+	}
+	c := baseline.NewCluster(baseline.ClusterConfig{
+		Scheme:    scheme,
+		Replicas:  sc.Replicas,
+		Seed:      seed,
+		Net:       netConfig(sc, seed),
+		Handler:   DivergingHandler(),
+		SyncDelay: sc.SyncDelay,
+	})
+	defer c.Stop()
+
+	clk := c.Clock()
+	clk.Enter()
+	if sc.Plan != nil {
+		sc.Plan.Apply(c)
+	}
+	start := clk.Now()
+	replied := true
+	for _, r := range reqs {
+		if c.Client.SubmitUntilSuccess(r) == "" {
+			replied = false
+		}
+	}
+	simTime := clk.Now() - start
+	clk.Sleep(settleFor(sc))
+	clk.Exit()
+	c.Net.Quiesce()
+
+	// Active replication keeps executing after the first reply returns to
+	// the client; wait for the audit to stabilize so the outcome reports
+	// the protocol's steady state.
+	logged, _ := c.Client.Log()
+	audit := func() int {
+		total := 0
+		for _, r := range logged {
+			total += c.Env.InForce(r.Action, r.EffectiveInput())
+		}
+		return total
+	}
+	waitStable(clk, 2*time.Second, audit)
+
+	trace := c.Observer.History()
+	o := outcomeFrom(sc, seed, reqs, trace, replied)
+	xable := len(logged) > 0
+	for _, r := range logged {
+		if !rawXAble(trace, r) {
+			xable = false
+		}
+	}
+	o.XAble = xable
+	o.Attempts = c.Client.Attempts()
+	o.Messages = c.Net.TotalSent()
+	o.SimTime = simTime
+	o.EffectsInForce = audit()
+	return o
+}
+
+// netConfig clones the scenario's network config for one seeded run.
+func netConfig(sc Scenario, seed int64) simnet.Config {
+	cfg := sc.Net
+	cfg.Seed = seed
+	cfg.Clock = nil // every run gets its own virtual clock
+	return cfg
+}
+
+// outcomeFrom fills the history-derived fields shared by both stacks.
+func outcomeFrom(sc Scenario, seed int64, reqs []action.Request, h event.History, replied bool) Outcome {
+	o := Outcome{
+		Scenario: sc.Name,
+		Seed:     seed,
+		Replied:  replied,
+		Requests: len(reqs),
+		History:  h,
+	}
+	if len(reqs) > 0 {
+		a := reqs[0].Action
+		for _, e := range h {
+			if e.Type == event.Start && e.Action == a {
+				o.Executions++
+			}
+			if e.Type == event.Complete && e.Action == action.Cancel(a) {
+				o.Cancels++
+			}
+		}
+	}
+	return o
+}
+
+// waitStable polls probe on the cluster clock until its value has not
+// changed for 20ms of simulated time (or the deadline passes). On the
+// virtual clock the whole wait costs only the work it overlaps with.
+func waitStable(clk vclock.Clock, d time.Duration, probe func() int) {
+	clk.Enter()
+	defer clk.Exit()
+	deadline := clk.Now() + d
+	last, since := probe(), clk.Now()
+	for clk.Now() < deadline {
+		clk.Sleep(2 * time.Millisecond)
+		cur := probe()
+		if cur != last {
+			last, since = cur, clk.Now()
+			continue
+		}
+		if clk.Now()-since > 20*time.Millisecond {
+			return
+		}
+	}
+}
+
+// DivergingHandler returns the non-deterministic raw handler baselines
+// run: duplicated executions produce diverging outputs ("v1", "v2", …),
+// which is exactly what the x-ability checker catches. Each call returns
+// a handler with an independent counter.
+func DivergingHandler() baseline.Handler {
+	var mu sync.Mutex
+	n := 0
+	return func(req action.Request) action.Value {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return action.Value(fmt.Sprintf("v%d", n))
+	}
+}
+
+// rawXAble checks a baseline history against the request's failure-free
+// target, classifying the action as idempotent (the most charitable
+// reading for the baseline).
+func rawXAble(h event.History, req action.Request) bool {
+	reg := action.NewRegistry()
+	reg.MustRegister(req.Action, action.KindIdempotent)
+	n := reduce.New(reg)
+	spec, err := reduce.SpecFor(reg, req)
+	if err != nil {
+		return false
+	}
+	ok, _ := n.XAbleTo(h, []reduce.TargetSpec{spec})
+	return ok
+}

@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// VerdictDistribution aggregates the outcomes of one scenario across a
+// seed population. Where a single run answers "did this schedule stay
+// exactly-once", a distribution answers "at what rate, over how many
+// schedules" — the replication-at-scale view. Distributions fold outcomes
+// in seed order, so equal (scenario, seeds) inputs produce deeply equal
+// distributions regardless of worker count or interleaving.
+type VerdictDistribution struct {
+	// Scenario names the swept scenario.
+	Scenario string
+	// Runs is the number of seeds executed.
+	Runs int
+	// XAble counts runs whose history verified as x-able.
+	XAble int
+	// Replied counts runs where every request was answered (R2).
+	Replied int
+	// Effects histograms the environment audit: effects-in-force → run
+	// count. An exactly-once protocol concentrates the mass on the
+	// request count (1 for the standard single-request scenarios).
+	Effects map[int]int
+	// Executions histograms how many replicas executed the first
+	// request's action: the primary-backup ↔ active drift, as a
+	// distribution.
+	Executions map[int]int
+	// Attempts and Messages total the clients' submit attempts and the
+	// networks' sends over the whole sweep.
+	Attempts int
+	Messages int
+	// Failing lists the seeds whose run was not x-able or went
+	// unanswered — the inputs a schedule-shrinking pass would start from.
+	Failing []int64
+}
+
+// XAbleRate is the fraction of runs that verified x-able.
+func (d VerdictDistribution) XAbleRate() float64 { return rate(d.XAble, d.Runs) }
+
+// RepliedRate is the fraction of runs where every request was answered.
+func (d VerdictDistribution) RepliedRate() float64 { return rate(d.Replied, d.Runs) }
+
+func rate(n, of int) float64 {
+	if of == 0 {
+		return 0
+	}
+	return float64(n) / float64(of)
+}
+
+// String renders the distribution as a compact multi-line summary.
+func (d VerdictDistribution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d runs  x-able %.4f  replied %.4f",
+		d.Scenario, d.Runs, d.XAbleRate(), d.RepliedRate())
+	fmt.Fprintf(&b, "\n  effects-in-force: %s", histogram(d.Effects))
+	fmt.Fprintf(&b, "\n  executions:       %s", histogram(d.Executions))
+	if d.Runs > 0 {
+		fmt.Fprintf(&b, "\n  mean attempts %.2f  mean msgs %.1f",
+			float64(d.Attempts)/float64(d.Runs), float64(d.Messages)/float64(d.Runs))
+	}
+	if len(d.Failing) > 0 {
+		n := len(d.Failing)
+		show := d.Failing
+		if n > 8 {
+			show = show[:8]
+		}
+		fmt.Fprintf(&b, "\n  failing seeds (%d): %v", n, show)
+	}
+	return b.String()
+}
+
+func histogram(h map[int]int) string {
+	if len(h) == 0 {
+		return "(empty)"
+	}
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%d×%d", k, h[k]))
+	}
+	return strings.Join(parts, "  ")
+}
+
+// Seeds returns n consecutive seeds starting at base — the standard seed
+// population for a sweep.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// Sweep executes the scenario once per seed across parallel workers and
+// folds the outcomes into a VerdictDistribution. Each run is an
+// independent cluster on its own virtual clock, so runs are CPU-bound and
+// embarrassingly parallel; workers of 0 selects GOMAXPROCS. The fold
+// happens in seed order after all runs finish, so the distribution is
+// deterministic for a given (scenario, seeds) pair however many workers
+// execute it.
+func Sweep(sc Scenario, seeds []int64, workers int) VerdictDistribution {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	outcomes := make([]Outcome, len(seeds))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				o := Execute(sc, seeds[i])
+				o.History = nil // bound sweep memory to the verdicts
+				outcomes[i] = o
+			}
+		}()
+	}
+	for i := range seeds {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	d := VerdictDistribution{
+		Scenario:   sc.Name,
+		Runs:       len(seeds),
+		Effects:    make(map[int]int),
+		Executions: make(map[int]int),
+	}
+	for _, o := range outcomes {
+		if o.XAble {
+			d.XAble++
+		}
+		if o.Replied {
+			d.Replied++
+		}
+		d.Effects[o.EffectsInForce]++
+		d.Executions[o.Executions]++
+		d.Attempts += o.Attempts
+		d.Messages += o.Messages
+		if !o.XAble || !o.Replied {
+			d.Failing = append(d.Failing, o.Seed)
+		}
+	}
+	return d
+}

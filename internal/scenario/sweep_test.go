@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSeeds(t *testing.T) {
+	s := Seeds(10, 3)
+	if len(s) != 3 || s[0] != 10 || s[2] != 12 {
+		t.Errorf("Seeds = %v", s)
+	}
+}
+
+// TestSweepDeterministicReplay pins the sweep runner's replayability: the
+// same scenario over the same seed set yields a deeply equal
+// VerdictDistribution regardless of how many workers execute it. Runs are
+// isolated clusters on isolated virtual clocks, so parallel execution must
+// not be observable in the fold.
+func TestSweepDeterministicReplay(t *testing.T) {
+	sc, ok := Get("crash-failover")
+	if !ok {
+		t.Fatal("crash-failover not registered")
+	}
+	seeds := Seeds(1000, 64)
+	serial := Sweep(sc, seeds, 1)
+	parallel := Sweep(sc, seeds, 8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("worker count observable in the distribution:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	again := Sweep(sc, seeds, 8)
+	if !reflect.DeepEqual(parallel, again) {
+		t.Errorf("replay of the same sweep differs:\nfirst:  %+v\nsecond: %+v", parallel, again)
+	}
+	if serial.Runs != len(seeds) {
+		t.Errorf("runs = %d, want %d", serial.Runs, len(seeds))
+	}
+}
+
+// TestSweepCrashFailoverThousandSeeds is the acceptance sweep: one
+// thousand crash-failover schedules, every one of which must stay x-able
+// and answered. This is the claim-at-scale version of T1's centerpiece
+// row.
+func TestSweepCrashFailoverThousandSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thousand-seed sweep skipped in -short mode")
+	}
+	sc, _ := Get("crash-failover")
+	d := Sweep(sc, Seeds(1, 1000), 0)
+	if d.Runs != 1000 {
+		t.Fatalf("runs = %d", d.Runs)
+	}
+	if rate := d.XAbleRate(); rate != 1.0 {
+		t.Errorf("x-able rate = %.4f over %d seeds, want 1.0; failing seeds: %v", rate, d.Runs, d.Failing)
+	}
+	if rate := d.RepliedRate(); rate != 1.0 {
+		t.Errorf("replied rate = %.4f, want 1.0", rate)
+	}
+	if d.Effects[1] != 1000 {
+		t.Errorf("effects-in-force histogram = %v, want all mass on 1", d.Effects)
+	}
+}
+
+// TestSweepAdversarialSetRates sweeps the partition and delay-storm
+// scenarios over a smaller population: the new adversarial rows must hold
+// at rate 1.0 too, not just on one lucky seed.
+func TestSweepAdversarialSetRates(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 25
+	}
+	for _, name := range []string{"partition", "delay-storm"} {
+		sc, _ := Get(name)
+		d := Sweep(sc, Seeds(500, n), 0)
+		if d.XAbleRate() != 1.0 || d.RepliedRate() != 1.0 {
+			t.Errorf("%s: x-able %.4f replied %.4f over %d seeds, want 1.0; failing: %v",
+				name, d.XAbleRate(), d.RepliedRate(), d.Runs, d.Failing)
+		}
+		if d.Effects[1] != n {
+			t.Errorf("%s: effects histogram %v, want all mass on 1", name, d.Effects)
+		}
+	}
+}

@@ -16,13 +16,26 @@
 // CPU it burns, not the delays it simulates. Passing vclock.NewReal() in
 // Config.Clock restores wall-clock behavior.
 //
+// Beyond crash-stop, the network exposes a link-level fault plane for
+// adversarial scenarios: delay distributions other than uniform (fixed
+// per-link asymmetry, heavy-tail Pareto) selected via Config.Dist, a
+// delay-storm multiplier (SetDelayScale), and black-holed links —
+// Partition splits processes into non-communicating groups, DropLink
+// severs one link, Heal repairs everything. Link faults drop messages
+// silently (at send time and at the delivery instant), which is exactly
+// how the model's asynchrony lets an adversary behave; crashed-process
+// semantics are untouched.
+//
 // The network also keeps per-process send counters so experiments can
 // report message complexity.
 package simnet
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,15 +55,45 @@ type Message struct {
 	Payload any
 }
 
+// DelayDist selects the per-message delay distribution drawn over
+// [MinDelay, MaxDelay).
+type DelayDist int
+
+const (
+	// DelayUniform draws every message's delay uniformly from the
+	// [MinDelay, MaxDelay) interval (the default).
+	DelayUniform DelayDist = iota
+	// DelayAsymmetric gives each directed link a fixed delay in
+	// [MinDelay, MaxDelay), derived deterministically from the link's
+	// endpoint names: a→b and b→a generally differ, and fast links stay
+	// fast for the whole run. It models persistent topology asymmetry
+	// rather than per-message jitter.
+	DelayAsymmetric
+	// DelayPareto draws heavy-tailed delays: most messages arrive near
+	// MinDelay, a few straggle far beyond MaxDelay (bounded by ParetoCap).
+	// It models congestion spikes and stresses reordering far more than
+	// the uniform distribution.
+	DelayPareto
+)
+
 // Config tunes the network.
 type Config struct {
 	// Seed drives the delay generator; runs with equal seeds and equal
 	// send sequences see equal delays.
 	Seed int64
-	// MinDelay and MaxDelay bound the uniform per-message delay. Zero
+	// MinDelay and MaxDelay bound the per-message delay span. Zero
 	// values mean immediate handoff (still asynchronous: delivery is a
 	// separate scheduled event).
 	MinDelay, MaxDelay time.Duration
+	// Dist selects the delay distribution over the span (default
+	// DelayUniform).
+	Dist DelayDist
+	// ParetoAlpha is the tail index for DelayPareto: smaller means a
+	// heavier tail. Zero selects 1.5.
+	ParetoAlpha float64
+	// ParetoCap bounds DelayPareto draws above MinDelay. Zero selects
+	// 32× the MinDelay..MaxDelay span.
+	ParetoCap time.Duration
 	// Clock supplies the network's notion of time. Nil selects a fresh
 	// virtual clock (vclock.NewVirtual); pass vclock.NewReal() for
 	// wall-clock delays.
@@ -71,7 +114,17 @@ type Network struct {
 	sent      map[ProcessID]int
 	inflight  int
 	closed    bool
+
+	// Link fault plane. All three are keyed by *base* process IDs (the ID
+	// up to the first '/'), so partitioning "replica-0" also severs its
+	// auxiliary "/fd" and "/cons" endpoints.
+	delayScale float64           // storm multiplier on drawn delays (1 = calm)
+	partition  map[ProcessID]int // base ID → partition group; nil = whole
+	dropped    map[linkKey]bool  // black-holed links (stored both directions)
 }
+
+// linkKey names a directed link between two base process IDs.
+type linkKey struct{ from, to ProcessID }
 
 // New returns an empty network.
 func New(cfg Config) *Network {
@@ -80,15 +133,28 @@ func New(cfg Config) *Network {
 		clk = vclock.NewVirtual()
 	}
 	n := &Network{
-		cfg:       cfg,
-		clk:       clk,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		endpoints: make(map[ProcessID]*Endpoint),
-		crashed:   make(map[ProcessID]bool),
-		sent:      make(map[ProcessID]int),
+		cfg:        cfg,
+		clk:        clk,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		endpoints:  make(map[ProcessID]*Endpoint),
+		crashed:    make(map[ProcessID]bool),
+		sent:       make(map[ProcessID]int),
+		delayScale: 1,
+		dropped:    make(map[linkKey]bool),
 	}
 	n.idle = sync.NewCond(&n.mu)
 	return n
+}
+
+// baseOf strips the auxiliary-endpoint suffix from a process ID:
+// "replica-0/fd" and "replica-0/cons" both belong to base "replica-0".
+// Link faults act on base IDs, so partitioning a process severs all of
+// its endpoints at once.
+func baseOf(id ProcessID) ProcessID {
+	if i := strings.IndexByte(string(id), '/'); i >= 0 {
+		return id[:i]
+	}
+	return id
 }
 
 // Clock returns the network's clock. Components that live on the network
@@ -126,9 +192,16 @@ func (n *Network) Register(id ProcessID) *Endpoint {
 
 // Crash marks a process as crashed: its outstanding and future messages are
 // dropped, and its pending receives unblock with ok=false. Crash is
-// permanent (§5.2: no recovery).
+// permanent (§5.2: no recovery), idempotent (crashing a crashed process is
+// a no-op), and safe for process IDs that were never registered (the crash
+// is recorded, so a send to that ID — were it ever registered — stays
+// dropped).
 func (n *Network) Crash(id ProcessID) {
 	n.mu.Lock()
+	if n.crashed[id] {
+		n.mu.Unlock()
+		return
+	}
 	ep := n.endpoints[id]
 	n.crashed[id] = true
 	n.mu.Unlock()
@@ -139,6 +212,124 @@ func (n *Network) Crash(id ProcessID) {
 		ep.cond.Broadcast()
 		ep.mu.Unlock()
 	}
+}
+
+// Partition splits the network: messages between base process IDs in
+// different groups are black-holed until Heal. IDs not listed in any group
+// keep all of their links. Auxiliary endpoints ("p/fd", "p/cons") follow
+// their base process. Calling Partition again replaces the previous
+// grouping.
+func (n *Network) Partition(groups ...[]ProcessID) {
+	m := make(map[ProcessID]int)
+	for g, members := range groups {
+		for _, id := range members {
+			m[baseOf(id)] = g
+		}
+	}
+	n.mu.Lock()
+	n.partition = m
+	n.mu.Unlock()
+}
+
+// DropLink black-holes the link between two base process IDs in both
+// directions until Heal. Dropping an already dropped link is a no-op.
+func (n *Network) DropLink(a, b ProcessID) {
+	a, b = baseOf(a), baseOf(b)
+	n.mu.Lock()
+	n.dropped[linkKey{a, b}] = true
+	n.dropped[linkKey{b, a}] = true
+	n.mu.Unlock()
+}
+
+// Heal repairs the link fault plane: it clears the active partition and
+// every dropped link. Messages black-holed while the faults were in force
+// stay lost; only future traffic flows again.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.partition = nil
+	n.dropped = make(map[linkKey]bool)
+	n.mu.Unlock()
+}
+
+// SetDelayScale multiplies every subsequently drawn delay by f — the delay
+// storm primitive. f of 1 restores calm; values below 1 are clamped to 1 so
+// a storm can only slow the network down. The underlying random draws are
+// unaffected, so a storm window does not perturb the delay sequence of the
+// traffic around it.
+func (n *Network) SetDelayScale(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	n.mu.Lock()
+	n.delayScale = f
+	n.mu.Unlock()
+}
+
+// blockedLocked reports whether the link fault plane severs from→to.
+// Callers hold n.mu.
+func (n *Network) blockedLocked(from, to ProcessID) bool {
+	from, to = baseOf(from), baseOf(to)
+	if from == to {
+		return false // a process always reaches its own endpoints
+	}
+	if n.dropped[linkKey{from, to}] {
+		return true
+	}
+	if n.partition != nil {
+		gf, okf := n.partition[from]
+		gt, okt := n.partition[to]
+		if okf && okt && gf != gt {
+			return true
+		}
+	}
+	return false
+}
+
+// drawDelayLocked draws one message delay per the configured distribution
+// and applies the current delay scale. Callers hold n.mu. Every
+// distribution consumes the same generator stream only when it actually
+// draws (uniform and Pareto draw once per send; asymmetric never draws),
+// so runs with equal seeds and equal send sequences see equal delays.
+func (n *Network) drawDelayLocked(from, to ProcessID) time.Duration {
+	span := n.cfg.MaxDelay - n.cfg.MinDelay
+	d := n.cfg.MinDelay
+	switch n.cfg.Dist {
+	case DelayAsymmetric:
+		if span > 0 {
+			h := fnv.New64a()
+			h.Write([]byte(from))
+			h.Write([]byte{0})
+			h.Write([]byte(to))
+			d += time.Duration(h.Sum64() % uint64(span))
+		}
+	case DelayPareto:
+		if span > 0 {
+			alpha := n.cfg.ParetoAlpha
+			if alpha <= 0 {
+				alpha = 1.5
+			}
+			bound := n.cfg.ParetoCap
+			if bound <= 0 {
+				bound = 32 * span
+			}
+			// Bounded Pareto over the span: u near 1 is the common case
+			// (delay near MinDelay), u near 0 the straggler tail.
+			u := 1 - n.rng.Float64() // (0, 1]
+			tail := time.Duration(float64(span) * (math.Pow(u, -1/alpha) - 1))
+			if tail > bound {
+				tail = bound
+			}
+			d += tail
+		}
+	default:
+		if span > 0 {
+			d += time.Duration(n.rng.Int63n(int64(span)))
+		}
+	}
+	if n.delayScale > 1 {
+		d = time.Duration(float64(d) * n.delayScale)
+	}
+	return d
 }
 
 // Crashed reports whether a process has crashed.
@@ -210,11 +401,13 @@ func (e *Endpoint) Send(to ProcessID, typ string, payload any) {
 		panic(fmt.Sprintf("simnet: send to unknown process %q", to))
 	}
 	n.sent[e.id]++
-	var delay time.Duration
-	if n.cfg.MaxDelay > n.cfg.MinDelay {
-		delay = n.cfg.MinDelay + time.Duration(n.rng.Int63n(int64(n.cfg.MaxDelay-n.cfg.MinDelay)))
-	} else {
-		delay = n.cfg.MinDelay
+	delay := n.drawDelayLocked(e.id, to)
+	if n.blockedLocked(e.id, to) {
+		// The link is down at send time: the message is black-holed. The
+		// delay draw above still happened, so the fault window does not
+		// perturb the delay sequence of surrounding traffic.
+		n.mu.Unlock()
+		return
 	}
 	msg := Message{From: e.id, To: to, Type: typ, Payload: payload}
 	n.inflight++
@@ -223,10 +416,12 @@ func (e *Endpoint) Send(to ProcessID, typ string, payload any) {
 	n.clk.GoAfter(delay, func() { n.deliver(dst, msg) })
 }
 
-// deliver completes one scheduled delivery.
+// deliver completes one scheduled delivery. A message whose link is down at
+// the delivery instant is black-holed: a partition or dropped link kills the
+// traffic already in the pipe, not only future sends.
 func (n *Network) deliver(dst *Endpoint, msg Message) {
 	n.mu.Lock()
-	dead := n.crashed[msg.To] || n.closed
+	dead := n.crashed[msg.To] || n.closed || n.blockedLocked(msg.From, msg.To)
 	n.mu.Unlock()
 	if !dead {
 		dst.mu.Lock()

@@ -69,6 +69,265 @@ func TestCrashDropsTraffic(t *testing.T) {
 	}
 }
 
+func TestCrashIdempotentAndUnknownSafe(t *testing.T) {
+	n := New(Config{Seed: 30})
+	defer n.Close()
+	a := n.Register("a")
+	n.Register("b")
+
+	// Crash of a process that was never registered must not panic, and the
+	// crash must stick (a send to it would stay dropped).
+	n.Crash("ghost")
+	if !n.Crashed("ghost") {
+		t.Error("crash of unknown process not recorded")
+	}
+	n.Crash("ghost") // double crash of unknown: still a no-op
+
+	// Double crash of a live process is idempotent.
+	a.Send("b", "m", 1)
+	n.Crash("b")
+	n.Crash("b")
+	if !n.Crashed("b") {
+		t.Error("b not crashed")
+	}
+	n.Quiesce()
+	if _, ok := n.endpoints["b"].TryRecv(); ok {
+		t.Error("crashed endpoint received a message")
+	}
+
+	// Concurrent double crash: must not race or panic.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.Crash("a")
+		}()
+	}
+	wg.Wait()
+	if !n.Crashed("a") {
+		t.Error("a not crashed")
+	}
+}
+
+func TestPartitionBlackHolesAcrossGroups(t *testing.T) {
+	n := New(Config{Seed: 31, MaxDelay: 100 * time.Microsecond})
+	defer n.Close()
+	a := n.Register("a")
+	b := n.Register("b")
+	c := n.Register("c")
+
+	n.Partition([]ProcessID{"a"}, []ProcessID{"b", "c"})
+	a.Send("b", "m", 1) // crosses the cut: lost
+	b.Send("c", "m", 2) // same side: delivered
+	n.Quiesce()
+	if _, ok := b.TryRecv(); ok {
+		t.Error("message crossed the partition")
+	}
+	if _, ok := c.TryRecv(); !ok {
+		t.Error("same-side message lost")
+	}
+
+	// Heal: traffic flows again, but the black-holed message stays lost.
+	n.Heal()
+	a.Send("b", "m", 3)
+	n.Quiesce()
+	msg, ok := b.TryRecv()
+	if !ok || msg.Payload.(int) != 3 {
+		t.Errorf("post-heal delivery = %+v, %v", msg, ok)
+	}
+}
+
+func TestPartitionCoversAuxiliaryEndpoints(t *testing.T) {
+	n := New(Config{Seed: 32})
+	defer n.Close()
+	n.Register("a")
+	afd := n.Register("a/fd")
+	bfd := n.Register("b/fd")
+	n.Register("b")
+
+	n.Partition([]ProcessID{"a"}, []ProcessID{"b"})
+	afd.Send("b/fd", "hb", 1) // aux endpoints follow their base process
+	n.Quiesce()
+	if _, ok := bfd.TryRecv(); ok {
+		t.Error("partition did not cover auxiliary endpoints")
+	}
+	// A process always reaches its own endpoints.
+	afd.Send("a", "self", 1)
+	n.Quiesce()
+	if _, ok := n.endpoints["a"].TryRecv(); !ok {
+		t.Error("self traffic blocked by partition")
+	}
+}
+
+func TestPartitionDropsInFlightTraffic(t *testing.T) {
+	// A message in the pipe when the cut lands is lost: the link is down at
+	// its delivery instant.
+	n := New(Config{Seed: 33, MinDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	defer n.Close()
+	a := n.Register("a")
+	b := n.Register("b")
+	a.Send("b", "m", 1)
+	n.Partition([]ProcessID{"a"}, []ProcessID{"b"}) // before delivery fires
+	n.Quiesce()
+	if _, ok := b.TryRecv(); ok {
+		t.Error("in-flight message survived the partition")
+	}
+}
+
+func TestDropLinkIsBidirectionalAndHealable(t *testing.T) {
+	n := New(Config{Seed: 34})
+	defer n.Close()
+	a := n.Register("a")
+	b := n.Register("b")
+	c := n.Register("c")
+
+	n.DropLink("a", "b")
+	a.Send("b", "m", 1)
+	b.Send("a", "m", 2)
+	a.Send("c", "m", 3) // other links unaffected
+	n.Quiesce()
+	if _, ok := b.TryRecv(); ok {
+		t.Error("a→b not black-holed")
+	}
+	if _, ok := a.TryRecv(); ok {
+		t.Error("b→a not black-holed")
+	}
+	if _, ok := c.TryRecv(); !ok {
+		t.Error("unrelated link affected")
+	}
+	n.Heal()
+	a.Send("b", "m", 4)
+	n.Quiesce()
+	if _, ok := b.TryRecv(); !ok {
+		t.Error("link not healed")
+	}
+}
+
+func TestDelayScaleStretchesDeliveries(t *testing.T) {
+	n := New(Config{Seed: 35, MinDelay: 100 * time.Microsecond, MaxDelay: 200 * time.Microsecond})
+	defer n.Close()
+	a := n.Register("a")
+	b := n.Register("b")
+	clk := n.Clock()
+
+	n.SetDelayScale(100)
+	start := clk.Now()
+	a.Send("b", "m", 1)
+	if _, ok := b.Recv(); !ok {
+		t.Fatal("recv failed")
+	}
+	if got := clk.Now() - start; got < 10*time.Millisecond {
+		t.Errorf("stormed delivery took %v, want ≥ 10ms of simulated time", got)
+	}
+
+	n.SetDelayScale(1) // calm again
+	start = clk.Now()
+	a.Send("b", "m", 2)
+	if _, ok := b.Recv(); !ok {
+		t.Fatal("recv failed")
+	}
+	if got := clk.Now() - start; got > time.Millisecond {
+		t.Errorf("calm delivery took %v, want < 1ms", got)
+	}
+}
+
+func TestDelayDistributions(t *testing.T) {
+	const sends = 400
+	measure := func(cfg Config) []time.Duration {
+		n := New(cfg)
+		defer n.Close()
+		a := n.Register("a")
+		b := n.Register("b")
+		clk := n.Clock()
+		var delays []time.Duration
+		for i := 0; i < sends; i++ {
+			start := clk.Now()
+			a.Send("b", "m", i)
+			if _, ok := b.Recv(); !ok {
+				t.Fatal("recv failed")
+			}
+			delays = append(delays, clk.Now()-start)
+		}
+		return delays
+	}
+
+	span := Config{Seed: 36, MinDelay: 100 * time.Microsecond, MaxDelay: 200 * time.Microsecond}
+
+	t.Run("asymmetric-is-fixed-per-link", func(t *testing.T) {
+		cfg := span
+		cfg.Dist = DelayAsymmetric
+		delays := measure(cfg)
+		for _, d := range delays {
+			if d != delays[0] {
+				t.Fatalf("asymmetric link delay varies: %v vs %v", d, delays[0])
+			}
+		}
+		if delays[0] < cfg.MinDelay || delays[0] >= cfg.MaxDelay {
+			t.Errorf("asymmetric delay %v outside [%v, %v)", delays[0], cfg.MinDelay, cfg.MaxDelay)
+		}
+	})
+
+	t.Run("asymmetric-differs-by-direction", func(t *testing.T) {
+		cfg := span
+		cfg.Dist = DelayAsymmetric
+		n := New(cfg)
+		defer n.Close()
+		a := n.Register("a")
+		b := n.Register("b")
+		clk := n.Clock()
+		start := clk.Now()
+		a.Send("b", "m", 1)
+		b.Recv()
+		ab := clk.Now() - start
+		start = clk.Now()
+		b.Send("a", "m", 2)
+		a.Recv()
+		ba := clk.Now() - start
+		if ab == ba {
+			t.Errorf("a→b and b→a share delay %v; expected asymmetry", ab)
+		}
+	})
+
+	t.Run("pareto-has-heavy-tail", func(t *testing.T) {
+		cfg := span
+		cfg.Dist = DelayPareto
+		delays := measure(cfg)
+		over := 0
+		for _, d := range delays {
+			if d < cfg.MinDelay {
+				t.Fatalf("pareto delay %v below MinDelay", d)
+			}
+			if d > cfg.MaxDelay {
+				over++
+			}
+		}
+		if over == 0 {
+			t.Error("no pareto draw exceeded MaxDelay; tail missing")
+		}
+		bound := cfg.MinDelay + 32*(cfg.MaxDelay-cfg.MinDelay)
+		for _, d := range delays {
+			if d > bound {
+				t.Fatalf("pareto delay %v exceeds default cap %v", d, bound)
+			}
+		}
+	})
+
+	t.Run("seeded-replay", func(t *testing.T) {
+		for _, dist := range []DelayDist{DelayUniform, DelayAsymmetric, DelayPareto} {
+			cfg := span
+			cfg.Dist = dist
+			first := measure(cfg)
+			second := measure(cfg)
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("dist %d: delay %d differs across replays: %v vs %v", dist, i, first[i], second[i])
+				}
+			}
+		}
+	})
+}
+
 func TestCrashUnblocksReceivers(t *testing.T) {
 	n := New(Config{Seed: 4})
 	defer n.Close()

@@ -19,6 +19,10 @@
 //     an active-replication flavor — see NewService.
 //   - The specification: requirements R1–R4 for x-able services (§4),
 //     checked against concrete runs — see CheckRun.
+//   - The scenario layer: declarative fault plans (crashes, partitions,
+//     delay storms, suspicion pulses on the virtual clock), a registry of
+//     named adversarial scenarios, and a parallel seed-sweep runner that
+//     reports verdict distributions — see NewPlan, RunScenario, Sweep.
 //
 // Quickstart:
 //
@@ -48,6 +52,7 @@ import (
 	"xability/internal/env"
 	"xability/internal/event"
 	"xability/internal/reduce"
+	"xability/internal/scenario"
 	"xability/internal/sm"
 	"xability/internal/trace"
 	"xability/internal/vclock"
@@ -211,6 +216,77 @@ func (s *Service) Attempts() int { return s.cluster.Client.Attempts() }
 // Cluster exposes the underlying cluster for advanced scenarios (fault
 // injection, per-replica access).
 func (s *Service) Cluster() *core.Cluster { return s.cluster }
+
+// The scenario layer (internal/scenario): declarative fault plans, a
+// named-scenario registry, and the parallel seed-sweep runner.
+type (
+	// Scenario is one adversarial experiment, declaratively: protocol,
+	// network, injected failures, fault plan, workload.
+	Scenario = scenario.Scenario
+	// Plan is a timed fault schedule (crashes, partitions, suspicion
+	// pulses, delay storms) applied on the virtual clock.
+	Plan = scenario.Plan
+	// FaultTarget is the cluster surface a Plan drives.
+	FaultTarget = scenario.Target
+	// Outcome is the verdict of one scenario run.
+	Outcome = scenario.Outcome
+	// VerdictDistribution aggregates outcomes across a seed population.
+	VerdictDistribution = scenario.VerdictDistribution
+)
+
+// Protocols a Scenario can deploy.
+const (
+	// ProtocolXAbility is the paper's protocol.
+	ProtocolXAbility = scenario.XAbility
+	// ProtocolPrimaryBackup is the [BMST93]-style baseline.
+	ProtocolPrimaryBackup = scenario.PrimaryBackup
+	// ProtocolActive is the [Sch93]-style baseline.
+	ProtocolActive = scenario.Active
+)
+
+// NewPlan returns an empty fault plan; chain the *At builder methods to
+// describe a schedule, then pass it to Service.Apply (or set it on a
+// Scenario).
+func NewPlan() *Plan { return scenario.NewPlan() }
+
+// RegisterScenario adds a scenario to the process-wide registry; builtin
+// scenarios (nice, crash-failover, partition, delay-storm, …) are
+// pre-registered.
+func RegisterScenario(sc Scenario) error { return scenario.Register(sc) }
+
+// ScenarioByName looks a registered scenario up.
+func ScenarioByName(name string) (Scenario, bool) { return scenario.Get(name) }
+
+// ScenarioNames lists every registered scenario, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// RunScenario executes one scenario on one seed. Equal (scenario, seed)
+// pairs yield equal outcomes.
+func RunScenario(sc Scenario, seed int64) Outcome { return scenario.Execute(sc, seed) }
+
+// Sweep executes a scenario once per seed across parallel workers (0
+// selects GOMAXPROCS) and folds the outcomes into a deterministic verdict
+// distribution. Runs are CPU-bound on the virtual clock, so populations of
+// thousands are practical.
+func Sweep(sc Scenario, seeds []int64, workers int) VerdictDistribution {
+	return scenario.Sweep(sc, seeds, workers)
+}
+
+// SweepSeeds returns n consecutive seeds starting at base — the standard
+// seed population for Sweep.
+func SweepSeeds(base int64, n int) []int64 { return scenario.Seeds(base, n) }
+
+// Apply schedules a fault plan against this service, relative to the
+// current virtual time. Call it while the schedule is held (Clock().Enter
+// before, Exit after the workload is submitted) so ops land at their
+// declared offsets:
+//
+//	clk := svc.Clock()
+//	clk.Enter()
+//	svc.Apply(xability.NewPlan().CrashAt(2*time.Millisecond, 0))
+//	reply := svc.Call(req)
+//	clk.Exit()
+func (s *Service) Apply(p *Plan) { p.Apply(s.cluster) }
 
 // Clock returns the service's clock. Schedule fault injection on it
 // (Clock().Go with Clock().Sleep) so scenarios land at fixed points of

@@ -3,6 +3,7 @@ package xability_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"xability"
 )
@@ -77,5 +78,69 @@ func TestFacadeEventConstructors(t *testing.T) {
 	h := xability.History{xability.S("a", "1"), xability.C("a", "2")}
 	if err := h.WellFormed(); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestFacadeApplyPlan drives a service through a declarative fault plan:
+// the round-1 owner crashes mid-execution and the service must still
+// answer exactly once.
+func TestFacadeApplyPlan(t *testing.T) {
+	reg := xability.NewRegistry()
+	reg.MustRegister("charge", xability.Undoable)
+
+	svc := xability.NewService(xability.ServiceConfig{
+		Replicas: 3,
+		Seed:     11,
+		Registry: reg,
+		Setup: func(m *xability.Machine) {
+			if err := m.HandleUndoable("charge",
+				func(ctx *xability.Ctx) xability.Value { return "charged" },
+				nil); err != nil {
+				t.Error(err)
+			}
+		},
+	})
+	defer svc.Close()
+
+	// Stretch the execution so the crash lands mid-run.
+	svc.Environment().SetFailures("charge", 1.0, 6, 0)
+	clk := svc.Clock()
+	clk.Enter()
+	svc.Apply(xability.NewPlan().CrashAt(2*time.Millisecond, 0))
+	reply := svc.Call(xability.NewRequest("charge", "card-1"))
+	clk.Exit()
+
+	if reply != "charged" {
+		t.Errorf("reply = %q", reply)
+	}
+	rep := svc.Verify(reg)
+	if !rep.OK() {
+		t.Errorf("crash-failover run failed verification: %+v", rep)
+	}
+	if got := svc.Environment().InForceTotal("charge", "card-1"); got != 1 {
+		t.Errorf("effects in force = %d, want exactly 1", got)
+	}
+}
+
+// TestFacadeScenarioRegistryAndSweep exercises the public scenario surface:
+// named lookup, single runs, and a small parallel sweep.
+func TestFacadeScenarioRegistryAndSweep(t *testing.T) {
+	names := xability.ScenarioNames()
+	if len(names) == 0 {
+		t.Fatal("no builtin scenarios registered")
+	}
+	sc, ok := xability.ScenarioByName("crash-failover")
+	if !ok {
+		t.Fatal("crash-failover not registered")
+	}
+	if o := xability.RunScenario(sc, 42); !o.XAble || !o.Replied {
+		t.Errorf("crash-failover run: %+v", o)
+	}
+	d := xability.Sweep(sc, xability.SweepSeeds(1, 16), 4)
+	if d.Runs != 16 || d.XAbleRate() != 1.0 {
+		t.Errorf("sweep distribution: %+v", d)
+	}
+	if err := xability.RegisterScenario(sc); err == nil {
+		t.Error("duplicate scenario registration succeeded")
 	}
 }
