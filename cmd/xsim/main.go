@@ -6,12 +6,24 @@
 // reports the R-clause verdicts. Sweep mode (-sweep N) replays the
 // scenario across N seeds in parallel workers — runs are CPU-bound on the
 // virtual clock — and prints the verdict distribution: x-able rate, reply
-// rate, effects-in-force histogram, and any failing seeds.
+// rate, effects-in-force histogram, and any failing seeds; add
+// -shrink-failing to turn those seeds into minimal counterexample traces
+// inline.
+//
+// Shrink mode (-shrink <seed>) is the debugging tool for a failing seed:
+// it records the seed's delivery schedule, delta-debugs it (ddmin over
+// deliveries, greedy removal over fault-plan ops, re-running the scenario
+// under replay after every edit), and prints a locally minimal
+// counterexample trace — removing any single remaining delivery or fault
+// op makes the failure disappear. -shrink-out writes the rendered trace to
+// a file (CI publishes it as an artifact), -shrink-budget caps the number
+// of re-executions. xsim exits non-zero when the shrinker does not
+// converge within the budget, or when the seed does not fail at all.
 //
 // Scenarios come from the registry (-list prints them): nice,
-// crash-failover, partition, delay-storm, suspect, failures, sequence, the
-// spectrum-N pulse sweeps, and the baseline contrast rows (pb-nice,
-// pb-crash-failover, active-nice).
+// crash-failover, partition, delay-storm, delay-storm-hb, suspect,
+// failures, sequence, the spectrum-N pulse sweeps, and the baseline
+// contrast rows (pb-nice, pb-crash-failover, active-nice).
 package main
 
 import (
@@ -21,6 +33,7 @@ import (
 
 	"xability/internal/core"
 	"xability/internal/scenario"
+	"xability/internal/shrink"
 )
 
 func main() {
@@ -33,8 +46,19 @@ func main() {
 		replicas  = flag.Int("replicas", 0, "override the scenario's replication degree")
 		useCT     = flag.Bool("ct", false, "force the message-passing consensus substrate")
 		showTrace = flag.Bool("history", true, "print the observed event history (single-run mode)")
+
+		shrinkSeed   = flag.Int64("shrink", 0, "shrink the given failing seed to a minimal counterexample trace")
+		shrinkOut    = flag.String("shrink-out", "", "also write the rendered minimal trace to this file")
+		shrinkSteps  = flag.Int("shrink-budget", 0, "cap the shrinker's scenario re-executions (0 = default)")
+		shrinkInline = flag.Bool("shrink-failing", false, "sweep mode: shrink failing seeds into counterexample traces")
 	)
 	flag.Parse()
+	shrinkMode := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shrink" {
+			shrinkMode = true
+		}
+	})
 
 	if *list {
 		for _, n := range scenario.Names() {
@@ -61,8 +85,12 @@ func main() {
 		sc.Consensus = core.ConsensusCT
 	}
 
+	if shrinkMode {
+		runShrink(sc, *shrinkSeed, *shrinkSteps, *shrinkOut)
+		return
+	}
 	if *sweep > 0 {
-		runSweep(sc, *seed, *sweep, *workers)
+		runSweep(sc, *seed, *sweep, *workers, *shrinkInline, *shrinkSteps)
 		return
 	}
 	runOne(sc, *seed, *showTrace)
@@ -100,12 +128,42 @@ func runOne(sc scenario.Scenario, seed int64, showTrace bool) {
 	fmt.Printf("x-able: %v  replied: %v\n", o.XAble, o.Replied)
 }
 
-func runSweep(sc scenario.Scenario, seed int64, n, workers int) {
-	d := scenario.Sweep(sc, scenario.Seeds(seed, n), workers)
+func runSweep(sc scenario.Scenario, seed int64, n, workers int, shrinkFailing bool, budget int) {
+	d := scenario.SweepWithOptions(sc, scenario.Seeds(seed, n), scenario.SweepOptions{
+		Workers:       workers,
+		ShrinkFailing: shrinkFailing,
+		ShrinkBudget:  budget,
+	})
 	fmt.Println(d)
 	// For the x-ability protocol any failing seed falsifies the paper's
 	// claim; baselines are swept for their distributions only.
 	if sc.Protocol == scenario.XAbility && (d.XAbleRate() < 1 || d.RepliedRate() < 1) {
+		os.Exit(1)
+	}
+}
+
+func runShrink(sc scenario.Scenario, seed int64, budget int, out string) {
+	mt, err := shrink.Shrink(sc, seed, shrink.Options{MaxSteps: budget})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsim: shrink %s seed %d: %v\n", sc.Name, seed, err)
+		if mt.Log == nil {
+			os.Exit(1)
+		}
+		// Budget-cut shrinks still print and write the best-so-far trace
+		// before exiting non-zero.
+	}
+	rendered := mt.Render()
+	fmt.Printf("%s", rendered)
+	fmt.Printf("shrink: %d steps, %d→%d deliveries, %d→%d fault ops, 1-minimal: %v\n",
+		mt.Steps, mt.BaseDeliveries, mt.Deliveries, mt.BaseOps, mt.Ops, mt.Minimal)
+	if out != "" {
+		if werr := os.WriteFile(out, []byte(rendered), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "xsim: write %s: %v\n", out, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", out)
+	}
+	if err != nil {
 		os.Exit(1)
 	}
 }

@@ -115,7 +115,8 @@ type Server struct {
 	mu      sync.Mutex
 	stopped bool
 	active  map[string]*requestState
-	order   []string // request IDs in arrival order, for replay
+	order   []string        // request IDs in arrival order, for replay
+	rounds  map[string]bool // (request, round) pairs this replica has processed
 	stop    chan struct{}
 	wg      sync.WaitGroup
 }
@@ -156,6 +157,7 @@ func NewServer(cfg ServerConfig) *Server {
 		clk:           cfg.Network.Clock(),
 		cleanInterval: ci,
 		active:        make(map[string]*requestState),
+		rounds:        make(map[string]bool),
 		stop:          make(chan struct{}),
 	}
 }
@@ -269,7 +271,22 @@ func (s *Server) processRequest(req action.Request, round int, client simnet.Pro
 	if s.isStopped() || round > MaxRound {
 		return
 	}
-	decided := s.cons.Object(ownerKey(req.ID, round)).Propose(ownerDecision{Owner: s.id, Req: req, Client: client})
+	// Each replica attempts a (request, round) pair at most once. Without
+	// this, a re-submission of an in-progress request to the replica that
+	// owns its round would read back its own ownership decision and
+	// execute the round a second time — a duplicate committed execution
+	// the calculus cannot reduce away. (A storm-tossed heartbeat client
+	// wraps its failover cycle back to the owner and triggers exactly
+	// that; scripted-suspicion schedules never do.)
+	s.mu.Lock()
+	key := ownerKey(req.ID, round)
+	if s.rounds[key] {
+		s.mu.Unlock()
+		return
+	}
+	s.rounds[key] = true
+	s.mu.Unlock()
+	decided := s.cons.Object(key).Propose(ownerDecision{Owner: s.id, Req: req, Client: client})
 	od, ok := decided.(ownerDecision)
 	if !ok || od.Owner != s.id {
 		return // another replica owns this round; the cleaner watches it

@@ -76,6 +76,23 @@ func init() {
 		Settle: 20 * time.Millisecond,
 	})
 
+	// delay-storm-hb: the delay storm against *real* ◇P heartbeat
+	// detectors instead of scripted suspicion pulses. The storm stretches
+	// heartbeat gaps past the suspicion timeout, so false suspicions arise
+	// endogenously (at replicas and client alike); each one doubles the
+	// suspected peer's timeout, which is exactly the eventual-accuracy
+	// path — once the timeout outgrows the storm's delays, accuracy
+	// returns and the run must still verify x-able.
+	MustRegister(Scenario{
+		Name:              "delay-storm-hb",
+		Description:       "24× delay storm against real heartbeat ◇P detectors; timeout doubling restores accuracy",
+		Detector:          core.DetectorHeartbeat,
+		HeartbeatInterval: 500 * time.Microsecond,
+		Failures:          []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		Plan:              NewPlan().DelayStormAt(500*time.Microsecond, 4*time.Millisecond, 24),
+		Settle:            20 * time.Millisecond,
+	})
+
 	// suspect: a permanent false suspicion of the round-1 owner makes a
 	// second replica execute concurrently (the active flavor) over a
 	// non-deterministic idempotent action.

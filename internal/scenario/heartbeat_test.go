@@ -1,0 +1,55 @@
+package scenario
+
+import "testing"
+
+// TestDelayStormHeartbeatRecoversXAbility is the end-to-end ◇P test: the
+// delay-storm schedule runs against the *real* heartbeat failure detectors
+// — no scripted suspicion pulses anywhere. The storm stretches heartbeat
+// gaps past the suspicion timeout, so replicas and client genuinely
+// (falsely) suspect each other mid-run, dragging the protocol toward its
+// active flavor; each false suspicion doubles the suspected peer's timeout
+// (the eventual-accuracy path), and once the timeout outgrows the storm
+// the run must settle back to exactly-once.
+func TestDelayStormHeartbeatRecoversXAbility(t *testing.T) {
+	sc, ok := Get("delay-storm-hb")
+	if !ok {
+		t.Fatal("delay-storm-hb not registered")
+	}
+	stormBit := false
+	for seed := int64(1); seed <= 8; seed++ {
+		o := Execute(sc, seed)
+		if !o.XAble || !o.Replied {
+			t.Errorf("seed %d: x-able=%v replied=%v — accuracy did not recover: %+v",
+				seed, o.XAble, o.Replied, o.Report)
+		}
+		if o.EffectsInForce != 1 {
+			t.Errorf("seed %d: effects in force = %d, want exactly 1", seed, o.EffectsInForce)
+		}
+		// The storm must actually bite: concurrent executions (replica-side
+		// false suspicions) or client failovers (client-side ones).
+		if o.Executions >= 2 || o.Attempts >= 2 {
+			stormBit = true
+		}
+	}
+	if !stormBit {
+		t.Error("no seed showed storm-induced suspicions; the scenario is not exercising the ◇P path")
+	}
+}
+
+// TestDelayStormHeartbeatSweep is the claim-at-scale version: a seed
+// population of the heartbeat storm must hold at rate 1.0.
+func TestDelayStormHeartbeatSweep(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 15
+	}
+	sc, _ := Get("delay-storm-hb")
+	d := Sweep(sc, Seeds(300, n), 0)
+	if d.XAbleRate() != 1.0 || d.RepliedRate() != 1.0 {
+		t.Errorf("x-able %.4f replied %.4f over %d seeds, want 1.0; failing: %v",
+			d.XAbleRate(), d.RepliedRate(), d.Runs, d.Failing)
+	}
+	if d.Effects[1] != n {
+		t.Errorf("effects histogram %v, want all mass on 1", d.Effects)
+	}
+}

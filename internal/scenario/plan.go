@@ -166,8 +166,13 @@ func (p *Plan) DelayStormAt(at, duration time.Duration, factor float64) *Plan {
 }
 
 // Ops returns a copy of the plan's operations in the order they were
-// added.
-func (p *Plan) Ops() []Op { return append([]Op(nil), p.ops...) }
+// added. A nil plan has none.
+func (p *Plan) Ops() []Op {
+	if p == nil {
+		return nil
+	}
+	return append([]Op(nil), p.ops...)
+}
 
 // Clone returns an independent copy of the plan: builder calls on the
 // clone do not affect the original. The registry hands out clones so a
@@ -177,6 +182,43 @@ func (p *Plan) Clone() *Plan {
 		return nil
 	}
 	return &Plan{ops: p.Ops(), topologyBound: p.topologyBound}
+}
+
+// Concat returns a new plan holding this plan's ops followed by each given
+// plan's ops, in order. Firing times are kept absolute, so concatenation is
+// schedule merging, not sequencing: the result executes identically — at
+// every virtual-time instant — to a plan whose builder calls were the
+// concatenation of the operands' builder calls. Neither receiver nor
+// arguments are mutated; nil plans are skipped.
+func (p *Plan) Concat(others ...*Plan) *Plan {
+	out := p.Clone()
+	if out == nil {
+		out = NewPlan()
+	}
+	for _, q := range others {
+		if q == nil {
+			continue
+		}
+		out.ops = append(out.ops, q.Ops()...)
+		out.topologyBound = out.topologyBound || q.topologyBound
+	}
+	return out
+}
+
+// Without returns a copy of the plan with the ops at the given indices (in
+// Ops() order) removed — the shrinker's plan-edit primitive. A nil plan
+// stays nil.
+func (p *Plan) Without(drop map[int]bool) *Plan {
+	if p == nil {
+		return nil
+	}
+	out := &Plan{topologyBound: p.topologyBound}
+	for i, op := range p.ops {
+		if !drop[i] {
+			out.ops = append(out.ops, op)
+		}
+	}
+	return out
 }
 
 // TopologyBound reports whether the plan names explicit process groups

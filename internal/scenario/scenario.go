@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xability/internal/action"
@@ -10,6 +11,7 @@ import (
 	"xability/internal/core"
 	"xability/internal/event"
 	"xability/internal/reduce"
+	"xability/internal/schedule"
 	"xability/internal/simnet"
 	"xability/internal/vclock"
 	"xability/internal/verify"
@@ -93,6 +95,18 @@ type Scenario struct {
 	// active-replication executions) finish. Runs always settle at least
 	// 2ms past the plan's horizon.
 	Settle time.Duration
+
+	// HeartbeatInterval tunes the ◇P heartbeat detectors when Detector is
+	// DetectorHeartbeat (zero selects the core default).
+	HeartbeatInterval time.Duration
+
+	// Deadline, when positive, caps the run at this much virtual time:
+	// a watchdog closes the network, the client's retry obligation
+	// lapses, and the outcome reports TimedOut. Zero means no cap. The
+	// shrinker sets it so that edited schedules that would stall a client
+	// await forever still terminate (and are then rejected, because a
+	// hung run is not the recorded failure).
+	Deadline time.Duration
 }
 
 // TableLabel returns the scenario's experiment-table label.
@@ -161,27 +175,72 @@ type Outcome struct {
 	// settling).
 	SimTime time.Duration
 
+	// TimedOut reports that the scenario's Deadline watchdog killed the
+	// run before the workload finished.
+	TimedOut bool
+
 	// History is the observed event trace (dropped by Sweep to bound
 	// memory).
 	History event.History
 	// Report is the R2–R4 verdict; meaningful for the x-ability protocol
 	// only (baselines are judged by XAble and the audit).
 	Report verify.Report
+	// Schedule is the recorded delivery log (ExecuteTraced runs only; nil
+	// otherwise).
+	Schedule *schedule.Log
+	// Counterexample is the rendered minimal failing trace; the shrinker
+	// (internal/shrink) fills it on the outcome of a minimized run.
+	Counterexample string
 }
 
 // Execute runs one scenario on one seed and returns its outcome. Runs are
 // deterministic: equal (scenario, seed) pairs yield equal outcomes, which
 // is what makes sweep distributions replayable.
 func Execute(sc Scenario, seed int64) Outcome {
+	return ExecuteTraced(sc, seed, nil, nil)
+}
+
+// ExecuteTraced is Execute with the schedule plane armed: when record is
+// non-nil the network logs every delivery decision into it (and the
+// outcome carries it as Schedule); when replay is non-nil the run
+// re-executes the given log instead of drawing delays from the seed —
+// the record/replay/shrink pipeline's entry point. Either may be nil.
+func ExecuteTraced(sc Scenario, seed int64, record *schedule.Log, replay *schedule.Replay) Outcome {
 	sc = sc.withDefaults()
+	sc.Net.Record, sc.Net.Replay = record, replay
 	reqs := sc.Requests
 	if sc.Workload != nil {
 		reqs = workload.Generate(*sc.Workload, seed)
 	}
+	var o Outcome
 	if sc.Protocol == XAbility {
-		return executeXAbility(sc, seed, reqs)
+		o = executeXAbility(sc, seed, reqs)
+	} else {
+		o = executeBaseline(sc, seed, reqs)
 	}
-	return executeBaseline(sc, seed, reqs)
+	o.Schedule = record
+	return o
+}
+
+// watchdog arms the scenario's Deadline on a freshly started cluster: at
+// the cap the network closes, unblocking every client await. The cap
+// guards the submit phase only — settling and audit stabilization always
+// terminate on their own — so the caller disarms it once the workload is
+// through. Call with the clock held; fired reports whether the watchdog
+// killed the run.
+func watchdog(sc Scenario, clk vclock.Clock, net *simnet.Network) (fired func() bool, disarm func()) {
+	if sc.Deadline <= 0 {
+		return func() bool { return false }, func() {}
+	}
+	var hit, done atomic.Bool
+	clk.GoAfter(sc.Deadline, func() {
+		if done.Load() {
+			return
+		}
+		hit.Store(true)
+		net.Close()
+	})
+	return hit.Load, func() { done.Store(true) }
 }
 
 // settleFor computes how long past the last reply a run keeps simulating
@@ -206,6 +265,8 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request) Outcome {
 		Detector:  sc.Detector,
 		Registry:  workload.Registry(),
 		Setup:     bank.Setup(),
+
+		HeartbeatInterval: sc.HeartbeatInterval,
 	})
 	defer c.Stop()
 	for _, f := range sc.Failures {
@@ -214,6 +275,7 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request) Outcome {
 
 	clk := c.Clock()
 	clk.Enter()
+	timedOut, disarm := watchdog(sc, clk, c.Net)
 	if sc.Plan != nil {
 		sc.Plan.Apply(c)
 	}
@@ -224,6 +286,7 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request) Outcome {
 			replied = false
 		}
 	}
+	disarm()
 	simTime := clk.Now() - start
 	clk.Sleep(settleFor(sc))
 	clk.Exit()
@@ -239,6 +302,7 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request) Outcome {
 		SubmitAttempts: c.Client.Attempts(),
 	})
 	o := outcomeFrom(sc, seed, reqs, h, replied)
+	o.TimedOut = timedOut()
 	o.XAble = rep.R3Strict || rep.R3Projected
 	o.Report = rep
 	o.Attempts = c.Client.Attempts()
@@ -279,6 +343,7 @@ func executeBaseline(sc Scenario, seed int64, reqs []action.Request) Outcome {
 
 	clk := c.Clock()
 	clk.Enter()
+	timedOut, disarm := watchdog(sc, clk, c.Net)
 	if sc.Plan != nil {
 		sc.Plan.Apply(c)
 	}
@@ -289,6 +354,7 @@ func executeBaseline(sc Scenario, seed int64, reqs []action.Request) Outcome {
 			replied = false
 		}
 	}
+	disarm()
 	simTime := clk.Now() - start
 	clk.Sleep(settleFor(sc))
 	clk.Exit()
@@ -309,6 +375,7 @@ func executeBaseline(sc Scenario, seed int64, reqs []action.Request) Outcome {
 
 	trace := c.Observer.History()
 	o := outcomeFrom(sc, seed, reqs, trace, replied)
+	o.TimedOut = timedOut()
 	xable := len(logged) > 0
 	for _, r := range logged {
 		if !rawXAble(trace, r) {

@@ -36,8 +36,13 @@ type VerdictDistribution struct {
 	Attempts int
 	Messages int
 	// Failing lists the seeds whose run was not x-able or went
-	// unanswered — the inputs a schedule-shrinking pass would start from.
+	// unanswered — the inputs a schedule-shrinking pass starts from.
 	Failing []int64
+	// Counterexamples maps failing seeds to their rendered minimal
+	// counterexample traces. Filled only when sweeping with
+	// SweepOptions.ShrinkFailing (and the shrinker is linked; see
+	// RegisterShrinker).
+	Counterexamples map[int64]string
 }
 
 // XAbleRate is the fraction of runs that verified x-able.
@@ -72,7 +77,22 @@ func (d VerdictDistribution) String() string {
 		}
 		fmt.Fprintf(&b, "\n  failing seeds (%d): %v", n, show)
 	}
+	// Counterexamples render in seed order (the map is keyed by seed, but
+	// Failing preserves fold order).
+	for _, seed := range d.Failing {
+		if cx, ok := d.Counterexamples[seed]; ok {
+			fmt.Fprintf(&b, "\n  minimal counterexample, seed %d:\n%s", seed, indent(cx, "    "))
+		}
+	}
 	return b.String()
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
 }
 
 func histogram(h map[int]int) string {
@@ -101,6 +121,40 @@ func Seeds(base int64, n int) []int64 {
 	return out
 }
 
+// SweepOptions tunes a sweep beyond its seed population.
+type SweepOptions struct {
+	// Workers is the parallel worker count (0 selects GOMAXPROCS).
+	Workers int
+	// ShrinkFailing turns failing seeds into minimal counterexample
+	// traces: after the fold, up to MaxCounterexamples failing seeds are
+	// delta-debugged (record → ddmin-edited replays) and the rendered
+	// minimal traces land in VerdictDistribution.Counterexamples. The
+	// shrinker lives in internal/shrink and registers itself via
+	// RegisterShrinker when linked (the root xability package and
+	// cmd/xsim always link it); without it the knob is a no-op.
+	ShrinkFailing bool
+	// ShrinkBudget caps each shrink's Execute invocations (0 selects the
+	// shrinker default).
+	ShrinkBudget int
+	// MaxCounterexamples bounds how many failing seeds are shrunk
+	// (0 selects 3). Shrinking is sequential and costs many re-executions
+	// per seed; a sweep with hundreds of failing seeds wants a bound.
+	MaxCounterexamples int
+}
+
+// shrinkHook is the registered shrinker (see RegisterShrinker). It returns
+// the rendered minimal counterexample for (sc, seed) and whether shrinking
+// succeeded.
+var shrinkHook func(sc Scenario, seed int64, budget int) (string, bool)
+
+// RegisterShrinker installs the schedule shrinker Sweep uses for
+// SweepOptions.ShrinkFailing. internal/shrink calls it from its init; the
+// indirection exists because the shrinker re-runs scenarios (it imports
+// this package) and so cannot be imported from here.
+func RegisterShrinker(fn func(sc Scenario, seed int64, budget int) (string, bool)) {
+	shrinkHook = fn
+}
+
 // Sweep executes the scenario once per seed across parallel workers and
 // folds the outcomes into a VerdictDistribution. Each run is an
 // independent cluster on its own virtual clock, so runs are CPU-bound and
@@ -109,6 +163,15 @@ func Seeds(base int64, n int) []int64 {
 // deterministic for a given (scenario, seeds) pair however many workers
 // execute it.
 func Sweep(sc Scenario, seeds []int64, workers int) VerdictDistribution {
+	return SweepWithOptions(sc, seeds, SweepOptions{Workers: workers})
+}
+
+// SweepWithOptions is Sweep with the full option set (worker count,
+// shrink-failing-seeds). The distribution stays deterministic for a given
+// (scenario, seeds, options) input regardless of worker count: runs fold
+// in seed order and shrinking is a sequential post-pass over that order.
+func SweepWithOptions(sc Scenario, seeds []int64, opts SweepOptions) VerdictDistribution {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -154,6 +217,21 @@ func Sweep(sc Scenario, seeds []int64, workers int) VerdictDistribution {
 		d.Messages += o.Messages
 		if !o.XAble || !o.Replied {
 			d.Failing = append(d.Failing, o.Seed)
+		}
+	}
+	if opts.ShrinkFailing && shrinkHook != nil && len(d.Failing) > 0 {
+		max := opts.MaxCounterexamples
+		if max <= 0 {
+			max = 3
+		}
+		d.Counterexamples = make(map[int64]string)
+		for _, seed := range d.Failing {
+			if len(d.Counterexamples) >= max {
+				break
+			}
+			if cx, ok := shrinkHook(sc, seed, opts.ShrinkBudget); ok {
+				d.Counterexamples[seed] = cx
+			}
 		}
 	}
 	return d

@@ -1,0 +1,92 @@
+package shrink
+
+// ddmin is Zeller–Hildebrandt delta debugging, specialized to minimizing a
+// failing subset: keep starts as the full candidate set, test(keep)
+// reports whether the failure persists when only the kept elements remain,
+// and the result is a subset that still fails and that ddmin could not
+// reduce further (1-minimal up to the chunk granularity reached). left
+// reports the remaining test budget; ddmin returns its best-so-far result
+// the moment the budget runs dry.
+//
+// The classic n-chunk schedule applies: try each chunk alone ("reduce to
+// subset"), then each complement ("reduce to complement"), then double the
+// granularity. Complements are skipped at n == 2, where each complement is
+// the other chunk and was just tested.
+func ddmin(keep []int, test func(keep []int) bool, left func() int) []int {
+	n := 2
+	for len(keep) >= 2 {
+		if n > len(keep) {
+			n = len(keep)
+		}
+		chunks := split(keep, n)
+		reduced := false
+		for _, c := range chunks {
+			if left() <= 0 {
+				return keep
+			}
+			if test(c) {
+				keep, n, reduced = c, 2, true
+				break
+			}
+		}
+		if !reduced && n > 2 {
+			for i := range chunks {
+				if left() <= 0 {
+					return keep
+				}
+				comp := complement(keep, chunks[i])
+				if test(comp) {
+					keep, reduced = comp, true
+					if n = n - 1; n < 2 {
+						n = 2
+					}
+					break
+				}
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n < len(keep) {
+			n *= 2
+			continue
+		}
+		break
+	}
+	// The schedule above never tests the empty set; a failure that needs
+	// no delivery at all (the fault plan alone breaks the run) should
+	// shrink all the way.
+	if len(keep) == 1 && left() > 0 && test(nil) {
+		keep = nil
+	}
+	return keep
+}
+
+// split partitions s into n contiguous chunks of near-equal length.
+func split(s []int, n int) [][]int {
+	if n > len(s) {
+		n = len(s)
+	}
+	chunks := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(s)/n, (i+1)*len(s)/n
+		chunks = append(chunks, s[lo:hi])
+	}
+	return chunks
+}
+
+// complement returns the elements of s not present in drop (both are
+// subsets of an index universe; order of s is preserved).
+func complement(s, drop []int) []int {
+	in := make(map[int]bool, len(drop))
+	for _, x := range drop {
+		in[x] = true
+	}
+	out := make([]int, 0, len(s)-len(drop))
+	for _, x := range s {
+		if !in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

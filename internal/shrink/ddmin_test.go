@@ -1,0 +1,80 @@
+package shrink
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// testOracle builds a ddmin test function that fails iff every element of
+// need is kept, counting invocations.
+func testOracle(need []int, calls *int) func([]int) bool {
+	return func(keep []int) bool {
+		*calls++
+		in := make(map[int]bool, len(keep))
+		for _, x := range keep {
+			in[x] = true
+		}
+		for _, n := range need {
+			if !in[n] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func noBudget() int { return 1 << 20 }
+
+func TestDDMinFindsExactCulpritSet(t *testing.T) {
+	universe := make([]int, 64)
+	for i := range universe {
+		universe[i] = i
+	}
+	for _, need := range [][]int{{7}, {3, 41}, {0, 31, 63}, {}} {
+		calls := 0
+		got := ddmin(universe, testOracle(need, &calls), noBudget)
+		sort.Ints(got)
+		want := append([]int(nil), need...)
+		sort.Ints(want)
+		if want == nil {
+			want = []int{}
+		}
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Errorf("need %v: ddmin kept %v (%d calls)", need, got, calls)
+		}
+	}
+}
+
+func TestDDMinRespectsBudget(t *testing.T) {
+	universe := make([]int, 32)
+	for i := range universe {
+		universe[i] = i
+	}
+	budget := 3
+	calls := 0
+	got := ddmin(universe, func(keep []int) bool {
+		calls++
+		return len(keep) >= 16 // any half fails: endless reduction potential
+	}, func() int { return budget - calls })
+	if calls > budget {
+		t.Errorf("ddmin spent %d calls over budget %d", calls, budget)
+	}
+	if len(got) == 0 {
+		t.Error("budget-cut ddmin lost the failing set")
+	}
+}
+
+func TestSplitAndComplement(t *testing.T) {
+	s := []int{1, 2, 3, 4, 5}
+	chunks := split(s, 2)
+	if len(chunks) != 2 || len(chunks[0])+len(chunks[1]) != 5 {
+		t.Errorf("split = %v", chunks)
+	}
+	if got := complement(s, []int{2, 4}); !reflect.DeepEqual(got, []int{1, 3, 5}) {
+		t.Errorf("complement = %v", got)
+	}
+	if got := split(s, 9); len(got) != 5 {
+		t.Errorf("oversplit = %v", got)
+	}
+}

@@ -1,0 +1,23 @@
+package shrink
+
+import (
+	"errors"
+
+	"xability/internal/scenario"
+)
+
+// The shrinker registers itself as scenario.Sweep's ShrinkFailing
+// implementation. The indirection breaks the import cycle (shrinking
+// re-runs scenarios); any binary that links this package — the root
+// xability package and cmd/xsim do — arms the knob. A budget-cut shrink
+// still yields its best-so-far trace (Render marks it unverified); only a
+// seed that does not fail at all yields nothing.
+func init() {
+	scenario.RegisterShrinker(func(sc scenario.Scenario, seed int64, budget int) (string, bool) {
+		mt, err := Shrink(sc, seed, Options{MaxSteps: budget})
+		if err != nil && !(errors.Is(err, ErrBudget) && mt.Log != nil) {
+			return "", false
+		}
+		return mt.Render(), true
+	})
+}

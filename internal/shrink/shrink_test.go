@@ -1,0 +1,165 @@
+package shrink
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xability/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestShrinkPBCrashFailover is the shrinker's acceptance test on the
+// repository's planted bug: primary-backup duplication under a
+// crash-failover schedule. The minimal trace must still fail, be locally
+// minimal, and be small — the schedule that explains the duplication is
+// two submits, one reply, and the crash op.
+func TestShrinkPBCrashFailover(t *testing.T) {
+	sc, ok := scenario.Get("pb-crash-failover")
+	if !ok {
+		t.Fatal("pb-crash-failover not registered")
+	}
+	mt, err := Shrink(sc, 1, Options{})
+	if err != nil {
+		t.Fatalf("Shrink: %v (steps=%d)", err, mt.Steps)
+	}
+	if !mt.Minimal {
+		t.Error("trace not verified 1-minimal")
+	}
+	if mt.Deliveries > 4 {
+		t.Errorf("minimal trace keeps %d deliveries, want ≤ 4:\n%s", mt.Deliveries, mt.Render())
+	}
+	if mt.Deliveries >= mt.BaseDeliveries {
+		t.Errorf("no deliveries removed: %d of %d", mt.Deliveries, mt.BaseDeliveries)
+	}
+	if mt.Ops != 1 {
+		t.Errorf("ops kept = %d, want exactly the crash op", mt.Ops)
+	}
+
+	// (a) The trace still fails when replayed.
+	o := scenario.ExecuteTraced(sc, 1, nil, mt.Replay())
+	if o.XAble || !o.Replied {
+		t.Errorf("replayed minimal trace no longer fails: %+v", o)
+	}
+
+	// (b) Local minimality is Shrink-verified (mt.Minimal above); spot-check
+	// that the duplication is the reported failure.
+	if mt.Outcome.EffectsInForce < 2 {
+		t.Errorf("minimal outcome lost the duplication: %+v", mt.Outcome)
+	}
+	if mt.Outcome.Counterexample == "" {
+		t.Error("outcome carries no rendered counterexample")
+	}
+}
+
+// TestShrinkDeterministic pins acceptance criterion (c): equal inputs
+// shrink to byte-equal rendered traces, run to run.
+func TestShrinkDeterministic(t *testing.T) {
+	sc, _ := scenario.Get("pb-crash-failover")
+	a, errA := Shrink(sc, 1, Options{})
+	b, errB := Shrink(sc, 1, Options{})
+	if errA != nil || errB != nil {
+		t.Fatalf("Shrink errors: %v, %v", errA, errB)
+	}
+	if a.Render() != b.Render() {
+		t.Errorf("renders differ:\n--- first\n%s\n--- second\n%s", a.Render(), b.Render())
+	}
+	if a.Steps != b.Steps {
+		t.Errorf("step counts differ: %d vs %d", a.Steps, b.Steps)
+	}
+}
+
+// TestShrinkGolden diffs the rendered counterexample against the checked-in
+// golden trace (regenerate with -update). The golden file is the
+// human-readable artifact the whole pipeline exists to produce; any change
+// to the scheduler, the recorder, or the shrinker that moves it is visible
+// in review.
+func TestShrinkGolden(t *testing.T) {
+	sc, _ := scenario.Get("pb-crash-failover")
+	mt, err := Shrink(sc, 1, Options{})
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	got := mt.Render()
+	path := filepath.Join("testdata", "pb_crash_failover_seed1.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendered trace drifted from golden:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
+// TestShrinkNotFailing pins the guard: shrinking a passing (scenario,
+// seed) reports ErrNotFailing instead of minimizing nothing.
+func TestShrinkNotFailing(t *testing.T) {
+	sc, _ := scenario.Get("nice")
+	if _, err := Shrink(sc, 1, Options{}); err != ErrNotFailing {
+		t.Errorf("err = %v, want ErrNotFailing", err)
+	}
+}
+
+// TestShrinkBudget pins the cap: a one-step budget returns the best-so-far
+// trace with ErrBudget rather than running away.
+func TestShrinkBudget(t *testing.T) {
+	sc, _ := scenario.Get("pb-crash-failover")
+	mt, err := Shrink(sc, 1, Options{MaxSteps: 2})
+	if err != ErrBudget {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+	if mt.Steps > 2+1 { // baseline + at most one trial overshoot
+		t.Errorf("spent %d steps on a 2-step budget", mt.Steps)
+	}
+	if mt.Minimal {
+		t.Error("budget-cut shrink claims minimality")
+	}
+}
+
+// TestSweepShrinkFailing pins the end-to-end knob: a sweep over a failing
+// scenario with ShrinkFailing set attaches rendered counterexamples to the
+// distribution (this package's init registers the shrinker hook).
+func TestSweepShrinkFailing(t *testing.T) {
+	sc, _ := scenario.Get("pb-crash-failover")
+	d := scenario.SweepWithOptions(sc, scenario.Seeds(1, 8), scenario.SweepOptions{
+		ShrinkFailing:      true,
+		MaxCounterexamples: 2,
+	})
+	if len(d.Failing) != 8 {
+		t.Fatalf("failing = %v, want all 8", d.Failing)
+	}
+	if len(d.Counterexamples) != 2 {
+		t.Fatalf("counterexamples = %d, want 2 (bounded)", len(d.Counterexamples))
+	}
+	for seed, cx := range d.Counterexamples {
+		if cx == "" {
+			t.Errorf("seed %d: empty counterexample", seed)
+		}
+	}
+	// The rendered distribution carries the traces.
+	if s := d.String(); !strings.Contains(s, "minimal counterexample") {
+		t.Errorf("distribution render misses counterexamples:\n%s", s)
+	}
+
+	// Acceptance criterion (c): the traces are deterministic across worker
+	// counts — shrinking is a sequential post-pass over the seed-ordered
+	// fold, so parallelism must not be observable.
+	serial := scenario.SweepWithOptions(sc, scenario.Seeds(1, 8), scenario.SweepOptions{
+		Workers:            1,
+		ShrinkFailing:      true,
+		MaxCounterexamples: 2,
+	})
+	if !reflect.DeepEqual(d.Counterexamples, serial.Counterexamples) {
+		t.Errorf("counterexamples differ across worker counts:\n%v\nvs\n%v",
+			d.Counterexamples, serial.Counterexamples)
+	}
+}

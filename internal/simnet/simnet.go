@@ -26,6 +26,14 @@
 // how the model's asynchrony lets an adversary behave; crashed-process
 // semantics are untouched.
 //
+// The scheduler is also observable and steerable: Config.Record logs
+// every delivery decision (link, deadline, drop/delay verdict) into a
+// schedule.Log, making a run a replayable (scenario, seed, log) value, and
+// Config.Replay re-executes a recorded log — optionally edited to
+// suppress, stretch, or reorder individual deliveries — which is the
+// substrate the delta-debugging shrinker (internal/shrink) minimizes
+// failing schedules on.
+//
 // The network also keeps per-process send counters so experiments can
 // report message complexity.
 package simnet
@@ -39,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"xability/internal/schedule"
 	"xability/internal/vclock"
 )
 
@@ -98,6 +107,19 @@ type Config struct {
 	// virtual clock (vclock.NewVirtual); pass vclock.NewReal() for
 	// wall-clock delays.
 	Clock vclock.Clock
+	// Record, when non-nil, receives one schedule.Entry per send: the
+	// message's link, virtual-time deadline, and drop/delay verdict. The
+	// recorded log plus (scenario, seed) fully determines the run, and can
+	// be replayed or edited — see Replay.
+	Record *schedule.Log
+	// Replay, when non-nil, re-executes a recorded schedule: each send is
+	// matched (per link-and-type stream) against the log and uses the
+	// recorded delay instead of the seeded draw, after the spec's Edit —
+	// which may suppress or re-delay individual deliveries — has been
+	// applied. Sends beyond the log (the run diverged under edits) fall
+	// back to the seeded generator. Record and Replay compose: recording a
+	// replayed run yields the effective schedule of the edited run.
+	Replay *schedule.Replay
 }
 
 // Network connects endpoints. Create with New, then Register each process.
@@ -121,6 +143,10 @@ type Network struct {
 	delayScale float64           // storm multiplier on drawn delays (1 = calm)
 	partition  map[ProcessID]int // base ID → partition group; nil = whole
 	dropped    map[linkKey]bool  // black-holed links (stored both directions)
+
+	// Schedule record/replay plane (cfg.Record / cfg.Replay).
+	record *schedule.Log
+	replay *schedule.Cursor
 }
 
 // linkKey names a directed link between two base process IDs.
@@ -141,6 +167,8 @@ func New(cfg Config) *Network {
 		sent:       make(map[ProcessID]int),
 		delayScale: 1,
 		dropped:    make(map[linkKey]bool),
+		record:     cfg.Record,
+		replay:     schedule.NewCursor(cfg.Replay),
 	}
 	n.idle = sync.NewCond(&n.mu)
 	return n
@@ -402,10 +430,38 @@ func (e *Endpoint) Send(to ProcessID, typ string, payload any) {
 	}
 	n.sent[e.id]++
 	delay := n.drawDelayLocked(e.id, to)
-	if n.blockedLocked(e.id, to) {
-		// The link is down at send time: the message is black-holed. The
-		// delay draw above still happened, so the fault window does not
-		// perturb the delay sequence of surrounding traffic.
+	// Replay plane: a send matched against the recorded log takes the
+	// log's (possibly edited) decision instead of the seeded draw. The
+	// draw above still happened, so unmatched sends of a diverged run see
+	// the same delay stream a recording run would.
+	suppressed := false
+	if d, ok := n.replay.Next(string(e.id), string(to), typ); ok {
+		if d.Suppress {
+			suppressed = true
+		} else {
+			delay = d.Delay
+		}
+	}
+	blocked := n.blockedLocked(e.id, to)
+	entry := -1
+	if n.record != nil {
+		verdict := schedule.Scheduled
+		switch {
+		case suppressed:
+			verdict = schedule.Suppressed
+		case blocked:
+			verdict = schedule.DroppedSend
+		}
+		now := n.clk.Now()
+		entry = n.record.Append(schedule.Entry{
+			From: string(e.id), To: string(to), Type: typ,
+			SendAt: now, Deadline: now + delay, Verdict: verdict,
+		})
+	}
+	if suppressed || blocked {
+		// The message is black-holed: by the link fault plane at send
+		// time, or by a replay edit (the shrinker suppressing one
+		// delivery).
 		n.mu.Unlock()
 		return
 	}
@@ -413,15 +469,23 @@ func (e *Endpoint) Send(to ProcessID, typ string, payload any) {
 	n.inflight++
 	n.mu.Unlock()
 
-	n.clk.GoAfter(delay, func() { n.deliver(dst, msg) })
+	n.clk.GoAfter(delay, func() { n.deliver(dst, msg, entry) })
 }
 
 // deliver completes one scheduled delivery. A message whose link is down at
 // the delivery instant is black-holed: a partition or dropped link kills the
-// traffic already in the pipe, not only future sends.
-func (n *Network) deliver(dst *Endpoint, msg Message) {
+// traffic already in the pipe, not only future sends. entry is the message's
+// schedule-log index (-1 when not recording); the verdict resolves here.
+func (n *Network) deliver(dst *Endpoint, msg Message, entry int) {
 	n.mu.Lock()
 	dead := n.crashed[msg.To] || n.closed || n.blockedLocked(msg.From, msg.To)
+	if n.record != nil && entry >= 0 {
+		if dead {
+			n.record.Resolve(entry, schedule.DroppedDeliver)
+		} else {
+			n.record.Resolve(entry, schedule.Delivered)
+		}
+	}
 	n.mu.Unlock()
 	if !dead {
 		dst.mu.Lock()

@@ -23,6 +23,11 @@
 //     delay storms, suspicion pulses on the virtual clock), a registry of
 //     named adversarial scenarios, and a parallel seed-sweep runner that
 //     reports verdict distributions — see NewPlan, RunScenario, Sweep.
+//   - The debugging layer: schedule recording and replay (every run is
+//     fully determined by its scenario, seed, and delivery log) and a
+//     delta-debugging shrinker that turns a failing sweep seed into a
+//     locally minimal counterexample trace — see RunScenarioTraced,
+//     Shrink, MinTrace.
 //
 // Quickstart:
 //
@@ -53,6 +58,8 @@ import (
 	"xability/internal/event"
 	"xability/internal/reduce"
 	"xability/internal/scenario"
+	"xability/internal/schedule"
+	"xability/internal/shrink"
 	"xability/internal/sm"
 	"xability/internal/trace"
 	"xability/internal/vclock"
@@ -272,9 +279,64 @@ func Sweep(sc Scenario, seeds []int64, workers int) VerdictDistribution {
 	return scenario.Sweep(sc, seeds, workers)
 }
 
+// SweepOptions tunes SweepWithOptions: worker count, and the
+// ShrinkFailing knob that delta-debugs failing seeds into minimal
+// counterexample traces attached to the distribution.
+type SweepOptions = scenario.SweepOptions
+
+// SweepWithOptions is Sweep with the full option set. With
+// SweepOptions.ShrinkFailing, failing seeds come back as rendered minimal
+// counterexample traces in VerdictDistribution.Counterexamples.
+func SweepWithOptions(sc Scenario, seeds []int64, opts SweepOptions) VerdictDistribution {
+	return scenario.SweepWithOptions(sc, seeds, opts)
+}
+
 // SweepSeeds returns n consecutive seeds starting at base — the standard
 // seed population for Sweep.
 func SweepSeeds(base int64, n int) []int64 { return scenario.Seeds(base, n) }
+
+// The debugging layer (internal/schedule, internal/shrink): schedule
+// record/replay and the delta-debugging shrinker.
+type (
+	// ScheduleLog is the recorded delivery schedule of one run: one entry
+	// per send, with the link, virtual-time deadline, and drop/delay
+	// verdict. A run is fully determined by (scenario, seed, log).
+	ScheduleLog = schedule.Log
+	// ScheduleEntry is one delivery decision of a recorded schedule.
+	ScheduleEntry = schedule.Entry
+	// Replay re-executes a recorded schedule, optionally edited: an Edit
+	// may suppress, delay, or reorder individual deliveries.
+	Replay = schedule.Replay
+	// MinTrace is a minimized counterexample: the fault plan and delivery
+	// schedule of a locally minimal failing run, with a deterministic
+	// human-readable rendering (Render) and a replay spec (Replay) that
+	// reproduces the failure.
+	MinTrace = shrink.MinTrace
+	// ShrinkOptions tunes Shrink (step budget, failure predicate).
+	ShrinkOptions = shrink.Options
+)
+
+// NewScheduleLog returns an empty schedule log for RunScenarioTraced.
+func NewScheduleLog() *ScheduleLog { return schedule.NewLog() }
+
+// RunScenarioTraced is RunScenario with the schedule plane armed: when
+// record is non-nil the run's delivery schedule is logged into it; when
+// replay is non-nil the run re-executes the given log instead of drawing
+// delays from the seed. Either may be nil.
+func RunScenarioTraced(sc Scenario, seed int64, record *ScheduleLog, replay *Replay) Outcome {
+	return scenario.ExecuteTraced(sc, seed, record, replay)
+}
+
+// Shrink delta-debugs the failing run of a scenario on one seed into a
+// locally minimal counterexample trace: ddmin over the recorded delivery
+// schedule plus greedy removal of fault-plan ops, re-running the scenario
+// under replay after every edit and keeping the edits that preserve the
+// failure. The result still fails when replayed, is 1-minimal (removing
+// any single remaining delivery or fault op makes the failure disappear),
+// and is deterministic across runs and hosts.
+func Shrink(sc Scenario, seed int64, opt ShrinkOptions) (MinTrace, error) {
+	return shrink.Shrink(sc, seed, opt)
+}
 
 // Apply schedules a fault plan against this service, relative to the
 // current virtual time. Call it while the schedule is held (Clock().Enter

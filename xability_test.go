@@ -144,3 +144,49 @@ func TestFacadeScenarioRegistryAndSweep(t *testing.T) {
 		t.Error("duplicate scenario registration succeeded")
 	}
 }
+
+// TestFacadeRecordReplayShrink exercises the debugging layer end to end
+// through the public API: record a failing baseline seed, replay it
+// verbatim to the same verdict, and shrink it to a minimal counterexample.
+func TestFacadeRecordReplayShrink(t *testing.T) {
+	sc, ok := xability.ScenarioByName("pb-crash-failover")
+	if !ok {
+		t.Fatal("pb-crash-failover not registered")
+	}
+	log := xability.NewScheduleLog()
+	rec := xability.RunScenarioTraced(sc, 1, log, nil)
+	if rec.XAble {
+		t.Fatalf("pb-crash-failover should fail: %+v", rec)
+	}
+	if log.Len() == 0 {
+		t.Fatal("no schedule recorded")
+	}
+	rep := xability.RunScenarioTraced(sc, 1, nil, &xability.Replay{Log: log})
+	if rep.XAble != rec.XAble || rep.EffectsInForce != rec.EffectsInForce {
+		t.Errorf("verbatim replay diverged: %+v vs %+v", rep, rec)
+	}
+
+	mt, err := xability.Shrink(sc, 1, xability.ShrinkOptions{})
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	if !mt.Minimal || mt.Deliveries >= mt.BaseDeliveries {
+		t.Errorf("shrink did not minimize: %+v", mt)
+	}
+	if o := xability.RunScenarioTraced(sc, 1, nil, mt.Replay()); o.XAble {
+		t.Errorf("minimal trace no longer fails: %+v", o)
+	}
+	if !strings.Contains(mt.Outcome.Counterexample, "minimal counterexample") {
+		t.Errorf("missing rendering:\n%s", mt.Outcome.Counterexample)
+	}
+
+	// The sweep knob attaches counterexamples (the root package links the
+	// shrinker).
+	d := xability.SweepWithOptions(sc, xability.SweepSeeds(1, 4), xability.SweepOptions{
+		ShrinkFailing:      true,
+		MaxCounterexamples: 1,
+	})
+	if len(d.Counterexamples) != 1 {
+		t.Errorf("sweep counterexamples = %d, want 1", len(d.Counterexamples))
+	}
+}
