@@ -1,7 +1,9 @@
 // Command xbench regenerates the experiment tables of EXPERIMENTS.md
-// (T1–T4, T6, T7; T5 is produced by examples/threetier). Each table
+// (T1–T4, T6, T7, T9; T5 is produced by examples/threetier). Each table
 // validates one of the paper's claims — see DESIGN.md §3 for the
-// claim-to-table map.
+// claim-to-table map. T9 is the shard-scaling table: aggregate ops per
+// virtual second of the sharded runtime (internal/shard) at 1, 2, 4, and
+// 8 replica groups, with the merged exactly-once verdict per row.
 package main
 
 import (
@@ -15,12 +17,13 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "base seed for all experiments")
-		tables  = flag.String("tables", "1,2,3,4,6,7", "comma-separated table numbers to run")
-		reqs    = flag.Int("requests", 20, "requests per cost measurement (T3)")
-		insts   = flag.Int("instances", 50, "consensus instances (T4)")
-		sweep   = flag.Int("sweep", 200, "seeds per scenario sweep (T7)")
-		workers = flag.Int("workers", 0, "parallel sweep workers (T7; 0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 1, "base seed for all experiments")
+		tables    = flag.String("tables", "1,2,3,4,6,7,9", "comma-separated table numbers to run")
+		reqs      = flag.Int("requests", 20, "requests per cost measurement (T3)")
+		insts     = flag.Int("instances", 50, "consensus instances (T4)")
+		sweep     = flag.Int("sweep", 200, "seeds per scenario sweep (T7)")
+		workers   = flag.Int("workers", 0, "parallel sweep workers (T7; 0 = GOMAXPROCS)")
+		shardReqs = flag.Int("shard-requests", 0, "requests per shard-scaling row (T9; 0 = default)")
 	)
 	flag.Parse()
 
@@ -84,6 +87,20 @@ func main() {
 			if len(d.Failing) > 0 {
 				fmt.Printf("  %-16s failing seeds: %v\n", "", d.Failing)
 			}
+		}
+		fmt.Println()
+	}
+
+	if want["9"] {
+		fmt.Println("T9 — shard scaling: aggregate throughput vs shard count (composition at scale)")
+		fmt.Printf("  %-8s %-10s %-14s %-14s %-10s %-8s\n", "shards", "requests", "sim time", "ops/vsec", "msgs/req", "x-able")
+		rows := exper.TableT9(*seed, *shardReqs)
+		for _, r := range rows {
+			fmt.Printf("  %-8d %-10d %-14v %-14.0f %-10.1f %-8v\n",
+				r.Shards, r.Requests, r.SimTime, r.OpsPerVSec, r.MsgsPerReq, r.XAble && r.Replied)
+		}
+		if len(rows) >= 3 && rows[0].OpsPerVSec > 0 {
+			fmt.Printf("  1→4 shard scaling: %.2fx  (claim: ≥3x)\n", rows[2].OpsPerVSec/rows[0].OpsPerVSec)
 		}
 		fmt.Println()
 	}

@@ -21,9 +21,13 @@
 // converge within the budget, or when the seed does not fail at all.
 //
 // Scenarios come from the registry (-list prints them): nice,
-// crash-failover, partition, delay-storm, delay-storm-hb, suspect,
-// failures, sequence, the spectrum-N pulse sweeps, and the baseline
-// contrast rows (pb-nice, pb-crash-failover, active-nice).
+// crash-failover, partition, delay-storm, delay-storm-hb, partition-hb,
+// suspect, failures, sequence, random-faults, the spectrum-N pulse
+// sweeps, the sharded rows (shard-nice, shard-crash-failover,
+// shard-split-brain, shard-storm, shard-random — the keyspace-router
+// deployment of internal/shard; -shards N redeploys any x-ability
+// scenario across N groups), and the baseline contrast rows (pb-nice,
+// pb-crash-failover, active-nice).
 package main
 
 import (
@@ -44,6 +48,7 @@ func main() {
 		sweep     = flag.Int("sweep", 0, "sweep the scenario across N seeds instead of one run")
 		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		replicas  = flag.Int("replicas", 0, "override the scenario's replication degree")
+		shards    = flag.Int("shards", 0, "override the scenario's shard count (deploys the sharded runtime)")
 		useCT     = flag.Bool("ct", false, "force the message-passing consensus substrate")
 		showTrace = flag.Bool("history", true, "print the observed event history (single-run mode)")
 
@@ -81,6 +86,18 @@ func main() {
 		}
 		sc.Replicas = *replicas
 	}
+	if *shards > 0 && *shards != sc.Shards {
+		if sc.Plan.ShardBound() {
+			fmt.Fprintf(os.Stderr,
+				"xsim: scenario %q addresses explicit shard indices; -shards would silently change the faults' meaning\n", *name)
+			os.Exit(2)
+		}
+		if sc.Protocol != scenario.XAbility {
+			fmt.Fprintf(os.Stderr, "xsim: the sharded runtime deploys the x-ability protocol only\n")
+			os.Exit(2)
+		}
+		sc.Shards = *shards
+	}
 	if *useCT {
 		sc.Consensus = core.ConsensusCT
 	}
@@ -109,6 +126,19 @@ func runOne(sc scenario.Scenario, seed int64, showTrace bool) {
 		o.Requests, o.Attempts, o.Messages, o.SimTime)
 	fmt.Printf("executions: %d  cancels: %d  effects in force: %d\n",
 		o.Executions, o.Cancels, o.EffectsInForce)
+	if o.Shards > 0 {
+		// Sharded runs report the merged verdict: per-shard R-clauses plus
+		// the router's global exactly-once-routing audit.
+		for s, rep := range o.ShardReports {
+			fmt.Printf("shard %d: R2=%v R3(strict)=%v R3(projected)=%v\n", s, rep.R2, rep.R3Strict, rep.R3Projected)
+		}
+		fmt.Printf("routing exactly-once: %v\n", o.RoutingExact)
+		fmt.Printf("x-able (merged): %v  replied: %v\n", o.XAble, o.Replied)
+		if !o.XAble || !o.Replied {
+			os.Exit(1)
+		}
+		return
+	}
 	if sc.Protocol == scenario.XAbility {
 		rep := o.Report
 		fmt.Printf("R2 (liveness): %v\n", rep.R2)

@@ -316,3 +316,56 @@ func TestCTProposeAfterDecision(t *testing.T) {
 		t.Errorf("late proposal got %v, first got %v", second, first)
 	}
 }
+
+// TestCatchUpAfterPartitionDesync pins the round catch-up rule against the
+// wedge the seeded random fault generator found: n2 is crashed, and n1 is
+// cut off (and suspected) while n0 runs the instance alone — n0 burns
+// through round 1 (coordinator n1, suspected), round 2 (coordinator n2,
+// crashed) and stalls as round 3's coordinator, its earlier round-1
+// estimate black-holed by the cut. After the heal, n1 discovers the
+// instance from n0's round-3 re-announcements but starts at round 1 — as
+// round 1's own coordinator, waiting for a round-1 estimate quorum that
+// can never assemble, since n0 only retransmits round-3 traffic. Without
+// the catch-up rule both nodes wait on each other forever; with it, n1
+// abandons the stale round and joins round 3, and the instance decides.
+func TestCatchUpAfterPartitionDesync(t *testing.T) {
+	h := newCTHarness(t, 3, 23)
+	clk := h.net.Clock()
+
+	// Crash n2 outright.
+	h.net.Crash(h.ids[2])
+	h.net.Crash(ConsEndpoint(h.ids[2]))
+	h.nodes[2].Stop()
+
+	clk.Enter()
+	// Cut n1 off and make n0 suspect it, so n0 leaves round 1 behind while
+	// round 1's traffic is black-holed.
+	h.net.Partition([]simnet.ProcessID{"n1"}, []simnet.ProcessID{"n0", "n2"})
+	h.dets[0].SetSuspected(h.ids[1], true)
+
+	done := make(chan any, 1)
+	clk.Go(func() { done <- h.nodes[0].Propose("k", "v0") })
+
+	// Let n0 rotate through the dead rounds and stall as round 3's
+	// coordinator behind the cut.
+	clk.Sleep(20 * time.Millisecond)
+	select {
+	case v := <-done:
+		t.Fatalf("decision %v during partition (quorum was unreachable)", v)
+	default:
+	}
+
+	h.net.Heal()
+	h.dets[0].SetSuspected(h.ids[1], false)
+	clk.Exit()
+
+	select {
+	case v := <-done:
+		if v != "v0" {
+			t.Fatalf("post-heal decision = %v, want v0", v)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("instance stayed wedged after heal: round catch-up did not fire")
+	}
+	h.net.Quiesce()
+}

@@ -247,6 +247,24 @@ func (n *Node) recvLoop() {
 	}
 }
 
+// catchUp reports whether the inbox holds a message of a later round —
+// evidence that a quorum already moved past this one (a peer only reaches
+// round r+1 after round r's coordinator phase resolved or was given up
+// on). A node stalled in an old round can never assemble that round's
+// quorum once its peers have moved on, because peers retransmit only
+// their current phase's messages: without a catch-up rule, a partition
+// window that eats one round's traffic wedges the instance forever even
+// after the heal (found by the seeded random fault generator; pinned by
+// TestCatchUpAfterPartitionDesync). Callers hold inst.mu.
+func (inst *ctInstance) catchUp(round int) bool {
+	for _, m := range inst.inbox {
+		if m.Round > round {
+			return true
+		}
+	}
+	return false
+}
+
 // take removes and returns buffered messages matching round and kind;
 // callers hold inst.mu.
 func (inst *ctInstance) take(round int, kind ctKind) []ctMsg {
@@ -312,7 +330,7 @@ func (n *Node) roundLoop(inst *ctInstance) {
 		if coord == n.self {
 			var got []ctMsg
 			seen := make(map[simnet.ProcessID]bool)
-			ok := n.waitCond(inst, func() bool {
+			ok, stale := n.waitCond(inst, round, func() bool {
 				for _, m := range inst.take(round, ctEstimate) {
 					if !seen[m.From] {
 						seen[m.From] = true
@@ -337,6 +355,9 @@ func (n *Node) roundLoop(inst *ctInstance) {
 			if !ok {
 				return
 			}
+			if stale {
+				continue // the instance moved past this round; catch up
+			}
 			best := got[0]
 			for _, m := range got {
 				if m.HasValue && (!best.HasValue || m.TS > best.TS) {
@@ -355,7 +376,7 @@ func (n *Node) roundLoop(inst *ctInstance) {
 		// is what un-wedges the coordinator's phase 2 after a heal.
 		var proposal *ctMsg
 		suspected := false
-		ok := n.waitCond(inst, func() bool {
+		ok, stale := n.waitCond(inst, round, func() bool {
 			if ms := inst.take(round, ctProposal); len(ms) > 0 {
 				proposal = &ms[0]
 				return true
@@ -369,6 +390,12 @@ func (n *Node) roundLoop(inst *ctInstance) {
 		})
 		if !ok {
 			return
+		}
+		if stale {
+			// Give up on this round's proposal like a nack would (the nack
+			// still goes out: the coordinator's reply quorum may need it).
+			n.sendCons(coord, ctMsg{Key: inst.key, Round: round, Kind: ctNack})
+			continue
 		}
 		if proposal != nil {
 			inst.mu.Lock()
@@ -392,7 +419,7 @@ func (n *Node) roundLoop(inst *ctInstance) {
 			value = inst.estimate
 			prop := ctMsg{Key: inst.key, Round: round, Kind: ctProposal, Value: value}
 			inst.mu.Unlock()
-			ok := n.waitCond(inst, func() bool {
+			ok, stale := n.waitCond(inst, round, func() bool {
 				for _, m := range inst.take(round, ctAck) {
 					if !replied[m.From] {
 						replied[m.From] = true
@@ -414,6 +441,9 @@ func (n *Node) roundLoop(inst *ctInstance) {
 			if !ok {
 				return
 			}
+			if stale {
+				continue // reply quorum unreachable; the instance moved on
+			}
 			if nacks == 0 && acks >= majority {
 				n.decide(inst, value)
 				return
@@ -431,35 +461,41 @@ func (n *Node) roundLoop(inst *ctInstance) {
 
 // waitCond blocks until ready() (checked under inst.mu) or abort() (checked
 // outside the lock, re-armed every ctPoll of clock time, may be nil)
-// returns true. It returns false when the node is stopping or the instance
-// decided while waiting with abort semantics still pending. Waiting is
-// event-driven: the receive loop broadcasts the instance condition whenever
-// messages arrive, and Stop broadcasts it on shutdown. resend (may be nil)
-// runs outside the lock after every ctResendAfter of clock time without
-// progress, retransmitting the phase's driving message across a link plane
-// that may have black-holed it.
-func (n *Node) waitCond(inst *ctInstance, ready func() bool, abort func() bool, resend func()) bool {
+// returns true, or until the inbox shows a later-round message, returning
+// with stale set: the phase cannot complete any more (see catchUp) and the
+// round loop must advance. It returns ok=false when the node is stopping
+// or the instance decided while waiting with abort semantics still
+// pending. Waiting is event-driven: the receive loop broadcasts the
+// instance condition whenever messages arrive, and Stop broadcasts it on
+// shutdown. resend (may be nil) runs outside the lock after every
+// ctResendAfter of clock time without progress, retransmitting the
+// phase's driving message across a link plane that may have black-holed
+// it.
+func (n *Node) waitCond(inst *ctInstance, round int, ready func() bool, abort func() bool, resend func()) (ok, stale bool) {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	last := n.clk.Now()
 	for {
 		select {
 		case <-n.stop:
-			return false
+			return false, false
 		default:
 		}
 		if inst.decided {
-			return false
+			return false, false
 		}
 		if ready() {
-			return true
+			return true, false
+		}
+		if inst.catchUp(round) {
+			return true, true
 		}
 		if abort != nil {
 			inst.mu.Unlock()
 			aborted := abort()
 			inst.mu.Lock()
 			if aborted {
-				return true
+				return true, false
 			}
 		}
 		switch {

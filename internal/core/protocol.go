@@ -122,11 +122,12 @@ type Server struct {
 }
 
 type requestState struct {
-	req     action.Request // untagged except ID
-	client  simnet.ProcessID
-	done    bool
-	result  action.Value
-	applied bool // replayed into the local machine state
+	req      action.Request // untagged except ID
+	client   simnet.ProcessID
+	done     bool
+	result   action.Value
+	applied  bool // replayed into the local machine state
+	watching bool // an awaitFixed watcher is already running here
 }
 
 // ServerConfig assembles a server's dependencies.
@@ -230,7 +231,19 @@ func (s *Server) mainLoop() {
 			s.wg.Add(1)
 			s.clk.Go(func() {
 				defer s.wg.Done()
-				s.processRequest(p.Req, 1, p.Client)
+				if !s.processRequest(p.Req, 1, p.Client) {
+					// This replica accepted the submission but did not
+					// answer it — it lost the ownership race, or the
+					// round guard suppressed a re-attempt. The original
+					// owner's reply may be black-holed by the link plane,
+					// and the cleaner only re-replies while that owner is
+					// *suspected*; without a watcher the client can await
+					// an unsuspected, already-answered replica forever
+					// (found by the seeded random fault generator).
+					// Replies are idempotent, so forwarding the fixed
+					// result is always safe.
+					s.awaitFixed(p.Req, p.Client)
+				}
 			})
 		case MsgAnnounce:
 			if p, ok := msg.Payload.(SubmitPayload); ok {
@@ -266,10 +279,12 @@ func (s *Server) taggedFor(req action.Request, round int) action.Request {
 }
 
 // processRequest is Figure 6's process-request: propose ownership of the
-// round; the winner executes, coordinates the result, and replies.
-func (s *Server) processRequest(req action.Request, round int, client simnet.ProcessID) {
+// round; the winner executes, coordinates the result, and replies. It
+// reports whether it sent the client a result itself — callers on the
+// submit path fall back to awaitFixed when it did not.
+func (s *Server) processRequest(req action.Request, round int, client simnet.ProcessID) bool {
 	if s.isStopped() || round > MaxRound {
-		return
+		return false
 	}
 	// Each replica attempts a (request, round) pair at most once. Without
 	// this, a re-submission of an in-progress request to the replica that
@@ -282,26 +297,92 @@ func (s *Server) processRequest(req action.Request, round int, client simnet.Pro
 	key := ownerKey(req.ID, round)
 	if s.rounds[key] {
 		s.mu.Unlock()
-		return
+		return false
 	}
 	s.rounds[key] = true
 	s.mu.Unlock()
 	decided := s.cons.Object(key).Propose(ownerDecision{Owner: s.id, Req: req, Client: client})
 	od, ok := decided.(ownerDecision)
 	if !ok || od.Owner != s.id {
-		return // another replica owns this round; the cleaner watches it
+		return false // another replica owns this round; the cleaner watches it
 	}
 	s.replayEarlier(req.ID)
 	exec := s.taggedFor(req, round)
 	res, ok := s.executeUntilSuccess(exec)
 	if !ok {
-		return // crashed mid-execution
+		return false // crashed mid-execution
 	}
 	res = s.resultCoordination(req, round, res)
 	if res != EmptyResult && !s.isStopped() {
 		s.finish(req.ID, res)
 		s.ep.Send(client, MsgResult, ResultPayload{ReqID: req.ID, Value: res})
+		return true
 	}
+	return false
+}
+
+// awaitFixed watches a request this replica accepted but could not answer
+// (lost ownership race, or the round guard suppressed a duplicate
+// attempt) and forwards the result once some round fixes one. Without it
+// there is a liveness hole: the owning replica's reply can be black-holed
+// by the link plane, and once suspicion of that owner has recovered the
+// cleaner's re-reply path never fires again — the client then awaits an
+// unsuspected replica that will never speak. Polling runs on the clock at
+// the cleaner's period; under the model's assumptions some round
+// eventually fixes a result (owners execute until success; aborted rounds
+// are always succeeded by the aborting cleaner), so the watch terminates.
+func (s *Server) awaitFixed(req action.Request, client simnet.ProcessID) {
+	s.mu.Lock()
+	st := s.active[req.ID]
+	if st == nil || st.watching {
+		s.mu.Unlock()
+		return
+	}
+	st.watching = true
+	s.mu.Unlock()
+	for {
+		if s.isStopped() {
+			return
+		}
+		s.mu.Lock()
+		done, res := st.done, st.result
+		s.mu.Unlock()
+		if done {
+			s.ep.Send(client, MsgResult, ResultPayload{ReqID: req.ID, Value: res})
+			return
+		}
+		if v, ok := s.resultFixed(req); ok {
+			s.finish(req.ID, v)
+			s.ep.Send(client, MsgResult, ResultPayload{ReqID: req.ID, Value: v})
+			return
+		}
+		s.clk.Sleep(s.cleanInterval)
+	}
+}
+
+// resultFixed scans the request's rounds, read-only, for a committed
+// result: the fixed value of an idempotent round, or the committed
+// outcome of an undoable one. Aborted rounds are skipped.
+func (s *Server) resultFixed(req action.Request) (action.Value, bool) {
+	for r := 1; r <= MaxRound; r++ {
+		if _, decided := s.cons.Object(ownerKey(req.ID, r)).Read(); !decided {
+			return EmptyResult, false // no further rounds exist yet
+		}
+		if s.mach.IsIdempotent(req) {
+			if v, ok := s.cons.Object(resultKey(req.ID, r)).Read(); ok {
+				if val, good := v.(action.Value); good && val != EmptyResult {
+					return val, true
+				}
+			}
+		} else if s.mach.IsUndoable(req) {
+			if v, ok := s.cons.Object(outcomeKey(req.ID, r)).Read(); ok {
+				if dec, good := v.(outcomeDecision); good && dec.Outcome == "commit" {
+					return dec.Value, true
+				}
+			}
+		}
+	}
+	return EmptyResult, false
 }
 
 // cleaner is Figure 6's cleaner thread: when the owner of a request's

@@ -161,3 +161,42 @@ func TestSyntheticHistoryShape(t *testing.T) {
 		t.Errorf("events = %d, want 24", len(h))
 	}
 }
+
+// TestT9ShardScaling pins the shard-scaling table's qualitative shape —
+// the paper's composition claim at scale: every row of the sharded
+// deployment verifies exactly-once end to end (per-shard R2–R4 plus
+// global routing), protocol cost per request stays flat, and aggregate
+// throughput in virtual time scales at least 3× from 1 shard to 4.
+func TestT9ShardScaling(t *testing.T) {
+	requests := 0 // table default
+	if testing.Short() {
+		requests = 48
+	}
+	rows := TableT9(1, requests)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (1, 2, 4, 8 shards)", len(rows))
+	}
+	for _, r := range rows {
+		if !r.XAble || !r.Replied {
+			t.Errorf("%d shards: x-able %v replied %v — composition must hold on every row", r.Shards, r.XAble, r.Replied)
+		}
+		// Sharding buys throughput with parallel groups, not cheaper
+		// requests: per-request message cost must not drift.
+		if r.MsgsPerReq < 4 || r.MsgsPerReq > 8 {
+			t.Errorf("%d shards: msgs/req = %.1f, outside the nice-run protocol cost band", r.Shards, r.MsgsPerReq)
+		}
+	}
+	if !testing.Short() {
+		if ratio := rows[2].OpsPerVSec / rows[0].OpsPerVSec; ratio < 3 {
+			t.Errorf("1→4 shard scaling = %.2fx, want ≥3x (simtimes: 1sh %v, 4sh %v)",
+				ratio, rows[0].SimTime, rows[2].SimTime)
+		}
+	}
+	// Monotone scaling across the whole sweep, with slack for skew noise.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].OpsPerVSec <= rows[i-1].OpsPerVSec {
+			t.Errorf("throughput not increasing: %d shards %.0f → %d shards %.0f ops/vsec",
+				rows[i-1].Shards, rows[i-1].OpsPerVSec, rows[i].Shards, rows[i].OpsPerVSec)
+		}
+	}
+}

@@ -93,6 +93,130 @@ func init() {
 		Settle:            20 * time.Millisecond,
 	})
 
+	// partition-hb: the partition schedule against *real* ◇P heartbeat
+	// detectors — no scripted suspicion anywhere. The cut starves
+	// heartbeats from the isolated owner, so replicas and client suspect
+	// it endogenously and the majority takes over; after the heal the
+	// beats resume, accuracy returns (each false suspicion doubled the
+	// peer's timeout), and the reconciled run must still verify x-able.
+	// Runs over the message-passing consensus substrate so the cut bites
+	// the agreement layer too.
+	MustRegister(Scenario{
+		Name:              "partition-hb",
+		Description:       "owner partitioned under real heartbeat ◇P detectors; heal restores accuracy",
+		Consensus:         core.ConsensusCT,
+		Detector:          core.DetectorHeartbeat,
+		HeartbeatInterval: 500 * time.Microsecond,
+		Failures:          []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		Plan: NewPlan().
+			PartitionAt(time.Millisecond, sides...).
+			HealAt(8 * time.Millisecond),
+		Settle: 30 * time.Millisecond,
+	})
+
+	// The sharded rows: 4 replica groups behind the keyspace router
+	// (internal/shard), a debit workload spread across enough accounts to
+	// load every group, environment failures stretching executions so
+	// timed faults land mid-run.
+	shardWL := &workload.Spec{Requests: 12, Mix: workload.Mix{Debits: 1}, Accounts: 16}
+	shardFailures := []Failure{{Action: "debit", Prob: 1, Budget: 6}}
+
+	// shard-nice: the failure-free sharded run — the throughput baseline
+	// and the composition claim's happy path: every group reduces on its
+	// own, the router routes exactly once.
+	MustRegister(Scenario{
+		Name:        "shard-nice",
+		Description: "4-shard failure-free run through the keyspace router",
+		Shards:      4,
+		Workload:    shardWL,
+	})
+
+	// shard-crash-failover: the correlated form of T1's centerpiece —
+	// every group's round-1 owner crashes mid-execution at one virtual
+	// instant; each group's cleaner neutralizes its round and takes over,
+	// and the deployment must still verify exactly-once per shard and
+	// exactly-once-routed globally.
+	MustRegister(Scenario{
+		Name:        "shard-crash-failover",
+		Description: "every group's round-1 owner crashes mid-execution; cleaners take over per shard",
+		Shards:      4,
+		Workload:    shardWL,
+		Failures:    shardFailures,
+		Plan:        NewPlan().CrashAt(2*time.Millisecond, 0),
+	})
+
+	// shard-split-brain: two of four groups lose their owner behind a cut
+	// — alive, executing, unreachable — while scripted suspicion makes
+	// their majority sides move on; the other two groups keep serving
+	// undisturbed. Heals reconcile the isolated rounds. Runs over the
+	// message-passing substrate so the cut bites the agreement layer.
+	splitPulse := NewPlan().
+		SuspectAt(time.Millisecond, r0).
+		ClientSuspectAt(time.Millisecond, r0).
+		RecoverAt(9*time.Millisecond, r0)
+	MustRegister(Scenario{
+		Name:        "shard-split-brain",
+		Description: "owners of 2 of 4 groups partitioned mid-execution; majorities take over, heals reconcile",
+		Shards:      4,
+		Consensus:   core.ConsensusCT,
+		Workload:    shardWL,
+		Failures:    shardFailures,
+		Plan: NewPlan().
+			PartitionShardsAt(time.Millisecond, []int{0, 2}, sides...).
+			OnShard(0, splitPulse).
+			OnShard(2, splitPulse).
+			HealShardsAt(8*time.Millisecond, 0, 2),
+		Settle: 20 * time.Millisecond,
+	})
+
+	// shard-storm: a correlated 24× delay storm hitting 2 of 4 groups,
+	// with false-suspicion pulses landing inside the stormed groups — the
+	// drifting primary/active schedule, k-of-N.
+	stormPulse := NewPlan().
+		SuspectAt(time.Millisecond, r0).
+		RecoverAt(1500*time.Microsecond, r0).
+		SuspectAt(3500*time.Microsecond, r0).
+		RecoverAt(4*time.Millisecond, r0)
+	MustRegister(Scenario{
+		Name:        "shard-storm",
+		Description: "24× delay storm over 2 of 4 groups with suspicion pulses inside the window",
+		Shards:      4,
+		Workload:    shardWL,
+		Failures:    shardFailures,
+		Plan: NewPlan().
+			StormShardsAt(500*time.Microsecond, 4*time.Millisecond, 24, 1, 3).
+			OnShard(1, stormPulse).
+			OnShard(3, stormPulse),
+		Settle: 20 * time.Millisecond,
+	})
+
+	// random-faults: every seed draws its own fault schedule from the
+	// generator (Plan.Random) — crashes, pulses, cuts, storms at random
+	// instants — so a sweep covers a different adversarial schedule per
+	// seed instead of one schedule per scenario. The generator respects
+	// the protocol's liveness assumptions (minority crashes, healed cuts,
+	// recovered suspicions), so a failing seed here is a protocol bug.
+	MustRegister(Scenario{
+		Name:         "random-faults",
+		Description:  "seeded random fault schedule drawn fresh from each run's seed",
+		Consensus:    core.ConsensusCT,
+		Failures:     []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		RandomFaults: &RandomOptions{Ops: 4},
+		Settle:       20 * time.Millisecond,
+	})
+
+	// shard-random: the sharded version — group-scoped random schedules
+	// against the 4-shard deployment.
+	MustRegister(Scenario{
+		Name:         "shard-random",
+		Description:  "4-shard deployment under seeded random group-scoped fault schedules",
+		Shards:       4,
+		Workload:     shardWL,
+		Failures:     shardFailures,
+		RandomFaults: &RandomOptions{Ops: 6},
+		Settle:       20 * time.Millisecond,
+	})
+
 	// suspect: a permanent false suspicion of the round-1 owner makes a
 	// second replica execute concurrently (the active flavor) over a
 	// non-deterministic idempotent action.

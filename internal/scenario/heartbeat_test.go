@@ -36,6 +36,56 @@ func TestDelayStormHeartbeatRecoversXAbility(t *testing.T) {
 	}
 }
 
+// TestPartitionHeartbeatRecoversXAbility closes the heartbeat-partition
+// row: the owner is cut off under *real* ◇P detectors — no scripted
+// suspicion anywhere — so the suspicion that lets the majority move on
+// arises endogenously from starved heartbeats, and after the heal the
+// resumed beats (with doubled timeouts) restore accuracy. X-ability must
+// recover end to end on every seed.
+func TestPartitionHeartbeatRecoversXAbility(t *testing.T) {
+	sc, ok := Get("partition-hb")
+	if !ok {
+		t.Fatal("partition-hb not registered")
+	}
+	cutBit := false
+	for seed := int64(1); seed <= 8; seed++ {
+		o := Execute(sc, seed)
+		if !o.XAble || !o.Replied {
+			t.Errorf("seed %d: x-able=%v replied=%v — x-ability did not recover after heal: %+v",
+				seed, o.XAble, o.Replied, o.Report)
+		}
+		if o.EffectsInForce != 1 {
+			t.Errorf("seed %d: effects in force = %d, want exactly 1", seed, o.EffectsInForce)
+		}
+		// The cut must actually bite: the isolated owner forces client
+		// failover (extra attempts) or a second executor.
+		if o.Executions >= 2 || o.Attempts >= 2 {
+			cutBit = true
+		}
+	}
+	if !cutBit {
+		t.Error("no seed showed partition-induced suspicion; the scenario is not exercising the ◇P path")
+	}
+}
+
+// TestPartitionHeartbeatSweep is the claim-at-scale version of the
+// heartbeat-partition row.
+func TestPartitionHeartbeatSweep(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 15
+	}
+	sc, _ := Get("partition-hb")
+	d := Sweep(sc, Seeds(900, n), 0)
+	if d.XAbleRate() != 1.0 || d.RepliedRate() != 1.0 {
+		t.Errorf("x-able %.4f replied %.4f over %d seeds, want 1.0; failing: %v",
+			d.XAbleRate(), d.RepliedRate(), d.Runs, d.Failing)
+	}
+	if d.Effects[1] != n {
+		t.Errorf("effects histogram %v, want all mass on 1", d.Effects)
+	}
+}
+
 // TestDelayStormHeartbeatSweep is the claim-at-scale version: a seed
 // population of the heartbeat storm must hold at rate 1.0.
 func TestDelayStormHeartbeatSweep(t *testing.T) {

@@ -42,6 +42,52 @@ type Target interface {
 	ClientSuspect(target simnet.ProcessID, v bool)
 }
 
+// Sharded is the additional fault surface of a sharded deployment
+// (internal/shard behind the scenario runner): many replica groups, each
+// a full Target of its own, on one clock. Plans address it two ways:
+//
+//   - Unqualified ops (CrashAt, PartitionAt, DelayStormAt, …) fan out to
+//     every group — a correlated fault striking the whole fleet at one
+//     virtual instant.
+//   - Shard-qualified ops (CrashShardAt, PartitionShardsAt, StormShardsAt,
+//     HealShardsAt, OnShard) address single groups or k-of-N subsets.
+//
+// A plan using only unqualified ops therefore runs unchanged against a
+// single cluster and against any shard count.
+type Sharded interface {
+	// NumShards is the number of replica groups.
+	NumShards() int
+	// ShardTarget is group s's own fault surface.
+	ShardTarget(s int) Target
+}
+
+// eachGroup applies f to every replica group of a sharded target, or to
+// the target itself when it is a single cluster — the fan-out primitive
+// behind unqualified ops.
+func eachGroup(t Target, f func(Target)) {
+	if st, ok := t.(Sharded); ok {
+		for s := 0; s < st.NumShards(); s++ {
+			f(st.ShardTarget(s))
+		}
+		return
+	}
+	f(t)
+}
+
+// shardOf resolves a shard-qualified op's group. Shard 0 of a non-sharded
+// target is the target itself (a single cluster is the 1-shard
+// deployment); any other index against a non-sharded target is a plan
+// misconfiguration.
+func shardOf(t Target, s int) Target {
+	if st, ok := t.(Sharded); ok {
+		return st.ShardTarget(s)
+	}
+	if s == 0 {
+		return t
+	}
+	panic(fmt.Sprintf("scenario: plan op addresses shard %d but the target is not sharded", s))
+}
+
 // Op is one timed fault operation of a plan.
 type Op struct {
 	// At is the operation's firing time, measured on the virtual clock
@@ -71,6 +117,9 @@ type Plan struct {
 	// (partitions, dropped links): their semantics only hold for the
 	// replica set they were written against.
 	topologyBound bool
+	// shardBound marks plans whose ops name explicit shard indices: their
+	// semantics only hold for the shard count they were written against.
+	shardBound bool
 }
 
 // NewPlan returns an empty fault plan.
@@ -83,10 +132,11 @@ func (p *Plan) add(at time.Duration, name string, do func(Target)) *Plan {
 
 // CrashAt crashes replica i at the given virtual time. Scripted detectors
 // suspect crashed processes automatically (strong completeness), so no
-// companion suspicion op is needed.
+// companion suspicion op is needed. On a sharded target the crash is
+// correlated: replica i of every group crashes at that instant.
 func (p *Plan) CrashAt(at time.Duration, replica int) *Plan {
 	return p.add(at, fmt.Sprintf("crash replica %d", replica), func(t Target) {
-		t.CrashServer(replica)
+		eachGroup(t, func(g Target) { g.CrashServer(replica) })
 	})
 }
 
@@ -95,7 +145,7 @@ func (p *Plan) CrashAt(at time.Duration, replica int) *Plan {
 // protocol from its primary-backup flavor toward active replication.
 func (p *Plan) SuspectAt(at time.Duration, target simnet.ProcessID) *Plan {
 	return p.add(at, fmt.Sprintf("suspect %s", target), func(t Target) {
-		t.SuspectEverywhere(target, true)
+		eachGroup(t, func(g Target) { g.SuspectEverywhere(target, true) })
 	})
 }
 
@@ -103,7 +153,7 @@ func (p *Plan) SuspectAt(at time.Duration, target simnet.ProcessID) *Plan {
 // making the client fail over to the next replica.
 func (p *Plan) ClientSuspectAt(at time.Duration, target simnet.ProcessID) *Plan {
 	return p.add(at, fmt.Sprintf("client suspects %s", target), func(t Target) {
-		t.ClientSuspect(target, true)
+		eachGroup(t, func(g Target) { g.ClientSuspect(target, true) })
 	})
 }
 
@@ -111,8 +161,10 @@ func (p *Plan) ClientSuspectAt(at time.Duration, target simnet.ProcessID) *Plan 
 // at the given virtual time, ending a false-suspicion pulse.
 func (p *Plan) RecoverAt(at time.Duration, target simnet.ProcessID) *Plan {
 	return p.add(at, fmt.Sprintf("recover %s", target), func(t Target) {
-		t.SuspectEverywhere(target, false)
-		t.ClientSuspect(target, false)
+		eachGroup(t, func(g Target) {
+			g.SuspectEverywhere(target, false)
+			g.ClientSuspect(target, false)
+		})
 	})
 }
 
@@ -131,7 +183,7 @@ func (p *Plan) PartitionAt(at time.Duration, groups ...[]simnet.ProcessID) *Plan
 	}
 	p.topologyBound = true
 	return p.add(at, "partition "+strings.Join(parts, " | "), func(t Target) {
-		t.Network().Partition(groups...)
+		eachGroup(t, func(g Target) { g.Network().Partition(groups...) })
 	})
 }
 
@@ -140,7 +192,7 @@ func (p *Plan) PartitionAt(at time.Duration, groups ...[]simnet.ProcessID) *Plan
 func (p *Plan) DropLinkAt(at time.Duration, a, b simnet.ProcessID) *Plan {
 	p.topologyBound = true
 	return p.add(at, fmt.Sprintf("drop link %s—%s", a, b), func(t Target) {
-		t.Network().DropLink(a, b)
+		eachGroup(t, func(g Target) { g.Network().DropLink(a, b) })
 	})
 }
 
@@ -149,7 +201,7 @@ func (p *Plan) DropLinkAt(at time.Duration, a, b simnet.ProcessID) *Plan {
 // in force stays lost.
 func (p *Plan) HealAt(at time.Duration) *Plan {
 	return p.add(at, "heal", func(t Target) {
-		t.Network().Heal()
+		eachGroup(t, func(g Target) { g.Network().Heal() })
 	})
 }
 
@@ -158,10 +210,10 @@ func (p *Plan) HealAt(at time.Duration) *Plan {
 // calm.
 func (p *Plan) DelayStormAt(at, duration time.Duration, factor float64) *Plan {
 	p.add(at, fmt.Sprintf("delay storm ×%g", factor), func(t Target) {
-		t.Network().SetDelayScale(factor)
+		eachGroup(t, func(g Target) { g.Network().SetDelayScale(factor) })
 	})
 	return p.add(at+duration, "delay storm ends", func(t Target) {
-		t.Network().SetDelayScale(1)
+		eachGroup(t, func(g Target) { g.Network().SetDelayScale(1) })
 	})
 }
 
@@ -181,7 +233,7 @@ func (p *Plan) Clone() *Plan {
 	if p == nil {
 		return nil
 	}
-	return &Plan{ops: p.Ops(), topologyBound: p.topologyBound}
+	return &Plan{ops: p.Ops(), topologyBound: p.topologyBound, shardBound: p.shardBound}
 }
 
 // Concat returns a new plan holding this plan's ops followed by each given
@@ -201,6 +253,7 @@ func (p *Plan) Concat(others ...*Plan) *Plan {
 		}
 		out.ops = append(out.ops, q.Ops()...)
 		out.topologyBound = out.topologyBound || q.topologyBound
+		out.shardBound = out.shardBound || q.shardBound
 	}
 	return out
 }
@@ -212,7 +265,7 @@ func (p *Plan) Without(drop map[int]bool) *Plan {
 	if p == nil {
 		return nil
 	}
-	out := &Plan{topologyBound: p.topologyBound}
+	out := &Plan{topologyBound: p.topologyBound, shardBound: p.shardBound}
 	for i, op := range p.ops {
 		if !drop[i] {
 			out.ops = append(out.ops, op)

@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xability/internal/simnet"
+)
+
+// RandomOptions tunes the seeded fault-schedule generator (Plan.Random).
+type RandomOptions struct {
+	// Ops is the number of fault operations to draw (default 4). A pulse,
+	// storm, or partition counts as one op (its repair rides along).
+	Ops int
+	// Horizon bounds the schedule: every op fires, and every disruptive
+	// op is repaired, strictly before it (default 6ms). Runs should settle
+	// past it; settleFor does so automatically via Plan.Horizon.
+	Horizon time.Duration
+	// Replicas is the replication degree the plan is drawn for (default
+	// 3). The generator never crashes more than a minority of a group, so
+	// the protocol's quorum assumption survives any drawn schedule.
+	Replicas int
+	// Shards, when above 1, draws group-scoped ops addressed to random
+	// groups of a sharded deployment (the plan becomes shard-bound).
+	Shards int
+	// MaxStormFactor bounds delay-storm multipliers (default 16).
+	MaxStormFactor float64
+}
+
+func (o RandomOptions) withDefaults() RandomOptions {
+	if o.Ops <= 0 {
+		o.Ops = 4
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 6 * time.Millisecond
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 3
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.MaxStormFactor < 2 {
+		o.MaxStormFactor = 16
+	}
+	return o
+}
+
+// Random appends a seeded random fault schedule: Ops operations drawn
+// from the full adversarial vocabulary — crashes, false-suspicion pulses,
+// owner-isolating partitions, delay storms — at random virtual times
+// within the horizon, addressed to random groups when Shards is set.
+// Equal (seed, options) pairs generate identical plans, so a scenario
+// whose faults derive from the run seed stays a replayable value; see
+// Scenario.RandomFaults for exactly that wiring.
+//
+// Drawn schedules respect the protocol's liveness assumptions, so
+// x-ability is still *required* of every generated schedule (a failing
+// seed is a bug, not an over-harsh plan): at most a minority of each
+// group crashes, every partition heals, every storm calms, and every
+// false suspicion is recovered — all strictly inside the horizon.
+func (p *Plan) Random(seed int64, opt RandomOptions) *Plan {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	crashed := make(map[int]map[int]bool) // group → crashed replicas
+	maxCrash := (opt.Replicas - 1) / 2
+
+	// at draws a firing instant in [5%, frac·95%] of the horizon.
+	at := func(frac float64) time.Duration {
+		span := float64(opt.Horizon) * 0.95 * frac
+		lo := float64(opt.Horizon) * 0.05
+		return time.Duration(lo + rng.Float64()*(span-lo))
+	}
+
+	for i := 0; i < opt.Ops; i++ {
+		g := rng.Intn(opt.Shards)
+		if crashed[g] == nil {
+			crashed[g] = make(map[int]bool)
+		}
+		sub := NewPlan()
+		switch kind := rng.Intn(4); {
+		case kind == 0 && len(crashed[g]) < maxCrash:
+			// Crash a not-yet-crashed replica of group g.
+			r := rng.Intn(opt.Replicas)
+			for crashed[g][r] {
+				r = (r + 1) % opt.Replicas
+			}
+			crashed[g][r] = true
+			sub.CrashAt(at(0.8), r)
+		case kind == 1:
+			// False-suspicion pulse: replicas (and sometimes the client)
+			// wrongly suspect a peer for a window, then recover.
+			r := simnet.ProcessID(fmt.Sprintf("replica-%d", rng.Intn(opt.Replicas)))
+			start := at(0.6)
+			width := opt.Horizon/20 + time.Duration(rng.Int63n(int64(opt.Horizon)/4))
+			sub.SuspectAt(start, r)
+			if rng.Intn(2) == 0 {
+				sub.ClientSuspectAt(start, r)
+			}
+			sub.RecoverAt(start+width, r)
+		case kind == 2:
+			// Delay storm window.
+			start := at(0.6)
+			width := opt.Horizon/20 + time.Duration(rng.Int63n(int64(opt.Horizon)/4))
+			factor := 2 + rng.Float64()*(opt.MaxStormFactor-2)
+			sub.DelayStormAt(start, width, factor)
+		default:
+			// Isolate one replica behind a cut for a window, then heal.
+			// The cut side is a single replica — always a minority — so
+			// the majority side (which keeps the client) can move on. The
+			// cut comes with matching suspicion for its duration: scripted
+			// detectors play ◇P here, and a ◇P detector *would* suspect an
+			// unreachable peer (without it, a reply black-holed by the cut
+			// strands the client forever — the schedule would violate the
+			// model's eventual-accuracy assumption, not test the
+			// protocol). Recovery lands strictly after the heal so the
+			// client never re-awaits a still-severed replica.
+			r := rng.Intn(opt.Replicas)
+			rid := simnet.ProcessID(fmt.Sprintf("replica-%d", r))
+			var rest []simnet.ProcessID
+			for q := 0; q < opt.Replicas; q++ {
+				if q != r {
+					rest = append(rest, simnet.ProcessID(fmt.Sprintf("replica-%d", q)))
+				}
+			}
+			rest = append(rest, "client")
+			start := at(0.6)
+			width := opt.Horizon/20 + time.Duration(rng.Int63n(int64(opt.Horizon)/4))
+			sub.PartitionAt(start, []simnet.ProcessID{rid}, rest)
+			sub.SuspectAt(start, rid)
+			sub.ClientSuspectAt(start, rid)
+			sub.HealAt(start + width)
+			sub.RecoverAt(start+width+opt.Horizon/20, rid)
+		}
+		if opt.Shards > 1 {
+			p.OnShard(g, sub)
+		} else {
+			for _, op := range sub.Ops() {
+				p.add(op.At, op.Name, op.Do)
+			}
+			// Drawn partitions name explicit process sides, so the plan
+			// inherits the sub-plan's topology binding (OnShard already
+			// propagates it on the sharded branch).
+			p.topologyBound = p.topologyBound || sub.topologyBound
+		}
+	}
+	return p
+}

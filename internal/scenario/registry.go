@@ -21,6 +21,14 @@ func Register(sc Scenario) error {
 	}
 	sc = sc.withDefaults()
 	sc.Plan = sc.Plan.Clone() // detach from the caller's builder handle
+	if sc.RandomFaults != nil {
+		opt := *sc.RandomFaults
+		sc.RandomFaults = &opt
+	}
+	if sc.Workload != nil {
+		spec := *sc.Workload
+		sc.Workload = &spec
+	}
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := scenarios[sc.Name]; dup {
@@ -46,6 +54,14 @@ func Get(name string) (Scenario, bool) {
 	defer regMu.RUnlock()
 	sc, ok := scenarios[name]
 	sc.Plan = sc.Plan.Clone()
+	if sc.RandomFaults != nil {
+		opt := *sc.RandomFaults
+		sc.RandomFaults = &opt
+	}
+	if sc.Workload != nil {
+		spec := *sc.Workload
+		sc.Workload = &spec
+	}
 	return sc, ok
 }
 

@@ -61,6 +61,16 @@ type Scenario struct {
 	Protocol Protocol
 	// Replicas is the replication degree (default 3).
 	Replicas int
+	// Shards, when positive, deploys the x-ability protocol on the sharded
+	// runtime (internal/shard): Shards replica groups — each a full
+	// cluster on its own network — behind the keyspace router, all on one
+	// virtual clock, the workload routed by account key with per-shard
+	// streams running concurrently. Zero keeps the single-cluster runtime
+	// (1 is the one-group router deployment, the honest baseline for
+	// shard-scaling comparisons). Baseline protocols ignore it. Sharded
+	// runs sit outside the record/replay plane: the groups' private
+	// networks would interleave one log nondeterministically.
+	Shards int
 	// Consensus selects the x-ability protocol's consensus substrate.
 	Consensus core.ConsensusMode
 	// Detector selects the x-ability protocol's failure detectors.
@@ -81,6 +91,12 @@ type Scenario struct {
 	Failures []Failure
 	// Plan is the timed fault schedule (may be nil for fault-free runs).
 	Plan *Plan
+	// RandomFaults, when set, draws a seeded random fault schedule from
+	// the run's seed (Plan.Random) and merges it with Plan, so every seed
+	// of a sweep fights a different schedule while each run stays a
+	// replayable (scenario, seed) value. Zero-valued options default to
+	// the scenario's replication degree and shard count.
+	RandomFaults *RandomOptions
 
 	// Requests is the submitted workload (default: one debit of acct-0).
 	// Ignored when Workload is set.
@@ -140,6 +156,29 @@ func (sc Scenario) withDefaults() Scenario {
 	return sc
 }
 
+// Materialize resolves the seed-derived parts of a scenario into explicit
+// values: with RandomFaults set, the drawn schedule is concatenated onto
+// Plan and the knob cleared, so the result is a plain fixed-plan scenario
+// for this seed. Execute does this implicitly; the shrinker does it
+// explicitly so drawn fault ops are editable like hand-written ones.
+// Idempotent; the receiver (and its registered plan) is not mutated.
+func (sc Scenario) Materialize(seed int64) Scenario {
+	if sc.RandomFaults == nil {
+		return sc
+	}
+	sc = sc.withDefaults()
+	opt := *sc.RandomFaults
+	if opt.Replicas <= 0 {
+		opt.Replicas = sc.Replicas
+	}
+	if opt.Shards < 1 {
+		opt.Shards = sc.Shards
+	}
+	sc.Plan = sc.Plan.Concat(NewPlan().Random(seed, opt))
+	sc.RandomFaults = nil
+	return sc
+}
+
 // Outcome is the verdict of one scenario run: did the run look
 // exactly-once to the checker and to the environment's audit, and what did
 // it cost.
@@ -179,6 +218,14 @@ type Outcome struct {
 	// run before the workload finished.
 	TimedOut bool
 
+	// Shards echoes Scenario.Shards for sharded runs (0 otherwise);
+	// ShardReports carries each group's R2–R4 verdicts and RoutingExact
+	// the router's global exactly-once-routing audit. XAble for a sharded
+	// run is the merged verdict: every shard reduces and routing is exact.
+	Shards       int
+	ShardReports []verify.Report
+	RoutingExact bool
+
 	// History is the observed event trace (dropped by Sweep to bound
 	// memory).
 	History event.History
@@ -206,16 +253,23 @@ func Execute(sc Scenario, seed int64) Outcome {
 // re-executes the given log instead of drawing delays from the seed —
 // the record/replay/shrink pipeline's entry point. Either may be nil.
 func ExecuteTraced(sc Scenario, seed int64, record *schedule.Log, replay *schedule.Replay) Outcome {
-	sc = sc.withDefaults()
+	sc = sc.withDefaults().Materialize(seed)
 	sc.Net.Record, sc.Net.Replay = record, replay
 	reqs := sc.Requests
 	if sc.Workload != nil {
 		reqs = workload.Generate(*sc.Workload, seed)
 	}
 	var o Outcome
-	if sc.Protocol == XAbility {
+	switch {
+	case sc.Protocol == XAbility && sc.Shards > 0:
+		// The sharded runtime is outside the record/replay plane (see
+		// Scenario.Shards): drop the hooks rather than hand one log to
+		// several racing networks.
+		sc.Net.Record, sc.Net.Replay = nil, nil
+		o = executeSharded(sc, seed, reqs)
+	case sc.Protocol == XAbility:
 		o = executeXAbility(sc, seed, reqs)
-	} else {
+	default:
 		o = executeBaseline(sc, seed, reqs)
 	}
 	o.Schedule = record
@@ -223,12 +277,13 @@ func ExecuteTraced(sc Scenario, seed int64, record *schedule.Log, replay *schedu
 }
 
 // watchdog arms the scenario's Deadline on a freshly started cluster: at
-// the cap the network closes, unblocking every client await. The cap
-// guards the submit phase only — settling and audit stabilization always
-// terminate on their own — so the caller disarms it once the workload is
-// through. Call with the clock held; fired reports whether the watchdog
-// killed the run.
-func watchdog(sc Scenario, clk vclock.Clock, net *simnet.Network) (fired func() bool, disarm func()) {
+// the cap closeNets runs (closing the deployment's network, or every
+// group's network of a sharded deployment), unblocking every client
+// await. The cap guards the submit phase only — settling and audit
+// stabilization always terminate on their own — so the caller disarms it
+// once the workload is through. Call with the clock held; fired reports
+// whether the watchdog killed the run.
+func watchdog(sc Scenario, clk vclock.Clock, closeNets func()) (fired func() bool, disarm func()) {
 	if sc.Deadline <= 0 {
 		return func() bool { return false }, func() {}
 	}
@@ -238,7 +293,7 @@ func watchdog(sc Scenario, clk vclock.Clock, net *simnet.Network) (fired func() 
 			return
 		}
 		hit.Store(true)
-		net.Close()
+		closeNets()
 	})
 	return hit.Load, func() { done.Store(true) }
 }
@@ -275,7 +330,7 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request) Outcome {
 
 	clk := c.Clock()
 	clk.Enter()
-	timedOut, disarm := watchdog(sc, clk, c.Net)
+	timedOut, disarm := watchdog(sc, clk, c.Net.Close)
 	if sc.Plan != nil {
 		sc.Plan.Apply(c)
 	}
@@ -343,7 +398,7 @@ func executeBaseline(sc Scenario, seed int64, reqs []action.Request) Outcome {
 
 	clk := c.Clock()
 	clk.Enter()
-	timedOut, disarm := watchdog(sc, clk, c.Net)
+	timedOut, disarm := watchdog(sc, clk, c.Net.Close)
 	if sc.Plan != nil {
 		sc.Plan.Apply(c)
 	}

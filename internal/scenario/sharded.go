@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"xability/internal/action"
+	"xability/internal/event"
+	"xability/internal/shard"
+	"xability/internal/simnet"
+	"xability/internal/sm"
+	"xability/internal/vclock"
+	"xability/internal/workload"
+)
+
+// shardedTarget adapts a shard.Cluster to the fault plane. It satisfies
+// Target — unqualified ops reach it and fan out per group via eachGroup —
+// and Sharded, which is how shard-qualified ops find single groups.
+type shardedTarget struct{ c *shard.Cluster }
+
+func (t shardedTarget) Clock() vclock.Clock { return t.c.Clock() }
+
+// Network returns the first group's network. Plan ops never call it on a
+// sharded target (the link ops fan out through eachGroup / shardOf);
+// direct callers wanting one group's fault plane should use
+// ShardTarget(s).Network().
+func (t shardedTarget) Network() *simnet.Network { return t.c.Group(0).Net }
+
+func (t shardedTarget) CrashServer(i int) {
+	for s := 0; s < t.c.Shards(); s++ {
+		t.c.Group(s).CrashServer(i)
+	}
+}
+
+func (t shardedTarget) SuspectEverywhere(target simnet.ProcessID, v bool) {
+	for s := 0; s < t.c.Shards(); s++ {
+		t.c.Group(s).SuspectEverywhere(target, v)
+	}
+}
+
+func (t shardedTarget) ClientSuspect(target simnet.ProcessID, v bool) {
+	for s := 0; s < t.c.Shards(); s++ {
+		t.c.Group(s).ClientSuspect(target, v)
+	}
+}
+
+func (t shardedTarget) NumShards() int           { return t.c.Shards() }
+func (t shardedTarget) ShardTarget(s int) Target { return t.c.Group(s) }
+
+// ApplySharded schedules the plan against a sharded deployment, with the
+// same clock-held calling convention as Plan.Apply.
+func (p *Plan) ApplySharded(c *shard.Cluster) { p.Apply(shardedTarget{c}) }
+
+// executeSharded runs a scenario on the sharded runtime: Scenario.Shards
+// replica groups behind the keyspace router, each group its own
+// core.Cluster (own network, environment, bank) on one shared virtual
+// clock. The workload is routed by account key and the per-shard streams
+// run concurrently, so simulated time measures aggregate throughput. The
+// verdict is the merged checker's: per-shard R2–R4 plus the global
+// exactly-once-routing audit.
+func executeSharded(sc Scenario, seed int64, reqs []action.Request) Outcome {
+	banks := make([]*workload.Bank, sc.Shards)
+	for s := range banks {
+		banks[s] = workload.NewBank(sc.Accounts, sc.Opening)
+	}
+	c := shard.New(shard.Config{
+		Shards:            sc.Shards,
+		Replicas:          sc.Replicas,
+		Seed:              seed,
+		Net:               netConfig(sc, seed),
+		Consensus:         sc.Consensus,
+		Detector:          sc.Detector,
+		HeartbeatInterval: sc.HeartbeatInterval,
+		Registry:          workload.Registry(),
+		Setup:             func(s int) func(m *sm.Machine) { return banks[s].Setup() },
+	})
+	defer c.Stop()
+	for s := 0; s < c.Shards(); s++ {
+		for _, f := range sc.Failures {
+			c.Group(s).Env.SetFailures(f.Action, f.Prob, f.Budget, f.AfterProb)
+		}
+	}
+
+	clk := c.Clock()
+	clk.Enter()
+	timedOut, disarm := watchdog(sc, clk, c.CloseNets)
+	if sc.Plan != nil {
+		sc.Plan.Apply(shardedTarget{c})
+	}
+	start := clk.Now()
+	_, replied := c.Router.CallAll(reqs)
+	disarm()
+	simTime := clk.Now() - start
+	clk.Sleep(settleFor(sc))
+	clk.Exit()
+	c.Quiesce()
+
+	hs := c.Histories()
+	rep := c.VerifyHistories(workload.Registry(), hs)
+	var merged event.History
+	for _, h := range hs {
+		merged = append(merged, h...)
+	}
+	o := outcomeFrom(sc, seed, reqs, merged, replied)
+	o.TimedOut = timedOut()
+	o.Shards = sc.Shards
+	o.ShardReports = rep.Shards
+	o.RoutingExact = rep.RoutingExact
+	o.XAble = rep.XAble()
+	o.Attempts = c.Attempts()
+	o.Messages = c.TotalSent()
+	o.SimTime = simTime
+	// The audit counts each distinct raw (action, input) pair once across
+	// every group's environment: the owner accounts for the effect, and a
+	// mis-routed duplicate applied by a non-owner inflates the count
+	// instead of hiding.
+	type pair struct {
+		a  action.Name
+		iv action.Value
+	}
+	counted := make(map[pair]bool)
+	for _, r := range reqs {
+		p := pair{r.Action, r.Input}
+		if !counted[p] {
+			counted[p] = true
+			o.EffectsInForce += c.EffectsInForce(r.Action, r.Input)
+		}
+	}
+	return o
+}

@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("acct-%d", i)
+	}
+	return out
+}
+
+func TestRingDeterministicAndTotal(t *testing.T) {
+	a := NewRing(4, 0)
+	b := NewRing(4, 0)
+	owned := make(map[int]int)
+	for _, k := range keys(1000) {
+		s := a.Owner(k)
+		if s < 0 || s >= 4 {
+			t.Fatalf("Owner(%q) = %d, out of range", k, s)
+		}
+		if bs := b.Owner(k); bs != s {
+			t.Fatalf("two rings disagree on %q: %d vs %d", k, s, bs)
+		}
+		owned[s]++
+	}
+	for s := 0; s < 4; s++ {
+		if owned[s] == 0 {
+			t.Errorf("shard %d owns no keys out of 1000", s)
+		}
+	}
+}
+
+// TestRingBalance pins the consistent-hash distribution quality the
+// shard-scaling table depends on: with the default virtual-node count no
+// shard may own more than twice its fair share of a large keyspace.
+func TestRingBalance(t *testing.T) {
+	const n, shards = 4096, 4
+	r := NewRing(shards, 0)
+	owned := make(map[int]int)
+	for _, k := range keys(n) {
+		owned[r.Owner(k)]++
+	}
+	fair := n / shards
+	for s := 0; s < shards; s++ {
+		if owned[s] > 2*fair {
+			t.Errorf("shard %d owns %d of %d keys (fair share %d): distribution too skewed", s, owned[s], n, fair)
+		}
+	}
+}
+
+// TestRingReshardMovesKeysOnlyToNewShard pins the consistent-hashing
+// property: growing the ring by one shard never moves a key between two
+// existing shards — ownership changes only toward the new shard.
+func TestRingReshardMovesKeysOnlyToNewShard(t *testing.T) {
+	for grow := 1; grow <= 7; grow++ {
+		old := NewRing(grow, 0)
+		grown := NewRing(grow+1, 0)
+		moved := 0
+		for _, k := range keys(2000) {
+			before, after := old.Owner(k), grown.Owner(k)
+			if before != after {
+				moved++
+				if after != grow {
+					t.Fatalf("%d→%d shards: key %q moved %d→%d, not to the new shard %d",
+						grow, grow+1, k, before, after, grow)
+				}
+			}
+		}
+		if moved == 0 {
+			t.Errorf("%d→%d shards: no key moved to the new shard", grow, grow+1)
+		}
+	}
+}
+
+func TestRingRejectsEmptyRing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(0, 0) did not panic")
+		}
+	}()
+	NewRing(0, 0)
+}

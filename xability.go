@@ -28,6 +28,11 @@
 //     delta-debugging shrinker that turns a failing sweep seed into a
 //     locally minimal counterexample trace — see RunScenarioTraced,
 //     Shrink, MinTrace.
+//   - The sharding plane: a keyspace partitioned across many
+//     independently replicated groups behind one router (x-ability is
+//     closed under composition, so the deployment is x-able end to end),
+//     with a merged per-shard + exactly-once-routing verifier — see
+//     NewShardedService.
 //
 // Quickstart:
 //
@@ -59,6 +64,7 @@ import (
 	"xability/internal/reduce"
 	"xability/internal/scenario"
 	"xability/internal/schedule"
+	"xability/internal/shard"
 	"xability/internal/shrink"
 	"xability/internal/sm"
 	"xability/internal/trace"
@@ -337,6 +343,79 @@ func RunScenarioTraced(sc Scenario, seed int64, record *ScheduleLog, replay *Rep
 func Shrink(sc Scenario, seed int64, opt ShrinkOptions) (MinTrace, error) {
 	return shrink.Shrink(sc, seed, opt)
 }
+
+// The sharding plane (internal/shard): a keyspace partitioned across many
+// independently replicated x-able groups behind one facade. X-ability is
+// closed under composition (§4's locality), so a deployment that routes
+// every request to exactly one owning group is x-able end to end — the
+// merged verifier checks both halves of that argument.
+type (
+	// ShardedConfig configures a sharded deployment: shard count, per-group
+	// replication, substrates, per-shard machine setup, and the key
+	// extractor the router partitions on.
+	ShardedConfig = shard.Config
+	// ShardedReport is the merged verdict: per-shard R2–R4 reports plus
+	// the global exactly-once-routing audit.
+	ShardedReport = shard.Report
+	// Ring is the consistent-hash keyspace partitioner.
+	Ring = shard.Ring
+	// ShardKeyFunc extracts the routing key from a request.
+	ShardKeyFunc = shard.KeyFunc
+)
+
+// NewRing builds a consistent-hash ring over the given shard count;
+// vnodes of 0 selects the default virtual-node count.
+func NewRing(shards, vnodes int) *Ring { return shard.NewRing(shards, vnodes) }
+
+// ShardedService is a running sharded deployment with its routing client.
+type ShardedService struct{ c *shard.Cluster }
+
+// NewShardedService assembles and starts N replica groups — each an
+// independent replicated service on its own simulated network — behind a
+// keyspace router, all on one virtual clock.
+func NewShardedService(cfg ShardedConfig) *ShardedService {
+	return &ShardedService{c: shard.New(cfg)}
+}
+
+// Call routes the request to its owning group and submits it until it
+// succeeds. Failover on crash or suspicion happens inside the owning
+// group; the router never re-routes across groups.
+func (s *ShardedService) Call(req Request) Value { return s.c.Router.Call(req) }
+
+// CallAll routes a request batch and drives each group's subsequence
+// concurrently on the shared virtual clock — the deployment's aggregate
+// throughput mode. Replies come back in input order.
+func (s *ShardedService) CallAll(reqs []Request) ([]Value, bool) {
+	return s.c.Router.CallAll(reqs)
+}
+
+// Shards returns the deployment's group count; ShardOf the group index
+// owning a request's key.
+func (s *ShardedService) Shards() int             { return s.c.Shards() }
+func (s *ShardedService) ShardOf(req Request) int { return s.c.Router.Owner(req) }
+
+// History returns group shard's observed event history so far.
+func (s *ShardedService) History(shardIdx int) History { return s.c.History(shardIdx) }
+
+// Verify checks the whole deployment: each group's run against R2–R4 on
+// its own history, plus the router's global exactly-once-routing audit.
+func (s *ShardedService) Verify(reg *Registry) ShardedReport { return s.c.Verify(reg) }
+
+// Apply schedules a fault plan against the deployment: unqualified ops
+// strike every group at one virtual instant (correlated faults); the
+// shard-qualified ops (Plan.CrashShardAt, Plan.PartitionShardsAt,
+// Plan.StormShardsAt, Plan.OnShard, …) address single groups.
+func (s *ShardedService) Apply(p *Plan) { p.ApplySharded(s.c) }
+
+// Clock returns the deployment's shared clock.
+func (s *ShardedService) Clock() Clock { return s.c.Clock() }
+
+// Cluster exposes the underlying runtime for advanced scenarios
+// (per-group fault surfaces, the ring, the router's routing log).
+func (s *ShardedService) Cluster() *shard.Cluster { return s.c }
+
+// Close shuts every group down.
+func (s *ShardedService) Close() { s.c.Stop() }
 
 // Apply schedules a fault plan against this service, relative to the
 // current virtual time. Call it while the schedule is held (Clock().Enter

@@ -190,3 +190,69 @@ func TestFacadeRecordReplayShrink(t *testing.T) {
 		t.Errorf("sweep counterexamples = %d, want 1", len(d.Counterexamples))
 	}
 }
+
+// TestFacadeShardedService drives the sharding plane through the public
+// facade: a 4-group deployment, routed calls (single and batched), a
+// correlated fault via Apply, and the merged verification.
+func TestFacadeShardedService(t *testing.T) {
+	reg := xability.NewRegistry()
+	reg.MustRegister("put", xability.Idempotent)
+
+	svc := xability.NewShardedService(xability.ShardedConfig{
+		Shards:   4,
+		Replicas: 3,
+		Seed:     5,
+		Registry: reg,
+		Setup: func(shard int) func(m *xability.Machine) {
+			return func(m *xability.Machine) {
+				if err := m.HandleIdempotent("put", func(ctx *xability.Ctx) xability.Value {
+					return "ok:" + ctx.Req.Input
+				}); err != nil {
+					t.Error(err)
+				}
+			}
+		},
+	})
+	defer svc.Close()
+
+	if svc.Shards() != 4 {
+		t.Fatalf("Shards = %d", svc.Shards())
+	}
+	if v := svc.Call(xability.NewRequest("put", "k1")); v != "ok:k1" {
+		t.Fatalf("Call = %q", v)
+	}
+
+	var batch []xability.Request
+	for _, k := range []string{"k2", "k3", "k4", "k5", "k6", "k7"} {
+		batch = append(batch, xability.NewRequest("put", xability.Value(k)))
+	}
+	clk := svc.Clock()
+	clk.Enter()
+	// A correlated crash of every group's replica 2 mid-batch: the
+	// remaining majorities keep every shard serving.
+	svc.Apply(xability.NewPlan().CrashAt(time.Millisecond, 2))
+	replies, ok := svc.CallAll(batch)
+	clk.Exit()
+	if !ok {
+		t.Fatalf("CallAll left requests unanswered: %v", replies)
+	}
+	for i, v := range replies {
+		if v != xability.Value("ok:"+batch[i].Input) {
+			t.Errorf("reply %d = %q", i, v)
+		}
+	}
+
+	rep := svc.Verify(reg)
+	if !rep.OK() || !rep.XAble() {
+		t.Fatalf("merged verification failed: %+v", rep)
+	}
+	if len(rep.Shards) != 4 {
+		t.Errorf("per-shard reports = %d", len(rep.Shards))
+	}
+	// Routing is a pure function of the key: ShardOf agrees with where
+	// history shows up.
+	owner := svc.ShardOf(xability.NewRequest("put", "k1"))
+	if h := svc.History(owner); len(h) == 0 {
+		t.Errorf("owner shard %d has an empty history", owner)
+	}
+}
