@@ -1,29 +1,90 @@
 // Command xbench regenerates the experiment tables of EXPERIMENTS.md
-// (T1–T4, T6, T7, T9; T5 is produced by examples/threetier). Each table
-// validates one of the paper's claims — see DESIGN.md §3 for the
-// claim-to-table map. T9 is the shard-scaling table: aggregate ops per
-// virtual second of the sharded runtime (internal/shard) at 1, 2, 4, and
-// 8 replica groups, with the merged exactly-once verdict per row.
+// (T1–T4, T3d, T6, T7, T9, T10; T5 is produced by examples/threetier).
+// Each table validates one of the paper's claims — see DESIGN.md §3 for
+// the claim-to-table map. T9 is the shard-scaling table; T10 is the
+// sweep-throughput table that tracks the repo's perf trajectory.
+//
+// With -json, the requested tables are additionally written to a JSON
+// file (default BENCH_5.json) with per-table wall time and allocation
+// counts, plus the crash-failover sweep headline against its recorded
+// pre-PR-5 baseline. CI uploads the file as an artifact so the perf
+// trajectory accumulates per build; timing numbers are report-only —
+// regressions gate on the deterministic alloc-budget tests, never on
+// wall clock.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"xability/internal/exper"
 )
 
+// tableRun is one regenerated table in the JSON report. WallNs and
+// TotalAllocs cover the whole table regeneration (they scale with flags
+// like -sweep; divide by the workload yourself before comparing builds).
+type tableRun struct {
+	WallNs      int64  `json:"wall_ns"`
+	TotalAllocs uint64 `json:"total_allocs"`
+	Rows        any    `json:"rows"`
+}
+
+// headline is the acceptance metric of the perf PR: crash-failover sweep
+// throughput against the recorded pre-PR number.
+type headline struct {
+	Seeds            int     `json:"seeds"`
+	SeedsPerSec      float64 `json:"seeds_per_sec"`
+	PrePRSeedsPerSec float64 `json:"pre_pr_seeds_per_sec"`
+	Speedup          float64 `json:"speedup"`
+}
+
+type report struct {
+	Schema     string              `json:"schema"`
+	PR         int                 `json:"pr"`
+	Go         string              `json:"go"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Tables     map[string]tableRun `json:"tables"`
+	// T7CrashFailover is the headline sweep (from the T10 measurement):
+	// the ratio the alloc-budget-gated perf work is accountable to.
+	T7CrashFailover *headline `json:"t7_crash_failover,omitempty"`
+}
+
+// timed regenerates one table, recording wall time and heap allocations.
+func timed(rep *report, name string, f func() any) any {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rows := f()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if rep != nil {
+		rep.Tables[name] = tableRun{
+			WallNs:      wall.Nanoseconds(),
+			TotalAllocs: after.Mallocs - before.Mallocs,
+			Rows:        rows,
+		}
+	}
+	return rows
+}
+
 func main() {
 	var (
 		seed      = flag.Int64("seed", 1, "base seed for all experiments")
-		tables    = flag.String("tables", "1,2,3,4,6,7,9", "comma-separated table numbers to run")
-		reqs      = flag.Int("requests", 20, "requests per cost measurement (T3)")
-		insts     = flag.Int("instances", 50, "consensus instances (T4)")
-		sweep     = flag.Int("sweep", 200, "seeds per scenario sweep (T7)")
-		workers   = flag.Int("workers", 0, "parallel sweep workers (T7; 0 = GOMAXPROCS)")
+		tables    = flag.String("tables", "1,2,3,3d,4,6,7,9,10", "comma-separated table numbers to run")
+		reqs      = flag.Int("requests", 200, "requests per cost measurement (T3)")
+		insts     = flag.Int("instances", 500, "consensus instances (T4)")
+		sweep     = flag.Int("sweep", 2000, "seeds per scenario sweep (T7)")
+		t3seeds   = flag.Int("t3seeds", 100, "seeds per cost-distribution row (T3d)")
+		t10seeds  = flag.Int("t10seeds", 512, "seeds per throughput row (T10; 512 matches the recorded baselines)")
+		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		shardReqs = flag.Int("shard-requests", 0, "requests per shard-scaling row (T9; 0 = default)")
+		jsonOut   = flag.Bool("json", false, "also write the requested tables as JSON")
+		outPath   = flag.String("out", "BENCH_5.json", "JSON output path (with -json)")
 	)
 	flag.Parse()
 
@@ -32,54 +93,83 @@ func main() {
 		want[strings.TrimSpace(t)] = true
 	}
 
+	var rep *report
+	if *jsonOut {
+		rep = &report{
+			Schema:     "xbench/v1",
+			PR:         5,
+			Go:         runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Tables:     make(map[string]tableRun),
+		}
+	}
+
 	if want["1"] {
+		rows := timed(rep, "1", func() any { return exper.TableT1(*seed) }).([]exper.T1Row)
 		fmt.Println("T1 — x-ability verdicts and side-effect audit (claim E7: baselines duplicate, the protocol does not)")
 		fmt.Printf("  %-16s %-16s %-8s %-10s %-8s\n", "protocol", "scenario", "x-able", "in-force", "replied")
-		for _, r := range exper.TableT1(*seed) {
+		for _, r := range rows {
 			fmt.Printf("  %-16s %-16s %-8v %-10d %-8v\n", r.Protocol, r.Scenario, r.XAble, r.EffectsInForce, r.Replied)
 		}
 		fmt.Println()
 	}
 
 	if want["2"] {
+		rows := timed(rep, "2", func() any { return exper.TableT2(*seed) }).([]exper.T2Row)
 		fmt.Println("T2 — run-time spectrum under false suspicion (claim E5: primary-backup ↔ active drift)")
 		fmt.Printf("  %-10s %-12s %-8s %-8s\n", "pulses", "executions", "cancels", "x-able")
-		for _, r := range exper.TableT2(*seed) {
+		for _, r := range rows {
 			fmt.Printf("  %-10d %-12d %-8d %-8v\n", r.SuspicionPulses, r.Executions, r.Cancels, r.XAble)
 		}
 		fmt.Println()
 	}
 
 	if want["3"] {
+		rows := timed(rep, "3", func() any { return exper.TableT3(*seed, *reqs) }).([]exper.T3Row)
 		fmt.Println("T3 — protocol cost, nice runs (claim E8)")
 		fmt.Printf("  %-18s %-10s %-14s %-10s\n", "protocol", "replicas", "mean latency", "msgs/req")
-		for _, r := range exper.TableT3(*seed, *reqs) {
+		for _, r := range rows {
 			fmt.Printf("  %-18s %-10d %-14v %-10.1f\n", r.Protocol, r.Replicas, r.MeanLatency, r.MsgsPerReq)
 		}
 		fmt.Println()
 	}
 
+	if want["3d"] {
+		rows := timed(rep, "3d", func() any { return exper.TableT3Dist(*seed, *reqs, *t3seeds, *workers) }).([]exper.T3DistRow)
+		fmt.Printf("T3d — protocol cost distributions over %d-seed sweeps (claim E8 at population scale)\n", *t3seeds)
+		fmt.Printf("  %-18s %-10s %-12s %-12s %-12s %-12s %-10s %-10s\n",
+			"protocol", "replicas", "lat p50", "lat p90", "lat p99", "lat max", "msgs p50", "msgs max")
+		for _, r := range rows {
+			fmt.Printf("  %-18s %-10d %-12v %-12v %-12v %-12v %-10.1f %-10.1f\n",
+				r.Protocol, r.Replicas, r.LatP50, r.LatP90, r.LatP99, r.LatMax, r.MsgP50, r.MsgMax)
+		}
+		fmt.Println()
+	}
+
 	if want["4"] {
+		rows := timed(rep, "4", func() any { return exper.TableT4(*seed, *insts) }).([]exper.T4Row)
 		fmt.Println("T4 — consensus substrate (claim E9: assumed object vs real protocol)")
 		fmt.Printf("  %-16s %-10s %-12s\n", "provider", "proposers", "per-decision")
-		for _, r := range exper.TableT4(*seed, *insts) {
+		for _, r := range rows {
 			fmt.Printf("  %-16s %-10d %-12v\n", r.Provider, r.Proposers, r.PerDecide)
 		}
 		fmt.Println()
 	}
 
 	if want["6"] {
+		rows := timed(rep, "6", func() any { return exper.TableT6() }).([]exper.T6Row)
 		fmt.Println("T6 — checker scalability (claim E10)")
 		fmt.Printf("  %-10s %-6s %-8s %-12s %-8s\n", "requests", "dup", "events", "normalize", "x-able")
-		for _, r := range exper.TableT6() {
+		for _, r := range rows {
 			fmt.Printf("  %-10d %-6d %-8d %-12v %-8v\n", r.Requests, r.DupFactor, r.Events, r.Normalize, r.XAble)
 		}
 		fmt.Println()
 	}
 
 	if want["7"] {
+		rows := timed(rep, "7", func() any { return exper.TableT7(*seed, *sweep, *workers) }).([]exper.T7Row)
 		fmt.Printf("T7 — verdict distributions over %d-seed sweeps (claims E7/E11 at scale)\n", *sweep)
-		for _, r := range exper.TableT7(*seed, *sweep, *workers) {
+		for _, r := range rows {
 			d := r.Dist
 			fmt.Printf("  %-16s x-able %.4f  replied %.4f  effects[1] %d/%d  mean attempts %.2f  mean msgs %.1f\n",
 				r.Scenario, d.XAbleRate(), d.RepliedRate(), d.Effects[1], d.Runs,
@@ -92,9 +182,9 @@ func main() {
 	}
 
 	if want["9"] {
+		rows := timed(rep, "9", func() any { return exper.TableT9(*seed, *shardReqs) }).([]exper.T9Row)
 		fmt.Println("T9 — shard scaling: aggregate throughput vs shard count (composition at scale)")
 		fmt.Printf("  %-8s %-10s %-14s %-14s %-10s %-8s\n", "shards", "requests", "sim time", "ops/vsec", "msgs/req", "x-able")
-		rows := exper.TableT9(*seed, *shardReqs)
 		for _, r := range rows {
 			fmt.Printf("  %-8d %-10d %-14v %-14.0f %-10.1f %-8v\n",
 				r.Shards, r.Requests, r.SimTime, r.OpsPerVSec, r.MsgsPerReq, r.XAble && r.Replied)
@@ -105,8 +195,51 @@ func main() {
 		fmt.Println()
 	}
 
+	if want["10"] {
+		rows := timed(rep, "10", func() any { return exper.TableT10(*seed, *t10seeds, *workers) }).([]exper.T10Row)
+		fmt.Printf("T10 — sweep throughput, %d seeds per row (the perf trajectory; wall numbers are report-only)\n", *t10seeds)
+		fmt.Printf("  %-16s %-10s %-14s %-14s %-14s %-12s %-8s\n",
+			"scenario", "seeds", "wall", "seeds/sec", "allocs/seed", "pre-PR s/s", "speedup")
+		for _, r := range rows {
+			pre, speed := "-", "-"
+			if r.PrePRSeedsPerSec > 0 {
+				pre = fmt.Sprintf("%.1f", r.PrePRSeedsPerSec)
+				speed = fmt.Sprintf("%.2fx", r.Speedup)
+			}
+			fmt.Printf("  %-16s %-10d %-14v %-14.1f %-14.0f %-12s %-8s\n",
+				r.Scenario, r.Seeds, r.Wall.Round(time.Millisecond), r.SeedsPerSec, r.AllocsPerSeed, pre, speed)
+		}
+		fmt.Println()
+		if rep != nil {
+			for _, r := range rows {
+				if r.Scenario == "crash-failover" {
+					rep.T7CrashFailover = &headline{
+						Seeds:            r.Seeds,
+						SeedsPerSec:      r.SeedsPerSec,
+						PrePRSeedsPerSec: r.PrePRSeedsPerSec,
+						Speedup:          r.Speedup,
+					}
+				}
+			}
+		}
+	}
+
 	if len(want) == 0 {
 		fmt.Fprintln(os.Stderr, "no tables selected")
 		os.Exit(2)
+	}
+
+	if rep != nil {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marshal:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "write:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
 	}
 }

@@ -18,6 +18,7 @@ package action
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -163,12 +164,21 @@ func (r Request) Commit() Request {
 // EffectiveInput is the input value as it appears in events: the request ID
 // and round number, when set, are folded into the value so that event
 // identity — and therefore pattern matching and reduction — distinguishes
-// rounds of distinct requests.
+// rounds of distinct requests. The encoding is built in one sized append
+// chain (equivalent to EncodeTuple(input, "x:"+ID+":"+round)): it runs once
+// per execution attempt, which makes it a protocol hot path.
 func (r Request) EffectiveInput() Value {
 	if r.Round == 0 && r.ID == "" {
 		return r.Input
 	}
-	return EncodeTuple(string(r.Input), fmt.Sprintf("x:%s:%d", r.ID, r.Round))
+	b := make([]byte, 0, len(r.Input)+len(r.ID)+8)
+	b = append(b, r.Input...)
+	b = append(b, tupleSep...)
+	b = append(b, "x:"...)
+	b = append(b, r.ID...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(r.Round), 10)
+	return Value(b)
 }
 
 // String renders the request in paper notation, e.g. "(debit, acct=7@r2)".
@@ -193,20 +203,30 @@ func Display(v Value) string {
 
 // SplitTag decomposes an effective input value produced by
 // Request.EffectiveInput back into the raw input, request ID, and round.
-// An untagged value decodes to (v, "", 0).
+// An untagged value decodes to (v, "", 0). The parse is allocation-free
+// (substrings share the input's storage): the checker calls it per event.
 func SplitTag(v Value) (base Value, id string, round int) {
-	fields := DecodeTuple(v)
-	if len(fields) != 2 || !strings.HasPrefix(fields[1], "x:") {
+	s := string(v)
+	i := strings.IndexByte(s, tupleSep[0])
+	if i < 0 {
 		return v, "", 0
 	}
-	parts := strings.Split(fields[1], ":")
-	if len(parts) != 3 {
+	tag := s[i+1:]
+	// The tag must be exactly "x:<id>:<round>" with no further tuple
+	// field and no ':' inside the ID (the shape EffectiveInput emits).
+	if strings.IndexByte(tag, tupleSep[0]) >= 0 || !strings.HasPrefix(tag, "x:") {
 		return v, "", 0
 	}
-	if _, err := fmt.Sscanf(parts[2], "%d", &round); err != nil {
+	rest := tag[2:]
+	j := strings.IndexByte(rest, ':')
+	if j < 0 || strings.IndexByte(rest[j+1:], ':') >= 0 {
 		return v, "", 0
 	}
-	return Value(fields[0]), parts[1], round
+	n, err := strconv.Atoi(rest[j+1:])
+	if err != nil {
+		return v, "", 0
+	}
+	return Value(s[:i]), rest[:j], n
 }
 
 const tupleSep = "\x1f" // ASCII unit separator: cannot occur in normal text.

@@ -32,6 +32,9 @@ type ClusterConfig struct {
 	Handler  Handler
 	// SyncDelay widens primary-backup's duplication window (tests).
 	SyncDelay time.Duration
+	// Network, when non-nil, deploys onto an existing (Reset) network
+	// instead of building one from Net — see core.ClusterConfig.Network.
+	Network *simnet.Network
 }
 
 // Cluster is an assembled baseline service with the same observable
@@ -56,7 +59,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.Net.Seed == 0 {
 		cfg.Net.Seed = cfg.Seed
 	}
-	net := simnet.New(cfg.Net)
+	net := cfg.Network
+	if net == nil {
+		net = simnet.New(cfg.Net)
+	}
 	obs := trace.New()
 	world := env.New(obs, cfg.Seed)
 	c := &Cluster{Net: net, Observer: obs, Env: world, dets: make(map[simnet.ProcessID]*fd.Scripted)}

@@ -14,7 +14,7 @@ func BenchmarkLocalPropose(b *testing.B) {
 	p := NewLocalProvider()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		p.Object(fmt.Sprintf("k%d", i)).Propose(i)
+		p.Object(At(fmt.Sprintf("k%d", i))).Propose(i)
 	}
 }
 
@@ -49,7 +49,7 @@ func BenchmarkCTDecision(b *testing.B) {
 	}()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := nodes[0].Propose(fmt.Sprintf("k%d", i), i); got != i {
+		if got := nodes[0].Propose(At(fmt.Sprintf("k%d", i)), i); got != i {
 			b.Fatalf("decision = %v", got)
 		}
 	}

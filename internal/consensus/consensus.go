@@ -23,8 +23,60 @@
 package consensus
 
 import (
+	"fmt"
 	"sync"
 )
+
+// Space partitions the instance key space. The protocol's three consensus
+// arrays are spaces over one provider; SpaceApp is free-form (tests,
+// benchmarks, applications embedding the substrate directly).
+type Space uint8
+
+const (
+	// SpaceApp holds free-form instances keyed by ID alone.
+	SpaceApp Space = iota
+	// SpaceOwner is the protocol's owner-agreement array.
+	SpaceOwner
+	// SpaceResult is the protocol's result-agreement array.
+	SpaceResult
+	// SpaceOutcome is the protocol's outcome-agreement array.
+	SpaceOutcome
+)
+
+func (s Space) String() string {
+	switch s {
+	case SpaceOwner:
+		return "owner"
+	case SpaceResult:
+		return "result"
+	case SpaceOutcome:
+		return "outcome"
+	default:
+		return "app"
+	}
+}
+
+// Key identifies one consensus instance. It is a comparable value — the
+// protocol's hot paths build keys by struct literal ({space, request,
+// round}) instead of formatting strings, so keying an instance costs no
+// allocation and map lookups hash a fixed shape. At returns the key for a
+// free-form ID.
+type Key struct {
+	Space Space
+	ID    string
+	Round int32
+}
+
+// At returns a free-form (SpaceApp) key, the idiom for tests and embedders.
+func At(id string) Key { return Key{ID: id} }
+
+// String renders the key for logs and debug output.
+func (k Key) String() string {
+	if k.Space == SpaceApp && k.Round == 0 {
+		return k.ID
+	}
+	return fmt.Sprintf("%s/%s/%d", k.Space, k.ID, k.Round)
+}
 
 // Object is one consensus instance.
 type Object interface {
@@ -40,7 +92,7 @@ type Object interface {
 // Provider hands out consensus objects by instance key. Calling Object with
 // the same key returns (a handle on) the same instance.
 type Provider interface {
-	Object(key string) Object
+	Object(key Key) Object
 }
 
 // Local is a linearizable first-proposal-wins consensus object. The zero
@@ -73,18 +125,18 @@ func (l *Local) Read() (any, bool) {
 // value is ready to use.
 type LocalProvider struct {
 	mu      sync.Mutex
-	objects map[string]*Local
+	objects map[Key]*Local
 }
 
 // NewLocalProvider returns an empty provider.
 func NewLocalProvider() *LocalProvider { return &LocalProvider{} }
 
 // Object implements Provider.
-func (p *LocalProvider) Object(key string) Object {
+func (p *LocalProvider) Object(key Key) Object {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.objects == nil {
-		p.objects = make(map[string]*Local)
+		p.objects = make(map[Key]*Local)
 	}
 	o, ok := p.objects[key]
 	if !ok {
@@ -97,10 +149,10 @@ func (p *LocalProvider) Object(key string) Object {
 // Keys returns the instance keys created so far, for introspection (the
 // cleaner's "largest defined index" scan uses Read on candidate keys
 // instead, but tests want visibility).
-func (p *LocalProvider) Keys() []string {
+func (p *LocalProvider) Keys() []Key {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]string, 0, len(p.objects))
+	out := make([]Key, 0, len(p.objects))
 	for k := range p.objects {
 		out = append(out, k)
 	}

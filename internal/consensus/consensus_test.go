@@ -53,9 +53,9 @@ func TestLocalConcurrentAgreement(t *testing.T) {
 
 func TestLocalProviderKeying(t *testing.T) {
 	p := NewLocalProvider()
-	a := p.Object("k1")
-	b := p.Object("k1")
-	c := p.Object("k2")
+	a := p.Object(At("k1"))
+	b := p.Object(At("k1"))
+	c := p.Object(At("k2"))
 	a.Propose("x")
 	if v, ok := b.Read(); !ok || v != "x" {
 		t.Error("same key must return the same instance")
@@ -101,14 +101,14 @@ func newCTHarness(t *testing.T, n int, seed int64) *ctHarness {
 
 func TestCTSingleProposer(t *testing.T) {
 	h := newCTHarness(t, 3, 1)
-	got := h.nodes[0].Propose("k", "v0")
+	got := h.nodes[0].Propose(At("k"), "v0")
 	if got != "v0" {
 		t.Errorf("decision = %v, want v0", got)
 	}
 	// Other nodes learn the decision.
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if v, ok := h.nodes[2].Read("k"); ok {
+		if v, ok := h.nodes[2].Read(At("k")); ok {
 			if v != "v0" {
 				t.Fatalf("node 2 decided %v", v)
 			}
@@ -127,7 +127,7 @@ func TestCTConcurrentProposersAgree(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = h.nodes[i].Propose("k", fmt.Sprintf("v%d", i))
+			results[i] = h.nodes[i].Propose(At("k"), fmt.Sprintf("v%d", i))
 		}(i)
 	}
 	wg.Wait()
@@ -155,7 +155,7 @@ func TestCTIndependentInstances(t *testing.T) {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			decisions[k] = h.nodes[k%3].Propose(fmt.Sprintf("key-%d", k), fmt.Sprintf("val-%d", k))
+			decisions[k] = h.nodes[k%3].Propose(At(fmt.Sprintf("key-%d", k)), fmt.Sprintf("val-%d", k))
 		}(k)
 	}
 	wg.Wait()
@@ -172,7 +172,7 @@ func TestCTToleratesMinorityCrash(t *testing.T) {
 	h.nodes[2].Stop()
 
 	done := make(chan any, 1)
-	go func() { done <- h.nodes[0].Propose("k", "v") }()
+	go func() { done <- h.nodes[0].Propose(At("k"), "v") }()
 	select {
 	case v := <-done:
 		if v != "v" {
@@ -196,7 +196,7 @@ func TestCTCrashedCoordinatorRotation(t *testing.T) {
 	h.dets[2].SetSuspected(h.ids[1], true)
 
 	done := make(chan any, 1)
-	go func() { done <- h.nodes[0].Propose("k", "v") }()
+	go func() { done <- h.nodes[0].Propose(At("k"), "v") }()
 	select {
 	case v := <-done:
 		if v != "v" {
@@ -220,7 +220,7 @@ func TestCTFalseSuspicionStillAgrees(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = h.nodes[i].Propose("k", fmt.Sprintf("v%d", i))
+			results[i] = h.nodes[i].Propose(At("k"), fmt.Sprintf("v%d", i))
 		}(i)
 	}
 	wg.Wait()
@@ -241,7 +241,7 @@ func TestCTPartitionStallsAndHealResumes(t *testing.T) {
 	clk.Enter()
 	h.net.Partition([]simnet.ProcessID{"n0"}, []simnet.ProcessID{"n1", "n2"})
 	done := make(chan any, 1)
-	clk.Go(func() { done <- h.nodes[0].Propose("k", "v0") })
+	clk.Go(func() { done <- h.nodes[0].Propose(At("k"), "v0") })
 
 	// 50ms of simulated time: round 1's coordinator (n1) is on the other
 	// side of the cut and never suspected, so the instance must stall.
@@ -252,7 +252,7 @@ func TestCTPartitionStallsAndHealResumes(t *testing.T) {
 	default:
 	}
 	for i := 1; i < 3; i++ {
-		if _, ok := h.nodes[i].Read("k"); ok {
+		if _, ok := h.nodes[i].Read(At("k")); ok {
 			t.Fatalf("node %d decided during partition", i)
 		}
 	}
@@ -264,7 +264,7 @@ func TestCTPartitionStallsAndHealResumes(t *testing.T) {
 	}
 	h.net.Quiesce()
 	for i := 0; i < 3; i++ {
-		if v, ok := h.nodes[i].Read("k"); !ok || v != "v0" {
+		if v, ok := h.nodes[i].Read(At("k")); !ok || v != "v0" {
 			t.Errorf("node %d post-heal state = (%v, %v), want v0", i, v, ok)
 		}
 	}
@@ -278,17 +278,17 @@ func TestCTPartitionedMinorityCatchesUpAfterHeal(t *testing.T) {
 	clk := h.net.Clock()
 	clk.Enter()
 	h.net.Partition([]simnet.ProcessID{"n0", "n1"}, []simnet.ProcessID{"n2"})
-	if v := h.nodes[0].Propose("k", "v0"); v != "v0" {
+	if v := h.nodes[0].Propose(At("k"), "v0"); v != "v0" {
 		t.Fatalf("majority-side decision = %v, want v0", v)
 	}
 	h.net.Quiesce()
-	if _, ok := h.nodes[2].Read("k"); ok {
+	if _, ok := h.nodes[2].Read(At("k")); ok {
 		t.Fatal("isolated node learned the decision through the partition")
 	}
 	h.net.Heal()
 	// The latecomer proposes its own value; agreement forces the earlier
 	// decision.
-	if v := h.nodes[2].Propose("k", "v2"); v != "v0" {
+	if v := h.nodes[2].Propose(At("k"), "v2"); v != "v0" {
 		t.Fatalf("latecomer decision = %v, want v0", v)
 	}
 	clk.Exit()
@@ -296,7 +296,7 @@ func TestCTPartitionedMinorityCatchesUpAfterHeal(t *testing.T) {
 
 func TestCTObjectAdapter(t *testing.T) {
 	h := newCTHarness(t, 3, 7)
-	obj := h.nodes[0].Object("adapter-key")
+	obj := h.nodes[0].Object(At("adapter-key"))
 	if _, ok := obj.Read(); ok {
 		t.Error("fresh instance decided")
 	}
@@ -310,8 +310,8 @@ func TestCTObjectAdapter(t *testing.T) {
 
 func TestCTProposeAfterDecision(t *testing.T) {
 	h := newCTHarness(t, 3, 8)
-	first := h.nodes[0].Propose("k", "v0")
-	second := h.nodes[1].Propose("k", "v1")
+	first := h.nodes[0].Propose(At("k"), "v0")
+	second := h.nodes[1].Propose(At("k"), "v1")
 	if first != second {
 		t.Errorf("late proposal got %v, first got %v", second, first)
 	}
@@ -344,7 +344,7 @@ func TestCatchUpAfterPartitionDesync(t *testing.T) {
 	h.dets[0].SetSuspected(h.ids[1], true)
 
 	done := make(chan any, 1)
-	clk.Go(func() { done <- h.nodes[0].Propose("k", "v0") })
+	clk.Go(func() { done <- h.nodes[0].Propose(At("k"), "v0") })
 
 	// Let n0 rotate through the dead rounds and stall as round 3's
 	// coordinator behind the cut.

@@ -43,7 +43,7 @@ type Node struct {
 	clk   vclock.Clock
 
 	mu        sync.Mutex
-	instances map[string]*ctInstance
+	instances map[Key]*ctInstance
 	stopped   bool
 	stop      chan struct{}
 }
@@ -62,7 +62,7 @@ func NewNode(self simnet.ProcessID, ep *simnet.Endpoint, peers []simnet.ProcessI
 		ep:        ep,
 		det:       det,
 		clk:       ep.Clock(),
-		instances: make(map[string]*ctInstance),
+		instances: make(map[Key]*ctInstance),
 		stop:      make(chan struct{}),
 	}
 }
@@ -105,7 +105,7 @@ const (
 )
 
 type ctMsg struct {
-	Key      string
+	Key      Key
 	Round    int
 	Kind     ctKind
 	Value    any
@@ -117,7 +117,7 @@ type ctMsg struct {
 type ctInstance struct {
 	mu       sync.Mutex
 	cond     vclock.Cond
-	key      string
+	key      Key
 	estimate any
 	hasEst   bool
 	ts       int
@@ -129,7 +129,7 @@ type ctInstance struct {
 	inbox []ctMsg
 }
 
-func (n *Node) instance(key string) *ctInstance {
+func (n *Node) instance(key Key) *ctInstance {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	inst, ok := n.instances[key]
@@ -143,11 +143,11 @@ func (n *Node) instance(key string) *ctInstance {
 
 // Object returns a handle implementing the Object interface for one
 // instance key on this node.
-func (n *Node) Object(key string) Object { return &ctObject{n: n, key: key} }
+func (n *Node) Object(key Key) Object { return &ctObject{n: n, key: key} }
 
 type ctObject struct {
 	n   *Node
-	key string
+	key Key
 }
 
 func (o *ctObject) Propose(v any) any { return o.n.Propose(o.key, v) }
@@ -158,7 +158,7 @@ func (o *ctObject) String() string    { return fmt.Sprintf("ct:%s@%s", o.key, o.
 // known locally (or the node stops, returning nil). It attaches the calling
 // goroutine to the network clock for the duration, so it is safe from any
 // goroutine — protocol servers and test drivers alike.
-func (n *Node) Propose(key string, v any) any {
+func (n *Node) Propose(key Key, v any) any {
 	n.clk.Enter()
 	defer n.clk.Exit()
 	inst := n.instance(key)
@@ -187,7 +187,7 @@ func (n *Node) Propose(key string, v any) any {
 }
 
 // Read returns the locally known decision.
-func (n *Node) Read(key string) (any, bool) {
+func (n *Node) Read(key Key) (any, bool) {
 	inst := n.instance(key)
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
@@ -294,6 +294,19 @@ const ctPoll = 500 * time.Microsecond
 // links) — it is what lets a stalled instance resume once the network
 // heals.
 const ctResendAfter = 4 * time.Millisecond
+
+// ctCatchUpAfter is how long a phase must have stalled before later-round
+// inbox evidence makes it give up (see catchUp). The grace period matters
+// because the network is not FIFO: a participant acks round r and
+// immediately broadcasts its round r+1 estimate, and the estimate can
+// overtake the ack in delivery order. A coordinator that treated the early
+// r+1 estimate as "the quorum moved on" would abandon a round it was about
+// to win — on channels the fault plane has not touched, the ack is still
+// en route and arrives within the network's delay bound, far inside this
+// window. Only when the phase has genuinely stalled (the driving message
+// was black-holed, retransmission has had a chance) is the later-round
+// evidence trusted.
+const ctCatchUpAfter = 2 * ctResendAfter
 
 func (n *Node) roundLoop(inst *ctInstance) {
 	majority := len(n.peers)/2 + 1
@@ -474,7 +487,8 @@ func (n *Node) roundLoop(inst *ctInstance) {
 func (n *Node) waitCond(inst *ctInstance, round int, ready func() bool, abort func() bool, resend func()) (ok, stale bool) {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
-	last := n.clk.Now()
+	start := n.clk.Now()
+	last := start
 	for {
 		select {
 		case <-n.stop:
@@ -487,7 +501,11 @@ func (n *Node) waitCond(inst *ctInstance, round int, ready func() bool, abort fu
 		if ready() {
 			return true, false
 		}
-		if inst.catchUp(round) {
+		// Later-round evidence is honored only once the phase has stalled
+		// past ctCatchUpAfter: before that, an early next-round message is
+		// expected reordering (the network is not FIFO), not proof that
+		// this phase can no longer complete.
+		if n.clk.Now()-start >= ctCatchUpAfter && inst.catchUp(round) {
 			return true, true
 		}
 		if abort != nil {
@@ -504,7 +522,9 @@ func (n *Node) waitCond(inst *ctInstance, round int, ready func() bool, abort fu
 		case resend != nil:
 			inst.cond.WaitTimeout(ctResendAfter)
 		default:
-			inst.cond.Wait()
+			// A pending-but-gated catch-up needs a timed wait to re-check
+			// the gate; otherwise an untimed wait is fine.
+			inst.cond.WaitTimeout(ctResendAfter)
 		}
 		if resend != nil {
 			if now := n.clk.Now(); now-last >= ctResendAfter {

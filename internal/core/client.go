@@ -2,7 +2,7 @@ package core
 
 import (
 	"errors"
-	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -77,7 +77,7 @@ func (c *Client) nextID() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.seq++
-	return fmt.Sprintf("%s-%d", c.id, c.seq)
+	return string(c.id) + "-" + strconv.Itoa(c.seq)
 }
 
 // Submit is Figure 5's submit: send the request to one replica, await a

@@ -45,6 +45,12 @@ type ClusterConfig struct {
 	Net       simnet.Config
 	Consensus ConsensusMode
 	Detector  DetectorMode
+	// Network, when non-nil, deploys onto an existing network instead of
+	// building one from Net — the sweep runner passes a Reset network here
+	// so consecutive seeds reuse the substrate (endpoints, interning,
+	// event pools) instead of allocating a fresh world. The network must
+	// have been Reset with the run's config; Net is ignored.
+	Network *simnet.Network
 	// Registry is the service's action vocabulary.
 	Registry *action.Registry
 	// Setup registers action bodies on each replica's machine.
@@ -78,7 +84,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.Net.Seed == 0 {
 		cfg.Net.Seed = cfg.Seed
 	}
-	net := simnet.New(cfg.Net)
+	net := cfg.Network
+	if net == nil {
+		net = simnet.New(cfg.Net)
+	}
 	obs := trace.New()
 	world := env.New(obs, cfg.Seed)
 

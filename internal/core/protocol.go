@@ -36,7 +36,6 @@
 package core
 
 import (
-	"fmt"
 	"sync"
 	"time"
 
@@ -93,11 +92,17 @@ type outcomeDecision struct {
 	Value   action.Value
 }
 
-// Keys of the three consensus arrays.
-func ownerKey(reqID string, round int) string  { return fmt.Sprintf("owner/%s/%d", reqID, round) }
-func resultKey(reqID string, round int) string { return fmt.Sprintf("result/%s/%d", reqID, round) }
-func outcomeKey(reqID string, round int) string {
-	return fmt.Sprintf("outcome/%s/%d", reqID, round)
+// Keys of the three consensus arrays: comparable struct values, built by
+// literal — the protocol's inner loops (ownership races, the cleaner's
+// largest-defined-index scans) key instances without formatting strings.
+func ownerKey(reqID string, round int) consensus.Key {
+	return consensus.Key{Space: consensus.SpaceOwner, ID: reqID, Round: int32(round)}
+}
+func resultKey(reqID string, round int) consensus.Key {
+	return consensus.Key{Space: consensus.SpaceResult, ID: reqID, Round: int32(round)}
+}
+func outcomeKey(reqID string, round int) consensus.Key {
+	return consensus.Key{Space: consensus.SpaceOutcome, ID: reqID, Round: int32(round)}
 }
 
 // Server is one replica of the replicated service (Figure 6).
@@ -115,8 +120,8 @@ type Server struct {
 	mu      sync.Mutex
 	stopped bool
 	active  map[string]*requestState
-	order   []string        // request IDs in arrival order, for replay
-	rounds  map[string]bool // (request, round) pairs this replica has processed
+	order   []string               // request IDs in arrival order, for replay
+	rounds  map[consensus.Key]bool // (request, round) pairs this replica has processed
 	stop    chan struct{}
 	wg      sync.WaitGroup
 }
@@ -158,7 +163,7 @@ func NewServer(cfg ServerConfig) *Server {
 		clk:           cfg.Network.Clock(),
 		cleanInterval: ci,
 		active:        make(map[string]*requestState),
-		rounds:        make(map[string]bool),
+		rounds:        make(map[consensus.Key]bool),
 		stop:          make(chan struct{}),
 	}
 }

@@ -1,0 +1,40 @@
+package scenario
+
+import "testing"
+
+// TestNiceRunAllocBudget pins the whole pipeline's allocation bill: one
+// complete nice-scenario run — cluster construction, a request through the
+// protocol, settle, verdicts. Measured at ~274 objects after PR 5's
+// overhaul (interned simnet indexes, pooled clock events/waiters, struct
+// consensus keys, allocation-free tag encoding); the budget gives ~35%
+// headroom so drift fails loudly long before the pre-PR bill (4-digit
+// object counts per run) creeps back. Alloc counts are deterministic, so
+// the guard is exact where wall-clock ratios could never be.
+func TestNiceRunAllocBudget(t *testing.T) {
+	sc, ok := Get("nice")
+	if !ok {
+		t.Fatal("nice not registered")
+	}
+	Execute(sc, 1) // warm shared registries
+	avg := testing.AllocsPerRun(20, func() { Execute(sc, 2) })
+	if avg > 380 {
+		t.Fatalf("nice run allocates %.0f objects, budget 380", avg)
+	}
+}
+
+// TestNiceRunReusedAllocBudget pins the sweep path: the same run on a
+// per-worker recycled network (reset-and-rerun) must allocate less than a
+// fresh-world run — the substrate (endpoints, interning, pools) is the
+// part reuse exists to amortize.
+func TestNiceRunReusedAllocBudget(t *testing.T) {
+	sc, ok := Get("nice")
+	if !ok {
+		t.Fatal("nice not registered")
+	}
+	scratch := &runScratch{}
+	executeTracedWith(sc, 1, nil, nil, scratch)
+	avg := testing.AllocsPerRun(20, func() { executeTracedWith(sc, 2, nil, nil, scratch) })
+	if avg > 320 {
+		t.Fatalf("reused-network nice run allocates %.0f objects, budget 320", avg)
+	}
+}

@@ -253,6 +253,41 @@ func Execute(sc Scenario, seed int64) Outcome {
 // re-executes the given log instead of drawing delays from the seed —
 // the record/replay/shrink pipeline's entry point. Either may be nil.
 func ExecuteTraced(sc Scenario, seed int64, record *schedule.Log, replay *schedule.Replay) Outcome {
+	return executeTracedWith(sc, seed, record, replay, nil)
+}
+
+// runScratch is a sweep worker's reusable substrate: one network — with
+// its endpoints, interning tables, and event pools — recycled across the
+// worker's seeds via simnet.Reset, instead of allocating a fresh world per
+// run. The protocol actors (servers, clients, machines, environment) are
+// still rebuilt per seed: they are cheap and hold all run state, so reuse
+// stays invisible to outcomes — the sweep determinism tests pin bit-equal
+// results against fresh-world Execute runs.
+type runScratch struct {
+	net *simnet.Network
+}
+
+// take returns a network ready for a seeded run: the recycled one when
+// Reset succeeds, nil (build fresh) otherwise. A network whose previous
+// run failed to wind down is abandoned rather than risked.
+func (s *runScratch) take(cfg simnet.Config) *simnet.Network {
+	if s == nil {
+		return nil
+	}
+	if s.net != nil {
+		if s.net.Reset(cfg) {
+			return s.net
+		}
+		s.net = nil
+		return nil
+	}
+	s.net = simnet.New(cfg)
+	return s.net
+}
+
+// executeTracedWith is the common run path: ExecuteTraced with an optional
+// per-worker scratch (sweep runs pass one; single runs pass nil).
+func executeTracedWith(sc Scenario, seed int64, record *schedule.Log, replay *schedule.Replay, scratch *runScratch) Outcome {
 	sc = sc.withDefaults().Materialize(seed)
 	sc.Net.Record, sc.Net.Replay = record, replay
 	reqs := sc.Requests
@@ -264,13 +299,14 @@ func ExecuteTraced(sc Scenario, seed int64, record *schedule.Log, replay *schedu
 	case sc.Protocol == XAbility && sc.Shards > 0:
 		// The sharded runtime is outside the record/replay plane (see
 		// Scenario.Shards): drop the hooks rather than hand one log to
-		// several racing networks.
+		// several racing networks. It is also outside the reuse plane:
+		// a sharded run deploys one network per group.
 		sc.Net.Record, sc.Net.Replay = nil, nil
 		o = executeSharded(sc, seed, reqs)
 	case sc.Protocol == XAbility:
-		o = executeXAbility(sc, seed, reqs)
+		o = executeXAbility(sc, seed, reqs, scratch)
 	default:
-		o = executeBaseline(sc, seed, reqs)
+		o = executeBaseline(sc, seed, reqs, scratch)
 	}
 	o.Schedule = record
 	return o
@@ -310,12 +346,14 @@ func settleFor(sc Scenario) time.Duration {
 	return settle
 }
 
-func executeXAbility(sc Scenario, seed int64, reqs []action.Request) Outcome {
+func executeXAbility(sc Scenario, seed int64, reqs []action.Request, scratch *runScratch) Outcome {
 	bank := workload.NewBank(sc.Accounts, sc.Opening)
+	netcfg := netConfig(sc, seed)
 	c := core.NewCluster(core.ClusterConfig{
 		Replicas:  sc.Replicas,
 		Seed:      seed,
-		Net:       netConfig(sc, seed),
+		Net:       netcfg,
+		Network:   scratch.take(netcfg),
 		Consensus: sc.Consensus,
 		Detector:  sc.Detector,
 		Registry:  workload.Registry(),
@@ -344,10 +382,26 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request) Outcome {
 	disarm()
 	simTime := clk.Now() - start
 	clk.Sleep(settleFor(sc))
+	// Every observation — send counter, history, side-effect audit — is
+	// snapshotted at the settle horizon, a fixed virtual instant, while
+	// this goroutine is still attached: it was just woken by the pump, so
+	// every protocol goroutine is blocked in a clock primitive and the
+	// observed state cannot move. After Exit the clock free-runs, and
+	// periodic activity (heartbeats, cleaner-paced cancellations) would
+	// race the reads in wall time, making outcomes nondeterministic.
+	msgs := c.Net.TotalSent()
+	h := c.Observer.History()
+	effects := auditEffects(reqs, c.Env.InForceTotal)
+	// Stop the cluster while still attached: once this goroutine Exits, a
+	// live cluster's periodic loops (cleaners, heartbeats) would free-run
+	// on the virtual clock at CPU speed, racing the verdict computation
+	// for the host's cores. Stopping first turns the post-Exit schedule
+	// into a bounded exit cascade. (Stop is non-blocking and idempotent;
+	// the deferred Stop becomes a no-op.)
+	c.Stop()
 	clk.Exit()
 	c.Net.Quiesce()
 
-	h := c.Observer.History()
 	logged, replies := c.Client.Log()
 	rep := verify.Check(verify.Run{
 		Registry:       workload.Registry(),
@@ -361,36 +415,24 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request) Outcome {
 	o.XAble = rep.R3Strict || rep.R3Projected
 	o.Report = rep
 	o.Attempts = c.Client.Attempts()
-	o.Messages = c.Net.TotalSent()
+	o.Messages = msgs
 	o.SimTime = simTime
-	// InForceTotal sums over every round tag of a raw (action, input)
-	// pair, so count each distinct pair once even when the workload
-	// repeats it.
-	type pair struct {
-		a  action.Name
-		iv action.Value
-	}
-	counted := make(map[pair]bool)
-	for _, r := range reqs {
-		p := pair{r.Action, r.Input}
-		if !counted[p] {
-			counted[p] = true
-			o.EffectsInForce += c.Env.InForceTotal(r.Action, r.Input)
-		}
-	}
+	o.EffectsInForce = effects
 	return o
 }
 
-func executeBaseline(sc Scenario, seed int64, reqs []action.Request) Outcome {
+func executeBaseline(sc Scenario, seed int64, reqs []action.Request, scratch *runScratch) Outcome {
 	scheme := baseline.PrimaryBackup
 	if sc.Protocol == Active {
 		scheme = baseline.Active
 	}
+	netcfg := netConfig(sc, seed)
 	c := baseline.NewCluster(baseline.ClusterConfig{
 		Scheme:    scheme,
 		Replicas:  sc.Replicas,
 		Seed:      seed,
-		Net:       netConfig(sc, seed),
+		Net:       netcfg,
+		Network:   scratch.take(netcfg),
 		Handler:   DivergingHandler(),
 		SyncDelay: sc.SyncDelay,
 	})
@@ -412,6 +454,7 @@ func executeBaseline(sc Scenario, seed int64, reqs []action.Request) Outcome {
 	disarm()
 	simTime := clk.Now() - start
 	clk.Sleep(settleFor(sc))
+	msgs := c.Net.TotalSent() // fixed virtual instant; see executeXAbility
 	clk.Exit()
 	c.Net.Quiesce()
 
@@ -428,7 +471,16 @@ func executeBaseline(sc Scenario, seed int64, reqs []action.Request) Outcome {
 	}
 	waitStable(clk, 2*time.Second, audit)
 
+	// Snapshot history and audit at a pinned virtual instant: the
+	// zero-length sleep returns via the pump, which only fires when every
+	// other attached goroutine is blocked — so nothing is mid-step while
+	// the snapshots are read (see executeXAbility).
+	clk.Enter()
+	clk.Sleep(0)
 	trace := c.Observer.History()
+	effects := audit()
+	c.Stop() // while attached; see executeXAbility
+	clk.Exit()
 	o := outcomeFrom(sc, seed, reqs, trace, replied)
 	o.TimedOut = timedOut()
 	xable := len(logged) > 0
@@ -439,10 +491,31 @@ func executeBaseline(sc Scenario, seed int64, reqs []action.Request) Outcome {
 	}
 	o.XAble = xable
 	o.Attempts = c.Client.Attempts()
-	o.Messages = c.Net.TotalSent()
+	o.Messages = msgs
 	o.SimTime = simTime
-	o.EffectsInForce = audit()
+	o.EffectsInForce = effects
 	return o
+}
+
+// auditEffects sums the environment audit over the workload's distinct
+// raw (action, input) pairs: inForce already sums over every round tag of
+// a pair, so a repeated request must be counted once, not per submission —
+// the dedup rule both the single-cluster and sharded audits share.
+func auditEffects(reqs []action.Request, inForce func(action.Name, action.Value) int) int {
+	type pair struct {
+		a  action.Name
+		iv action.Value
+	}
+	counted := make(map[pair]bool, len(reqs))
+	total := 0
+	for _, r := range reqs {
+		p := pair{r.Action, r.Input}
+		if !counted[p] {
+			counted[p] = true
+			total += inForce(r.Action, r.Input)
+		}
+	}
+	return total
 }
 
 // netConfig clones the scenario's network config for one seeded run.

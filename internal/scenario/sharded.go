@@ -89,10 +89,24 @@ func executeSharded(sc Scenario, seed int64, reqs []action.Request) Outcome {
 	disarm()
 	simTime := clk.Now() - start
 	clk.Sleep(settleFor(sc))
+	// Observations — send counters, histories, the audit — are all read at
+	// the settle horizon while still attached: the pump just woke this
+	// goroutine, so every protocol goroutine in every group is blocked and
+	// the snapshots are taken at one fixed virtual instant (see
+	// executeXAbility).
+	msgs := c.TotalSent()
+	hs := c.Histories()
+	// The audit spans every group's environment: the owner accounts for
+	// the effect, and a mis-routed duplicate applied by a non-owner
+	// inflates the count instead of hiding.
+	effects := auditEffects(reqs, c.EffectsInForce)
+	// Stop while attached so the groups' periodic loops cannot free-run
+	// against the (expensive) merged verification below — see
+	// executeXAbility.
+	c.Stop()
 	clk.Exit()
 	c.Quiesce()
 
-	hs := c.Histories()
 	rep := c.VerifyHistories(workload.Registry(), hs)
 	var merged event.History
 	for _, h := range hs {
@@ -105,23 +119,8 @@ func executeSharded(sc Scenario, seed int64, reqs []action.Request) Outcome {
 	o.RoutingExact = rep.RoutingExact
 	o.XAble = rep.XAble()
 	o.Attempts = c.Attempts()
-	o.Messages = c.TotalSent()
+	o.Messages = msgs
 	o.SimTime = simTime
-	// The audit counts each distinct raw (action, input) pair once across
-	// every group's environment: the owner accounts for the effect, and a
-	// mis-routed duplicate applied by a non-owner inflates the count
-	// instead of hiding.
-	type pair struct {
-		a  action.Name
-		iv action.Value
-	}
-	counted := make(map[pair]bool)
-	for _, r := range reqs {
-		p := pair{r.Action, r.Input}
-		if !counted[p] {
-			counted[p] = true
-			o.EffectsInForce += c.EffectsInForce(r.Action, r.Input)
-		}
-	}
+	o.EffectsInForce = effects
 	return o
 }

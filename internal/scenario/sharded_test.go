@@ -33,13 +33,7 @@ func TestShardedSweepDeterministic(t *testing.T) {
 // TestShardedOutcomeDeterministic re-executes single sharded runs —
 // including SimTime, which is where a scheduling leak would show first
 // (the virtual span of concurrent streams) — and requires bit-equal
-// outcomes. The list covers the local-consensus scenarios; the
-// CT-substrate rows (shard-split-brain) are held to verdict determinism
-// below instead: the CT node's receive loop and round loop can both send
-// inside one wake-up bubble, a pre-existing (and extremely rare)
-// message-order race that a 12-request sharded run exposes ~50× more
-// often than the single-request CT scenarios — byte-pinning it is a
-// ROADMAP follow-on on the consensus side, not a sharding-plane bug.
+// outcomes.
 func TestShardedOutcomeDeterministic(t *testing.T) {
 	for _, name := range []string{"shard-nice", "shard-crash-failover", "shard-storm", "shard-random"} {
 		sc, _ := Get(name)
@@ -54,22 +48,22 @@ func TestShardedOutcomeDeterministic(t *testing.T) {
 	}
 }
 
-// TestShardedCTVerdictDeterministic holds the CT-substrate sharded run to
-// semantic determinism: every verdict-bearing field — x-ability, replies,
-// effects, executions, routing, the per-shard reports — must be equal
-// across re-executions (message counts and the exact virtual span are
-// exempt; see TestShardedOutcomeDeterministic).
-func TestShardedCTVerdictDeterministic(t *testing.T) {
+// TestShardedCTByteDeterministic byte-pins the CT-substrate sharded run —
+// Messages and SimTime included. This is the 12-request sharded
+// configuration that used to expose the wake-up-bubble RNG race (a CT
+// node's receive loop and round loop sending concurrently inside one
+// virtual-clock bubble, ~1/300 race runs): with per-sender delay streams a
+// sender's draws no longer depend on how the host interleaved other
+// processes' sends, so the whole outcome must now reproduce exactly. CI
+// runs this under -race -count=5.
+func TestShardedCTByteDeterministic(t *testing.T) {
 	sc, _ := Get("shard-split-brain")
 	for seed := int64(1); seed <= 4; seed++ {
 		a := Execute(sc, seed)
 		b := Execute(sc, seed)
 		a.History, b.History = nil, nil
-		a.Messages, b.Messages = 0, 0
-		a.SimTime, b.SimTime = 0, 0
-		a.Attempts, b.Attempts = 0, 0
 		if !reflect.DeepEqual(a, b) {
-			t.Errorf("seed %d: verdicts differ across executions:\n%+v\nvs\n%+v", seed, a, b)
+			t.Errorf("seed %d: executions differ byte-for-byte:\n%+v\nvs\n%+v", seed, a, b)
 		}
 	}
 }

@@ -185,8 +185,15 @@ func SweepWithOptions(sc Scenario, seeds []int64, opts SweepOptions) VerdictDist
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker recycles one network across its seeds
+			// (reset-and-rerun): the substrate — endpoints, interned
+			// process tables, event pools — survives between runs, the
+			// protocol actors are rebuilt per seed, and outcomes stay
+			// bit-equal to fresh-world runs (pinned by the determinism
+			// regressions).
+			scratch := &runScratch{}
 			for i := range idx {
-				o := Execute(sc, seeds[i])
+				o := executeTracedWith(sc, seeds[i], nil, nil, scratch)
 				o.History = nil // bound sweep memory to the verdicts
 				outcomes[i] = o
 			}

@@ -1,0 +1,67 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSendRecvAllocBudget pins the network's hot path: one Send plus the
+// matching Recv. With interned process indexes (dense crash/counter/stream
+// slices instead of per-send map hashing), pooled delivery Runners, pooled
+// clock events/waiters, and ring-buffer mailboxes, the steady state costs
+// one allocation — the delivery goroutine spawn. The budget (1.5) fails
+// loudly if a map, closure, or per-message envelope sneaks back in (the
+// pre-PR path cost 11 allocations per round trip).
+//
+// The payload is pre-boxed: boxing a value into `any` is the caller's
+// allocation, not the network's.
+func TestSendRecvAllocBudget(t *testing.T) {
+	n := New(Config{Seed: 1, MaxDelay: 10 * time.Microsecond})
+	defer n.Close()
+	a := n.Register("a")
+	b := n.Register("b")
+	var payload any = "x"
+	run := func() {
+		a.Send("b", "m", payload)
+		if _, ok := b.Recv(); !ok {
+			t.Fatal("recv failed")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		run() // warm pools and ring buffers
+	}
+	avg := testing.AllocsPerRun(1000, run)
+	if avg > 1.5 {
+		t.Fatalf("Send+Recv allocates %.2f objects/op in steady state, budget 1.5 (one goroutine spawn)", avg)
+	}
+}
+
+// TestBroadcastAllocBudget pins fan-out: a 6-peer broadcast plus receives
+// must stay at one allocation per delivery (the spawns), with no per-peer
+// bookkeeping allocations — the registration-order snapshot is read
+// without copying.
+func TestBroadcastAllocBudget(t *testing.T) {
+	n := New(Config{Seed: 1, MaxDelay: 10 * time.Microsecond})
+	defer n.Close()
+	src := n.Register("src")
+	var eps []*Endpoint
+	for i := 0; i < 6; i++ {
+		eps = append(eps, n.Register(ProcessID(rune('a'+i))))
+	}
+	var payload any = "x"
+	run := func() {
+		src.Broadcast("m", payload)
+		for _, ep := range eps {
+			if _, ok := ep.Recv(); !ok {
+				t.Fatal("recv failed")
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		run()
+	}
+	avg := testing.AllocsPerRun(500, run)
+	if avg > 7.5 {
+		t.Fatalf("6-peer broadcast allocates %.2f objects/op in steady state, budget 7.5 (six spawns + slack)", avg)
+	}
+}

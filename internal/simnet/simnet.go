@@ -16,6 +16,16 @@
 // CPU it burns, not the delays it simulates. Passing vclock.NewReal() in
 // Config.Clock restores wall-clock behavior.
 //
+// Delay draws come from per-sender seeded streams: each base process owns
+// its own generator, seeded deterministically from (Config.Seed, base
+// name). Concurrent sends from *different* processes inside one
+// virtual-clock wake-up bubble therefore cannot race on a shared RNG — the
+// delay a sender's nth message draws depends only on the seed and on that
+// sender's own send order, never on how the host interleaved it with other
+// processes' sends. (Two goroutines of one process racing their sends
+// still share that process's stream; the protocol layers keep per-process
+// send order deterministic.)
+//
 // Beyond crash-stop, the network exposes a link-level fault plane for
 // adversarial scenarios: delay distributions other than uniform (fixed
 // per-link asymmetry, heavy-tail Pareto) selected via Config.Dist, a
@@ -32,7 +42,16 @@
 // Config.Replay re-executes a recorded log — optionally edited to
 // suppress, stretch, or reorder individual deliveries — which is the
 // substrate the delta-debugging shrinker (internal/shrink) minimizes
-// failing schedules on.
+// failing schedules on. Both planes cost nothing when disabled: the hot
+// send path touches them only behind nil checks.
+//
+// The network is built for seed sweeps: process identities are interned at
+// Register into dense indexes, so the per-send state (crash flags, send
+// counters, partition groups, delay streams) lives in slices rather than
+// hash maps, and delivery events are pooled Runners on the virtual clock —
+// a steady-state Send/Recv round trip performs no heap allocation. Reset
+// recycles a quiesced network (endpoints, interning tables, pools) for the
+// next seed of a sweep instead of rebuilding the world.
 //
 // The network also keeps per-process send counters so experiments can
 // report message complexity.
@@ -43,6 +62,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -87,8 +107,8 @@ const (
 
 // Config tunes the network.
 type Config struct {
-	// Seed drives the delay generator; runs with equal seeds and equal
-	// send sequences see equal delays.
+	// Seed drives the per-sender delay generators; runs with equal seeds
+	// and equal per-sender send sequences see equal delays.
 	Seed int64
 	// MinDelay and MaxDelay bound the per-message delay span. Zero
 	// values mean immediate handoff (still asynchronous: delivery is a
@@ -124,54 +144,90 @@ type Config struct {
 
 // Network connects endpoints. Create with New, then Register each process.
 type Network struct {
-	cfg Config
-	clk vclock.Clock
+	cfg  Config
+	clk  vclock.Clock
+	virt *vclock.Virtual // clk when it is virtual, for pooled-Runner scheduling
 
-	mu        sync.Mutex
-	idle      *sync.Cond // signaled when inflight returns to zero
-	rng       *rand.Rand
-	endpoints map[ProcessID]*Endpoint
-	order     []ProcessID // registration order, for deterministic iteration
-	crashed   map[ProcessID]bool
-	sent      map[ProcessID]int
-	inflight  int
-	closed    bool
+	mu           sync.Mutex
+	idle         *sync.Cond // signaled when inflight returns to zero
+	byName       map[ProcessID]*Endpoint
+	eps          []*Endpoint        // dense, by endpoint index (registration order)
+	order        []ProcessID        // registration order, for deterministic iteration
+	crashed      []bool             // by endpoint index
+	sent         []int              // by endpoint index
+	crashedNames map[ProcessID]bool // crashes recorded for never-registered IDs
+	inflight     int
+	closed       bool
 
-	// Link fault plane. All three are keyed by *base* process IDs (the ID
-	// up to the first '/'), so partitioning "replica-0" also severs its
-	// auxiliary "/fd" and "/cons" endpoints.
+	// Interned base processes (the ID up to the first '/'): link faults
+	// and delay streams act on bases, so partitioning "replica-0" also
+	// severs and co-seeds its auxiliary "/fd" and "/cons" endpoints.
+	bases   []ProcessID
+	baseIdx map[ProcessID]int32
+	streams []*rand.Rand // per-sender delay streams, by base index
+
+	// Link fault plane.
 	delayScale float64           // storm multiplier on drawn delays (1 = calm)
-	partition  map[ProcessID]int // base ID → partition group; nil = whole
-	dropped    map[linkKey]bool  // black-holed links (stored both directions)
+	partition  []int32           // base index → partition group; nil = whole; -1 = ungrouped
+	dropped    map[[2]int32]bool // black-holed links by base index (both directions)
 
 	// Schedule record/replay plane (cfg.Record / cfg.Replay).
 	record *schedule.Log
 	replay *schedule.Cursor
-}
 
-// linkKey names a directed link between two base process IDs.
-type linkKey struct{ from, to ProcessID }
+	// Pools.
+	dfree []*delivery // recycled delivery events
+
+	reviveLeft int // endpoints awaiting re-registration after Reset
+}
 
 // New returns an empty network.
 func New(cfg Config) *Network {
+	n := &Network{
+		byName:       make(map[ProcessID]*Endpoint),
+		baseIdx:      make(map[ProcessID]int32),
+		crashedNames: make(map[ProcessID]bool),
+		dropped:      make(map[[2]int32]bool),
+	}
+	n.idle = sync.NewCond(&n.mu)
+	n.apply(cfg)
+	return n
+}
+
+// apply installs a run configuration: clock, seed-derived stream state, and
+// the record/replay hooks. Shared by New and Reset; callers guarantee no
+// concurrent use.
+func (n *Network) apply(cfg Config) {
 	clk := cfg.Clock
 	if clk == nil {
 		clk = vclock.NewVirtual()
 	}
-	n := &Network{
-		cfg:        cfg,
-		clk:        clk,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		endpoints:  make(map[ProcessID]*Endpoint),
-		crashed:    make(map[ProcessID]bool),
-		sent:       make(map[ProcessID]int),
-		delayScale: 1,
-		dropped:    make(map[linkKey]bool),
-		record:     cfg.Record,
-		replay:     schedule.NewCursor(cfg.Replay),
+	n.cfg = cfg
+	n.clk = clk
+	n.virt, _ = clk.(*vclock.Virtual)
+	n.delayScale = 1
+	n.record = cfg.Record
+	n.replay = schedule.NewCursor(cfg.Replay)
+	for i, base := range n.bases {
+		n.streams[i].Seed(streamSeed(cfg.Seed, base))
 	}
-	n.idle = sync.NewCond(&n.mu)
-	return n
+}
+
+// streamSeed derives a sender's delay-stream seed from the run seed and the
+// sender's base name. Mixing by name (not by registration index) keeps a
+// sender's delay sequence stable under deployments that register additional,
+// unrelated processes.
+func streamSeed(seed int64, base ProcessID) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(base))
+	x := uint64(seed) ^ h.Sum64()
+	// splitmix64 finalizer: disperse related (seed, name) pairs.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
 }
 
 // baseOf strips the auxiliary-endpoint suffix from a process ID:
@@ -185,6 +241,21 @@ func baseOf(id ProcessID) ProcessID {
 	return id
 }
 
+// ensureBaseLocked interns a base process name, creating its delay stream.
+func (n *Network) ensureBaseLocked(base ProcessID) int32 {
+	if b, ok := n.baseIdx[base]; ok {
+		return b
+	}
+	b := int32(len(n.bases))
+	n.baseIdx[base] = b
+	n.bases = append(n.bases, base)
+	n.streams = append(n.streams, rand.New(rand.NewSource(streamSeed(n.cfg.Seed, base))))
+	if n.partition != nil {
+		n.partition = append(n.partition, -1)
+	}
+	return b
+}
+
 // Clock returns the network's clock. Components that live on the network
 // (failure detectors, servers, clients) take their time from here, so one
 // Config.Clock choice switches the whole deployment between virtual and
@@ -192,29 +263,83 @@ func baseOf(id ProcessID) ProcessID {
 func (n *Network) Clock() vclock.Clock { return n.clk }
 
 // Endpoint is one process's attachment to the network: an unbounded mailbox
-// with blocking receive.
+// with blocking receive. The mailbox is a ring buffer, so steady-state
+// receive traffic reuses its storage.
 type Endpoint struct {
-	id  ProcessID
-	net *Network
+	id   ProcessID
+	net  *Network
+	idx  int32 // dense endpoint index
+	base int32 // dense base-process index
 
 	mu     sync.Mutex
 	cond   vclock.Cond
-	queue  []Message
+	q      []Message // ring buffer
+	head   int
+	count  int
 	closed bool
 }
 
+// push appends to the mailbox ring; callers hold e.mu.
+func (e *Endpoint) push(m Message) {
+	if e.count == len(e.q) {
+		size := 2 * len(e.q)
+		if size < 8 {
+			size = 8
+		}
+		nq := make([]Message, size)
+		for i := 0; i < e.count; i++ {
+			nq[i] = e.q[(e.head+i)%len(e.q)]
+		}
+		e.q, e.head = nq, 0
+	}
+	e.q[(e.head+e.count)%len(e.q)] = m
+	e.count++
+}
+
+// pop removes the oldest message; callers hold e.mu and guarantee count>0.
+func (e *Endpoint) pop() Message {
+	m := e.q[e.head]
+	e.q[e.head] = Message{} // release the payload reference
+	e.head = (e.head + 1) % len(e.q)
+	e.count--
+	return m
+}
+
+// clearLocked empties the ring, releasing payload references; callers hold
+// e.mu.
+func (e *Endpoint) clearLocked() {
+	for i := 0; i < e.count; i++ {
+		e.q[(e.head+i)%len(e.q)] = Message{}
+	}
+	e.head, e.count = 0, 0
+}
+
 // Register attaches a process and returns its endpoint. Registering the
-// same ID twice panics: process identities are fixed for a run.
+// same ID twice panics: process identities are fixed for a run. After
+// Reset, Register revives the recycled endpoints instead — the deployment
+// must re-register the same IDs in the same order.
 func (n *Network) Register(id ProcessID) *Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, dup := n.endpoints[id]; dup {
+	if n.reviveLeft > 0 {
+		i := len(n.eps) - n.reviveLeft
+		ep := n.eps[i]
+		if ep.id != id {
+			panic(fmt.Sprintf("simnet: Reset deployment shape changed: re-registration %d is %q, was %q", i, id, ep.id))
+		}
+		n.reviveLeft--
+		return ep
+	}
+	if _, dup := n.byName[id]; dup {
 		panic(fmt.Sprintf("simnet: duplicate process %q", id))
 	}
-	ep := &Endpoint{id: id, net: n}
+	ep := &Endpoint{id: id, net: n, idx: int32(len(n.eps)), base: n.ensureBaseLocked(baseOf(id))}
 	ep.cond = n.clk.NewCond(&ep.mu)
-	n.endpoints[id] = ep
+	n.byName[id] = ep
+	n.eps = append(n.eps, ep)
 	n.order = append(n.order, id)
+	n.crashed = append(n.crashed, n.crashedNames[id])
+	n.sent = append(n.sent, 0)
 	return ep
 }
 
@@ -226,20 +351,23 @@ func (n *Network) Register(id ProcessID) *Endpoint {
 // dropped).
 func (n *Network) Crash(id ProcessID) {
 	n.mu.Lock()
-	if n.crashed[id] {
+	ep := n.byName[id]
+	if ep == nil {
+		n.crashedNames[id] = true
 		n.mu.Unlock()
 		return
 	}
-	ep := n.endpoints[id]
-	n.crashed[id] = true
-	n.mu.Unlock()
-	if ep != nil {
-		ep.mu.Lock()
-		ep.closed = true
-		ep.queue = nil
-		ep.cond.Broadcast()
-		ep.mu.Unlock()
+	if n.crashed[ep.idx] {
+		n.mu.Unlock()
+		return
 	}
+	n.crashed[ep.idx] = true
+	n.mu.Unlock()
+	ep.mu.Lock()
+	ep.closed = true
+	ep.clearLocked()
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
 }
 
 // Partition splits the network: messages between base process IDs in
@@ -248,24 +376,37 @@ func (n *Network) Crash(id ProcessID) {
 // their base process. Calling Partition again replaces the previous
 // grouping.
 func (n *Network) Partition(groups ...[]ProcessID) {
-	m := make(map[ProcessID]int)
-	for g, members := range groups {
+	n.mu.Lock()
+	for _, members := range groups {
 		for _, id := range members {
-			m[baseOf(id)] = g
+			n.ensureBaseLocked(baseOf(id))
 		}
 	}
-	n.mu.Lock()
-	n.partition = m
+	p := n.partition
+	if cap(p) < len(n.bases) {
+		p = make([]int32, len(n.bases))
+	}
+	p = p[:len(n.bases)]
+	for i := range p {
+		p[i] = -1
+	}
+	n.partition = p
+	for g, members := range groups {
+		for _, id := range members {
+			n.partition[n.baseIdx[baseOf(id)]] = int32(g)
+		}
+	}
 	n.mu.Unlock()
 }
 
 // DropLink black-holes the link between two base process IDs in both
 // directions until Heal. Dropping an already dropped link is a no-op.
 func (n *Network) DropLink(a, b ProcessID) {
-	a, b = baseOf(a), baseOf(b)
 	n.mu.Lock()
-	n.dropped[linkKey{a, b}] = true
-	n.dropped[linkKey{b, a}] = true
+	ai := n.ensureBaseLocked(baseOf(a))
+	bi := n.ensureBaseLocked(baseOf(b))
+	n.dropped[[2]int32{ai, bi}] = true
+	n.dropped[[2]int32{bi, ai}] = true
 	n.mu.Unlock()
 }
 
@@ -275,7 +416,7 @@ func (n *Network) DropLink(a, b ProcessID) {
 func (n *Network) Heal() {
 	n.mu.Lock()
 	n.partition = nil
-	n.dropped = make(map[linkKey]bool)
+	clear(n.dropped)
 	n.mu.Unlock()
 }
 
@@ -293,41 +434,40 @@ func (n *Network) SetDelayScale(f float64) {
 	n.mu.Unlock()
 }
 
-// blockedLocked reports whether the link fault plane severs from→to.
-// Callers hold n.mu.
-func (n *Network) blockedLocked(from, to ProcessID) bool {
-	from, to = baseOf(from), baseOf(to)
+// blockedLocked reports whether the link fault plane severs the link
+// between two base indexes. Callers hold n.mu.
+func (n *Network) blockedLocked(from, to int32) bool {
 	if from == to {
 		return false // a process always reaches its own endpoints
 	}
-	if n.dropped[linkKey{from, to}] {
+	if len(n.dropped) > 0 && n.dropped[[2]int32{from, to}] {
 		return true
 	}
-	if n.partition != nil {
-		gf, okf := n.partition[from]
-		gt, okt := n.partition[to]
-		if okf && okt && gf != gt {
+	if p := n.partition; p != nil {
+		gf, gt := p[from], p[to]
+		if gf >= 0 && gt >= 0 && gf != gt {
 			return true
 		}
 	}
 	return false
 }
 
-// drawDelayLocked draws one message delay per the configured distribution
-// and applies the current delay scale. Callers hold n.mu. Every
-// distribution consumes the same generator stream only when it actually
-// draws (uniform and Pareto draw once per send; asymmetric never draws),
-// so runs with equal seeds and equal send sequences see equal delays.
-func (n *Network) drawDelayLocked(from, to ProcessID) time.Duration {
+// drawDelayLocked draws one message delay from the sender's stream per the
+// configured distribution and applies the current delay scale. Callers
+// hold n.mu. A sender's stream advances only when it actually draws
+// (uniform and Pareto draw once per send; asymmetric never draws), so runs
+// with equal seeds and equal per-sender send sequences see equal delays —
+// regardless of how concurrent senders interleave.
+func (n *Network) drawDelayLocked(e, dst *Endpoint) time.Duration {
 	span := n.cfg.MaxDelay - n.cfg.MinDelay
 	d := n.cfg.MinDelay
 	switch n.cfg.Dist {
 	case DelayAsymmetric:
 		if span > 0 {
 			h := fnv.New64a()
-			h.Write([]byte(from))
+			h.Write([]byte(e.id))
 			h.Write([]byte{0})
-			h.Write([]byte(to))
+			h.Write([]byte(dst.id))
 			d += time.Duration(h.Sum64() % uint64(span))
 		}
 	case DelayPareto:
@@ -342,7 +482,7 @@ func (n *Network) drawDelayLocked(from, to ProcessID) time.Duration {
 			}
 			// Bounded Pareto over the span: u near 1 is the common case
 			// (delay near MinDelay), u near 0 the straggler tail.
-			u := 1 - n.rng.Float64() // (0, 1]
+			u := 1 - n.streams[e.base].Float64() // (0, 1]
 			tail := time.Duration(float64(span) * (math.Pow(u, -1/alpha) - 1))
 			if tail > bound {
 				tail = bound
@@ -351,7 +491,7 @@ func (n *Network) drawDelayLocked(from, to ProcessID) time.Duration {
 		}
 	default:
 		if span > 0 {
-			d += time.Duration(n.rng.Int63n(int64(span)))
+			d += time.Duration(n.streams[e.base].Int63n(int64(span)))
 		}
 	}
 	if n.delayScale > 1 {
@@ -364,12 +504,14 @@ func (n *Network) drawDelayLocked(from, to ProcessID) time.Duration {
 func (n *Network) Crashed(id ProcessID) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.crashed[id]
+	if ep := n.byName[id]; ep != nil {
+		return n.crashed[ep.idx]
+	}
+	return n.crashedNames[id]
 }
 
 // Processes returns the registered process IDs in registration order. The
-// fixed order keeps broadcasts — and with them the seeded delay draws —
-// deterministic across runs.
+// fixed order keeps broadcasts deterministic across runs.
 func (n *Network) Processes() []ProcessID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -380,7 +522,10 @@ func (n *Network) Processes() []ProcessID {
 func (n *Network) SentBy(id ProcessID) int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.sent[id]
+	if ep := n.byName[id]; ep != nil {
+		return n.sent[ep.idx]
+	}
+	return 0
 }
 
 // TotalSent reports the number of messages sent on the network.
@@ -407,42 +552,91 @@ func (n *Network) Quiesce() {
 	})
 }
 
+// delivery is one scheduled delivery event: a pooled vclock.Runner, so the
+// per-message schedule entry costs no allocation. fromBase is carried for
+// the delivery-instant link check; entry is the message's schedule-log
+// index (-1 when not recording).
+type delivery struct {
+	n        *Network
+	dst      *Endpoint
+	msg      Message
+	fromBase int32
+	entry    int32
+}
+
+// Run implements vclock.Runner: it completes one scheduled delivery. A
+// message whose link is down at the delivery instant is black-holed: a
+// partition or dropped link kills the traffic already in the pipe, not only
+// future sends.
+func (d *delivery) Run() {
+	n := d.n
+	dst, msg, fromBase, entry := d.dst, d.msg, d.fromBase, d.entry
+	n.mu.Lock()
+	d.dst, d.msg = nil, Message{}
+	n.dfree = append(n.dfree, d)
+	dead := n.crashed[dst.idx] || n.closed || n.blockedLocked(fromBase, dst.base)
+	if n.record != nil && entry >= 0 {
+		if dead {
+			n.record.Resolve(int(entry), schedule.DroppedDeliver)
+		} else {
+			n.record.Resolve(int(entry), schedule.Delivered)
+		}
+	}
+	n.mu.Unlock()
+	if !dead {
+		dst.mu.Lock()
+		if !dst.closed {
+			dst.push(msg)
+			dst.cond.Broadcast()
+		}
+		dst.mu.Unlock()
+	}
+	n.mu.Lock()
+	n.inflight--
+	if n.inflight == 0 {
+		n.idle.Broadcast()
+	}
+	n.mu.Unlock()
+}
+
 // Send transmits a message. Sends from or to crashed processes are silently
 // dropped (a crashed process does nothing; messages to a crashed process
 // can never be received). Delivery is scheduled on the network clock after
 // a seeded random delay; the delivery's heap position is fixed at send
-// time. Schedule determinism therefore reduces to send-order determinism:
-// the virtual clock wakes one event at a time, and the brief windows where
-// two protocol goroutines are runnable at once (a spawn returning to Recv,
-// a broadcast waking several waiters) do not themselves send, which the
-// determinism regression test pins for the protocol paths.
+// time. Schedule determinism therefore reduces to per-sender send-order
+// determinism: delays come from the sender's own stream, the virtual clock
+// wakes one event at a time, and the brief windows where two protocol
+// goroutines are runnable at once (a spawn returning to Recv, a broadcast
+// waking several waiters) do not perturb other senders' draws.
 func (e *Endpoint) Send(to ProcessID, typ string, payload any) {
 	n := e.net
 	n.mu.Lock()
-	if n.closed || n.crashed[e.id] {
+	if n.closed || n.crashed[e.idx] {
 		n.mu.Unlock()
 		return
 	}
-	dst, ok := n.endpoints[to]
+	dst, ok := n.byName[to]
 	if !ok {
 		n.mu.Unlock()
 		panic(fmt.Sprintf("simnet: send to unknown process %q", to))
 	}
-	n.sent[e.id]++
-	delay := n.drawDelayLocked(e.id, to)
+	n.sent[e.idx]++
+	delay := n.drawDelayLocked(e, dst)
 	// Replay plane: a send matched against the recorded log takes the
 	// log's (possibly edited) decision instead of the seeded draw. The
 	// draw above still happened, so unmatched sends of a diverged run see
 	// the same delay stream a recording run would.
 	suppressed := false
-	if d, ok := n.replay.Next(string(e.id), string(to), typ); ok {
-		if d.Suppress {
-			suppressed = true
-		} else {
-			delay = d.Delay
+	if n.replay != nil {
+		if dec, ok := n.replay.Next(string(e.id), string(to), typ); ok {
+			if dec.Suppress {
+				suppressed = true
+			} else {
+				delay = dec.Delay
+			}
 		}
 	}
-	blocked := n.blockedLocked(e.id, to)
+	blocked := n.blockedLocked(e.base, dst.base)
 	entry := -1
 	if n.record != nil {
 		verdict := schedule.Scheduled
@@ -465,48 +659,35 @@ func (e *Endpoint) Send(to ProcessID, typ string, payload any) {
 		n.mu.Unlock()
 		return
 	}
-	msg := Message{From: e.id, To: to, Type: typ, Payload: payload}
 	n.inflight++
+	var d *delivery
+	if k := len(n.dfree); k > 0 {
+		d = n.dfree[k-1]
+		n.dfree[k-1] = nil
+		n.dfree = n.dfree[:k-1]
+	} else {
+		d = &delivery{n: n}
+	}
+	d.dst, d.fromBase, d.entry = dst, e.base, int32(entry)
+	d.msg = Message{From: e.id, To: to, Type: typ, Payload: payload}
 	n.mu.Unlock()
 
-	n.clk.GoAfter(delay, func() { n.deliver(dst, msg, entry) })
-}
-
-// deliver completes one scheduled delivery. A message whose link is down at
-// the delivery instant is black-holed: a partition or dropped link kills the
-// traffic already in the pipe, not only future sends. entry is the message's
-// schedule-log index (-1 when not recording); the verdict resolves here.
-func (n *Network) deliver(dst *Endpoint, msg Message, entry int) {
-	n.mu.Lock()
-	dead := n.crashed[msg.To] || n.closed || n.blockedLocked(msg.From, msg.To)
-	if n.record != nil && entry >= 0 {
-		if dead {
-			n.record.Resolve(entry, schedule.DroppedDeliver)
-		} else {
-			n.record.Resolve(entry, schedule.Delivered)
-		}
+	if v := n.virt; v != nil {
+		v.GoAfterRunner(delay, d)
+	} else {
+		n.clk.GoAfter(delay, d.Run)
 	}
-	n.mu.Unlock()
-	if !dead {
-		dst.mu.Lock()
-		if !dst.closed {
-			dst.queue = append(dst.queue, msg)
-			dst.cond.Broadcast()
-		}
-		dst.mu.Unlock()
-	}
-	n.mu.Lock()
-	n.inflight--
-	if n.inflight == 0 {
-		n.idle.Broadcast()
-	}
-	n.mu.Unlock()
 }
 
 // Broadcast sends the message to every registered process except the
-// sender.
+// sender. The registration-order snapshot is read without copying:
+// registrations only append, so an earlier slice header stays valid.
 func (e *Endpoint) Broadcast(typ string, payload any) {
-	for _, id := range e.net.Processes() {
+	n := e.net
+	n.mu.Lock()
+	ids := n.order
+	n.mu.Unlock()
+	for _, id := range ids {
 		if id != e.id {
 			e.Send(id, typ, payload)
 		}
@@ -522,27 +703,23 @@ func (e *Endpoint) Recv() (Message, bool) {
 	defer clk.Exit()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for len(e.queue) == 0 && !e.closed {
+	for e.count == 0 && !e.closed {
 		e.cond.Wait()
 	}
 	if e.closed {
 		return Message{}, false
 	}
-	m := e.queue[0]
-	e.queue = e.queue[1:]
-	return m, true
+	return e.pop(), true
 }
 
 // TryRecv returns a queued message without blocking.
 func (e *Endpoint) TryRecv() (Message, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed || len(e.queue) == 0 {
+	if e.closed || e.count == 0 {
 		return Message{}, false
 	}
-	m := e.queue[0]
-	e.queue = e.queue[1:]
-	return m, true
+	return e.pop(), true
 }
 
 // Wait blocks until the mailbox is non-empty, the endpoint is closed, or d
@@ -554,7 +731,7 @@ func (e *Endpoint) Wait(d time.Duration) {
 	clk.Enter()
 	defer clk.Exit()
 	e.mu.Lock()
-	if len(e.queue) == 0 && !e.closed {
+	if e.count == 0 && !e.closed {
 		e.cond.WaitTimeout(d)
 	}
 	e.mu.Unlock()
@@ -584,10 +761,7 @@ func (n *Network) Close() {
 		return
 	}
 	n.closed = true
-	eps := make([]*Endpoint, 0, len(n.endpoints))
-	for _, ep := range n.endpoints {
-		eps = append(eps, ep)
-	}
+	eps := n.eps
 	n.mu.Unlock()
 	for _, ep := range eps {
 		ep.mu.Lock()
@@ -595,4 +769,64 @@ func (n *Network) Close() {
 		ep.cond.Broadcast()
 		ep.mu.Unlock()
 	}
+}
+
+// drainBudget bounds how long Reset waits for the previous run's clock to
+// quiesce before giving up on reuse.
+const drainBudget = 2 * time.Second
+
+// Reset recycles a closed network for a new run: the endpoint structures,
+// interning tables, dense fault/counter state, and event pools are kept;
+// the clock, seeds, and record/replay hooks are replaced per cfg. It
+// reports whether the network is ready for reuse — false means the caller
+// must build a fresh network (reuse requires the virtual clock, and the
+// previous run must wind down within a bounded wait).
+//
+// Reset first drains the old clock to full quiescence: stopped deployments
+// still have goroutines unwinding (a cleaner finishing its last virtual
+// sleep, a consensus round loop observing its stop), and those goroutines
+// hold references to the endpoints being recycled. Only when no attached
+// goroutine and no pending event remains is the old world provably inert,
+// and the endpoints can be reopened for the next seed. The subsequent
+// deployment must Register the same process IDs in the same order (the
+// sweep contract: one scenario shape per worker).
+func (n *Network) Reset(cfg Config) bool {
+	if cfg.Clock != nil || n.virt == nil {
+		return false
+	}
+	deadline := time.Now().Add(drainBudget)
+	for spin := 0; !n.virt.Quiesced(); spin++ {
+		if spin > 1000 {
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		runtime.Gosched()
+	}
+	n.mu.Lock()
+	n.apply(cfg)
+	n.closed = false
+	n.inflight = 0
+	for i := range n.crashed {
+		n.crashed[i] = false
+	}
+	for i := range n.sent {
+		n.sent[i] = 0
+	}
+	clear(n.crashedNames)
+	n.partition = nil
+	clear(n.dropped)
+	n.reviveLeft = len(n.eps)
+	eps := n.eps
+	clk := n.clk
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.mu.Lock()
+		ep.closed = false
+		ep.clearLocked()
+		ep.cond = clk.NewCond(&ep.mu)
+		ep.mu.Unlock()
+	}
+	return true
 }

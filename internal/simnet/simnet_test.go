@@ -91,7 +91,7 @@ func TestCrashIdempotentAndUnknownSafe(t *testing.T) {
 		t.Error("b not crashed")
 	}
 	n.Quiesce()
-	if _, ok := n.endpoints["b"].TryRecv(); ok {
+	if _, ok := n.byName["b"].TryRecv(); ok {
 		t.Error("crashed endpoint received a message")
 	}
 
@@ -155,7 +155,7 @@ func TestPartitionCoversAuxiliaryEndpoints(t *testing.T) {
 	// A process always reaches its own endpoints.
 	afd.Send("a", "self", 1)
 	n.Quiesce()
-	if _, ok := n.endpoints["a"].TryRecv(); !ok {
+	if _, ok := n.byName["a"].TryRecv(); !ok {
 		t.Error("self traffic blocked by partition")
 	}
 }

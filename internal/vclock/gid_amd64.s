@@ -1,0 +1,11 @@
+#include "textflag.h"
+
+// func gid() uintptr
+//
+// On amd64 the runtime keeps the current g in thread-local storage; the
+// assembler's TLS pseudo-address resolves to it (see the Go asm manual,
+// "runtime coordination").
+TEXT ·gid(SB), NOSPLIT, $0-8
+	MOVQ (TLS), AX
+	MOVQ AX, ret+0(FP)
+	RET

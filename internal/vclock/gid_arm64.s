@@ -1,0 +1,9 @@
+#include "textflag.h"
+
+// func gid() uintptr
+//
+// On arm64 the current g lives in the dedicated g register.
+TEXT ·gid(SB), NOSPLIT, $0-8
+	MOVD	g, R0
+	MOVD	R0, ret+0(FP)
+	RET

@@ -1,0 +1,25 @@
+//go:build !amd64 && !arm64
+
+package vclock
+
+import "runtime"
+
+// gid returns the current goroutine's ID parsed from the runtime stack
+// header ("goroutine N [running]:") — the portable fallback for
+// architectures without an assembly g-pointer read (gid_amd64.s,
+// gid_arm64.s). The Go runtime never reuses goroutine IDs, so the value is
+// unique among live goroutines, which is all the attachment ledger needs;
+// the full 64-bit ID is kept so 32-bit platforms cannot alias after 2^32
+// spawned goroutines.
+func gid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	var id uint64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

@@ -1,9 +1,7 @@
 package vclock
 
 import (
-	"container/heap"
 	"hash/fnv"
-	"runtime"
 	"sync"
 	"time"
 )
@@ -65,6 +63,13 @@ type Cond interface {
 	Broadcast()
 }
 
+// Runner is a pre-allocated schedulable callback: GoAfterRunner spawns
+// Run on an attached goroutine exactly like GoAfter spawns fn, but the
+// caller supplies a reusable object instead of a fresh closure. Hot paths
+// that schedule one event per message (the network's delivery plane) pool
+// their Runners so the per-event heap footprint is zero.
+type Runner interface{ Run() }
+
 // Stagger derives a deterministic phase offset in [0, span) from a name.
 // Symmetric periodic loops (heartbeat senders, server cleaners) offset
 // their first deadline by it so equal-period peers never share a virtual
@@ -79,47 +84,29 @@ func Stagger(name string, span time.Duration) time.Duration {
 	return time.Duration(h.Sum32()) % span
 }
 
-// goid returns the current goroutine's ID, parsed from the runtime stack
-// header ("goroutine N [running]:"). The Go runtime never reuses IDs.
-func goid() uint64 {
-	var buf [32]byte
-	n := runtime.Stack(buf[:], false)
-	var id uint64
-	for _, c := range buf[len("goroutine "):n] {
-		if c < '0' || c > '9' {
-			break
-		}
-		id = id*10 + uint64(c-'0')
-	}
-	return id
-}
-
-// vevent is one pending entry in the virtual schedule: either a waiter to
-// wake (w) or a callback to spawn (fn).
+// vevent is one pending entry in the virtual schedule: a waiter to wake
+// (w), a callback to spawn (fn), or a pooled Runner to spawn (r). Events
+// are pooled on the owning clock (evfree): pushLocked recycles them and
+// pumpLocked returns them the moment they are popped, so steady-state
+// scheduling allocates nothing.
 type vevent struct {
-	at  time.Duration
-	seq uint64
-	w   *waiter
-	fn  func()
+	at   time.Duration
+	seq  uint64
+	w    *waiter
+	wgen uint32 // waiter generation at arming time (see waiter.gen)
+	fn   func()
+	r    Runner
 }
 
-type eventHeap []*vevent
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*vevent)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; old[n-1] = nil; *h = old[:n-1]; return x }
-
-// waiter is one blocked goroutine (or timed cond wait). fired guards
-// against double wake-up when a waiter has both a broadcast and a timer.
+// waiter is one blocked goroutine (or timed cond wait). Waiters are pooled
+// on the clock and their wake channel (capacity 1) is reused across arms:
+// a waiter fires at most once per arming (fired guards the broadcast/timer
+// double wake), so the send can never block. gen increments on every
+// release; a timer event left in the heap by a broadcast-woken waiter
+// carries the old generation and is recognized as stale when popped.
 type waiter struct {
 	ch       chan struct{}
+	gen      uint32
 	fired    bool
 	timedOut bool
 	cond     *vcond // set for cond waiters, for list cleanup on timeout
@@ -133,8 +120,14 @@ type Virtual struct {
 	now    time.Duration
 	seq    uint64
 	busy   int // attached goroutines not blocked in a clock primitive
-	pq     eventHeap
-	ledger map[uint64]*gent // goroutine ID → attachment depth
+	pq     []*vevent
+	ledger map[uint64]*gent // goroutine identity → attachment depth
+
+	// Free lists. All are guarded by mu; entries are fully reset before
+	// reuse.
+	evfree []*vevent
+	wfree  []*waiter
+	gfree  []*gent
 }
 
 // NewVirtual returns a virtual clock at time zero.
@@ -149,9 +142,93 @@ func (v *Virtual) Now() time.Duration {
 	return v.now
 }
 
-func (v *Virtual) pushLocked(at time.Duration, w *waiter, fn func()) {
+// --- event heap (hand-rolled: container/heap's interface indirection and
+// boxing showed up in sweep profiles). Ordered by (at, seq). ---
+
+func (v *Virtual) heapPush(ev *vevent) {
+	v.pq = append(v.pq, ev)
+	pq := v.pq
+	i := len(pq) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(pq[i], pq[p]) {
+			break
+		}
+		pq[i], pq[p] = pq[p], pq[i]
+		i = p
+	}
+}
+
+func (v *Virtual) heapPop() *vevent {
+	pq := v.pq
+	n := len(pq) - 1
+	top := pq[0]
+	pq[0] = pq[n]
+	pq[n] = nil
+	v.pq = pq[:n]
+	pq = v.pq
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		m := l
+		if r < n && eventLess(pq[r], pq[l]) {
+			m = r
+		}
+		if !eventLess(pq[m], pq[i]) {
+			break
+		}
+		pq[i], pq[m] = pq[m], pq[i]
+		i = m
+	}
+	return top
+}
+
+func eventLess(a, b *vevent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (v *Virtual) pushLocked(at time.Duration, w *waiter, fn func(), r Runner) {
 	v.seq++
-	heap.Push(&v.pq, &vevent{at: at, seq: v.seq, w: w, fn: fn})
+	var ev *vevent
+	if n := len(v.evfree); n > 0 {
+		ev = v.evfree[n-1]
+		v.evfree[n-1] = nil
+		v.evfree = v.evfree[:n-1]
+	} else {
+		ev = new(vevent)
+	}
+	ev.at, ev.seq, ev.w, ev.fn, ev.r = at, v.seq, w, fn, r
+	if w != nil {
+		ev.wgen = w.gen
+	}
+	v.heapPush(ev)
+}
+
+// newWaiterLocked hands out a pooled waiter, armed (gen fixed) and clean.
+func (v *Virtual) newWaiterLocked() *waiter {
+	if n := len(v.wfree); n > 0 {
+		w := v.wfree[n-1]
+		v.wfree[n-1] = nil
+		v.wfree = v.wfree[:n-1]
+		return w
+	}
+	return &waiter{ch: make(chan struct{}, 1)}
+}
+
+// releaseWaiterLocked returns a consumed waiter to the pool. Bumping gen
+// invalidates any timer event still in the heap that references it.
+func (v *Virtual) releaseWaiterLocked(w *waiter) {
+	w.gen++
+	w.fired = false
+	w.timedOut = false
+	w.cond = nil
+	v.wfree = append(v.wfree, w)
 }
 
 // addBusyLocked adjusts the runnable count; on quiescence it advances time.
@@ -168,57 +245,93 @@ func (v *Virtual) addBusyLocked(d int) {
 // pumpLocked fires the next pending event: it advances now to the event's
 // deadline, marks its owner runnable, and wakes it. Exactly one runnable
 // goroutine results, so event execution is serialized and deterministic.
+// Popped events return to the pool immediately — nothing references a
+// vevent once it leaves the heap — keeping the critical section short and
+// the heap churn-free.
 func (v *Virtual) pumpLocked() {
 	for v.busy == 0 && len(v.pq) > 0 {
-		ev := heap.Pop(&v.pq).(*vevent)
-		if ev.w != nil && ev.w.fired {
-			continue // already woken by a broadcast
+		ev := v.heapPop()
+		at, w, wgen, fn, r := ev.at, ev.w, ev.wgen, ev.fn, ev.r
+		ev.w, ev.fn, ev.r = nil, nil, nil
+		v.evfree = append(v.evfree, ev)
+		if w != nil && (w.fired || w.gen != wgen) {
+			continue // woken by a broadcast, or the waiter was recycled
 		}
-		if ev.at > v.now {
-			v.now = ev.at
+		if at > v.now {
+			v.now = at
 		}
 		v.busy++
-		if ev.fn != nil {
-			go v.runAdopted(ev.fn)
+		if fn != nil {
+			go v.runAdopted(fn)
 			return
 		}
-		ev.w.fired = true
-		ev.w.timedOut = true
-		if ev.w.cond != nil {
-			ev.w.cond.removeLocked(ev.w)
+		if r != nil {
+			go v.runAdoptedRunner(r)
+			return
 		}
-		close(ev.w.ch)
+		w.fired = true
+		w.timedOut = true
+		if w.cond != nil {
+			w.cond.removeLocked(w)
+		}
+		w.ch <- struct{}{}
 		return
 	}
 }
 
-// runAdopted runs fn on the calling (fresh) goroutine with a ledger entry;
-// the runnability unit was already added by the spawner.
-func (v *Virtual) runAdopted(fn func()) {
-	id := goid()
+// adopt registers the calling (fresh) goroutine in the ledger; the
+// runnability unit was already added by the spawner.
+func (v *Virtual) adopt() uint64 {
+	id := gid()
 	v.mu.Lock()
-	v.ledger[id] = &gent{depth: 1}
+	v.ledger[id] = v.newGentLocked(1)
 	v.mu.Unlock()
-	defer func() {
-		v.mu.Lock()
-		g := v.ledger[id]
-		g.depth--
-		if g.depth == 0 {
-			delete(v.ledger, id)
-			v.addBusyLocked(-1)
-		}
-		v.mu.Unlock()
-	}()
+	return id
+}
+
+func (v *Virtual) disown(id uint64) {
+	v.mu.Lock()
+	g := v.ledger[id]
+	g.depth--
+	if g.depth == 0 {
+		delete(v.ledger, id)
+		v.gfree = append(v.gfree, g)
+		v.addBusyLocked(-1)
+	}
+	v.mu.Unlock()
+}
+
+func (v *Virtual) newGentLocked(depth int) *gent {
+	if n := len(v.gfree); n > 0 {
+		g := v.gfree[n-1]
+		v.gfree[n-1] = nil
+		v.gfree = v.gfree[:n-1]
+		g.depth = depth
+		return g
+	}
+	return &gent{depth: depth}
+}
+
+// runAdopted runs fn on the calling (fresh) goroutine with a ledger entry.
+func (v *Virtual) runAdopted(fn func()) {
+	id := v.adopt()
+	defer v.disown(id)
 	fn()
+}
+
+func (v *Virtual) runAdoptedRunner(r Runner) {
+	id := v.adopt()
+	defer v.disown(id)
+	r.Run()
 }
 
 // Enter implements Clock.
 func (v *Virtual) Enter() {
-	id := goid()
+	id := gid()
 	v.mu.Lock()
 	g := v.ledger[id]
 	if g == nil {
-		g = &gent{}
+		g = v.newGentLocked(0)
 		v.ledger[id] = g
 	}
 	g.depth++
@@ -230,7 +343,7 @@ func (v *Virtual) Enter() {
 
 // Exit implements Clock.
 func (v *Virtual) Exit() {
-	id := goid()
+	id := gid()
 	v.mu.Lock()
 	g := v.ledger[id]
 	if g == nil || g.depth == 0 {
@@ -240,6 +353,7 @@ func (v *Virtual) Exit() {
 	g.depth--
 	if g.depth == 0 {
 		delete(v.ledger, id)
+		v.gfree = append(v.gfree, g)
 		v.addBusyLocked(-1)
 	}
 	v.mu.Unlock()
@@ -247,7 +361,7 @@ func (v *Virtual) Exit() {
 
 // Detached implements Clock.
 func (v *Virtual) Detached(fn func()) {
-	id := goid()
+	id := gid()
 	v.mu.Lock()
 	g := v.ledger[id]
 	attached := g != nil && g.depth > 0
@@ -271,12 +385,15 @@ func (v *Virtual) Sleep(d time.Duration) {
 		d = 0
 	}
 	v.Enter()
-	w := &waiter{ch: make(chan struct{})}
 	v.mu.Lock()
-	v.pushLocked(v.now+d, w, nil)
+	w := v.newWaiterLocked()
+	v.pushLocked(v.now+d, w, nil, nil)
 	v.addBusyLocked(-1)
 	v.mu.Unlock()
 	<-w.ch
+	v.mu.Lock()
+	v.releaseWaiterLocked(w)
+	v.mu.Unlock()
 	v.Exit()
 }
 
@@ -295,11 +412,38 @@ func (v *Virtual) GoAfter(d time.Duration, fn func()) {
 		d = 0
 	}
 	v.mu.Lock()
-	v.pushLocked(v.now+d, nil, fn)
+	v.pushLocked(v.now+d, nil, fn, nil)
 	if v.busy == 0 {
 		v.pumpLocked()
 	}
 	v.mu.Unlock()
+}
+
+// GoAfterRunner is GoAfter for a pooled Runner: no closure is allocated and
+// the event object comes from the clock's pool, so scheduling is free of
+// per-call heap traffic. The Runner must not be reused until Run has been
+// entered.
+func (v *Virtual) GoAfterRunner(d time.Duration, r Runner) {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	v.pushLocked(v.now+d, nil, nil, r)
+	if v.busy == 0 {
+		v.pumpLocked()
+	}
+	v.mu.Unlock()
+}
+
+// Quiesced reports whether the clock has fully wound down: no attached
+// goroutines, none runnable, and no pending events. A deployment that has
+// been stopped reaches this state once its goroutines observe the stop and
+// unwind (pending timers fire and their owners exit); Network.Reset waits
+// on it before recycling a network for the next seed of a sweep.
+func (v *Virtual) Quiesced() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.busy == 0 && len(v.pq) == 0 && len(v.ledger) == 0
 }
 
 // NewCond implements Clock.
@@ -327,18 +471,27 @@ func (c *vcond) WaitTimeout(d time.Duration) bool {
 
 func (c *vcond) wait(d time.Duration) bool {
 	v := c.v
-	w := &waiter{ch: make(chan struct{}), cond: c}
 	v.mu.Lock()
+	w := v.newWaiterLocked()
+	w.cond = c
 	c.waiters = append(c.waiters, w)
 	if d >= 0 {
-		v.pushLocked(v.now+d, w, nil)
+		v.pushLocked(v.now+d, w, nil, nil)
 	}
 	v.addBusyLocked(-1)
 	v.mu.Unlock()
 	c.l.Unlock()
 	<-w.ch
+	// The wake (fired=true) happens before the channel send, so reading
+	// timedOut here is ordered; after the read nothing references w and it
+	// can be recycled. A timer event for a broadcast-woken w may still sit
+	// in the heap — the generation bump in release marks it stale.
+	timedOut := w.timedOut
+	v.mu.Lock()
+	v.releaseWaiterLocked(w)
+	v.mu.Unlock()
 	c.l.Lock()
-	return !w.timedOut
+	return !timedOut
 }
 
 func (c *vcond) Broadcast() {
@@ -348,7 +501,7 @@ func (c *vcond) Broadcast() {
 		if !w.fired {
 			w.fired = true
 			v.busy++
-			close(w.ch)
+			w.ch <- struct{}{}
 		}
 	}
 	c.waiters = c.waiters[:0]
