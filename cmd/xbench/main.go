@@ -1,11 +1,13 @@
 // Command xbench regenerates the experiment tables of EXPERIMENTS.md
-// (T1–T4, T3d, T6, T7, T9, T10; T5 is produced by examples/threetier).
-// Each table validates one of the paper's claims — see DESIGN.md §3 for
-// the claim-to-table map. T9 is the shard-scaling table; T10 is the
-// sweep-throughput table that tracks the repo's perf trajectory.
+// (T1–T4, T3d, T6, T7, T9, T10, T11; T5 is produced by
+// examples/threetier). Each table validates one of the paper's claims —
+// see DESIGN.md §3 for the claim-to-table map. T9 is the shard-scaling
+// table; T10 is the sweep-throughput table that tracks the repo's perf
+// trajectory; T11 is the saturation-curve table of the throughput plane
+// (batching and pipelining under open-loop load).
 //
 // With -json, the requested tables are additionally written to a JSON
-// file (default BENCH_5.json) with per-table wall time and allocation
+// file (default BENCH_6.json) with per-table wall time and allocation
 // counts, plus the crash-failover sweep headline against its recorded
 // pre-PR-5 baseline. CI uploads the file as an artifact so the perf
 // trajectory accumulates per build; timing numbers are report-only —
@@ -75,7 +77,7 @@ func timed(rep *report, name string, f func() any) any {
 func main() {
 	var (
 		seed      = flag.Int64("seed", 1, "base seed for all experiments")
-		tables    = flag.String("tables", "1,2,3,3d,4,6,7,9,10", "comma-separated table numbers to run")
+		tables    = flag.String("tables", "1,2,3,3d,4,6,7,9,10,11", "comma-separated table numbers to run")
 		reqs      = flag.Int("requests", 200, "requests per cost measurement (T3)")
 		insts     = flag.Int("instances", 500, "consensus instances (T4)")
 		sweep     = flag.Int("sweep", 2000, "seeds per scenario sweep (T7)")
@@ -84,7 +86,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		shardReqs = flag.Int("shard-requests", 0, "requests per shard-scaling row (T9; 0 = default)")
 		jsonOut   = flag.Bool("json", false, "also write the requested tables as JSON")
-		outPath   = flag.String("out", "BENCH_5.json", "JSON output path (with -json)")
+		outPath   = flag.String("out", "BENCH_6.json", "JSON output path (with -json)")
 	)
 	flag.Parse()
 
@@ -97,7 +99,7 @@ func main() {
 	if *jsonOut {
 		rep = &report{
 			Schema:     "xbench/v1",
-			PR:         5,
+			PR:         6,
 			Go:         runtime.Version(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Tables:     make(map[string]tableRun),
@@ -222,6 +224,28 @@ func main() {
 				}
 			}
 		}
+	}
+
+	if want["11"] {
+		rows := timed(rep, "11", func() any { return exper.TableT11(*seed) }).([]exper.T11Row)
+		fmt.Println("T11 — saturation curves: ops per virtual second and latency vs offered load (the throughput plane)")
+		fmt.Printf("  %-18s %-8s %-10s %-10s %-12s %-12s %-10s %-10s %-10s %-10s %-8s\n",
+			"config", "mode", "rate", "sessions", "sim time", "ops/vsec", "lat p50", "lat p95", "lat p99", "msgs/req", "x-able")
+		for _, r := range rows {
+			rate := "-"
+			if r.Mode == "open" {
+				rate = fmt.Sprintf("%d", r.Rate)
+			}
+			fmt.Printf("  %-18s %-8s %-10s %-10d %-12v %-10.0f %-10v %-10v %-10v %-10.1f %-8v\n",
+				r.Config, r.Mode, rate, r.Sessions, r.SimTime, r.OpsPerVSec,
+				r.LatP50, r.LatP95, r.LatP99, r.MsgsPerReq, r.XAble && r.Replied)
+		}
+		peaks := exper.T11Peak(rows)
+		if peaks["unbatched"] > 0 {
+			fmt.Printf("  batched+pipelined vs unbatched peak: %.2fx  (claim: ≥3x)\n",
+				peaks["batched+pipelined"]/peaks["unbatched"])
+		}
+		fmt.Println()
 	}
 
 	if len(want) == 0 {

@@ -23,11 +23,15 @@
 // Scenarios come from the registry (-list prints them): nice,
 // crash-failover, partition, delay-storm, delay-storm-hb, partition-hb,
 // suspect, failures, sequence, random-faults, the spectrum-N pulse
-// sweeps, the sharded rows (shard-nice, shard-crash-failover,
-// shard-split-brain, shard-storm, shard-random — the keyspace-router
-// deployment of internal/shard; -shards N redeploys any x-ability
-// scenario across N groups), and the baseline contrast rows (pb-nice,
-// pb-crash-failover, active-nice).
+// sweeps, the throughput-plane rows (batch-nice, batch-crash-failover,
+// batch-storm-hb on the batched slot protocol; open-loop-nice,
+// open-loop-batch, shard-open-loop driving arrival-rate load through
+// stations — open-loop runs also print a session-latency summary), the
+// sharded rows (shard-nice, shard-crash-failover, shard-split-brain,
+// shard-storm, shard-random — the keyspace-router deployment of
+// internal/shard; -shards N redeploys any x-ability scenario across N
+// groups), and the baseline contrast rows (pb-nice, pb-crash-failover,
+// active-nice).
 package main
 
 import (
@@ -126,6 +130,13 @@ func runOne(sc scenario.Scenario, seed int64, showTrace bool) {
 		o.Requests, o.Attempts, o.Messages, o.SimTime)
 	fmt.Printf("executions: %d  cancels: %d  effects in force: %d\n",
 		o.Executions, o.Cancels, o.EffectsInForce)
+	if o.Latency.Count > 0 {
+		fmt.Printf("sessions: %d  latency p50: %v  p95: %v  p99: %v  max: %v\n",
+			o.Latency.Count, o.Latency.P50, o.Latency.P95, o.Latency.P99, o.Latency.Max)
+		if o.SimTime > 0 {
+			fmt.Printf("throughput: %.0f ops/vsec\n", float64(o.Requests)/o.SimTime.Seconds())
+		}
+	}
 	if o.Shards > 0 {
 		// Sharded runs report the merged verdict: per-shard R-clauses plus
 		// the router's global exactly-once-routing audit.

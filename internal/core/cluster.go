@@ -59,6 +59,12 @@ type ClusterConfig struct {
 	CleanInterval time.Duration
 	// HeartbeatInterval tunes DetectorHeartbeat.
 	HeartbeatInterval time.Duration
+	// Batch enables the batched/pipelined slot plane on every replica
+	// (zero value: per-request protocol).
+	Batch BatchConfig
+	// Costs charges virtual CPU time per protocol primitive (zero value:
+	// free, as before — see CostModel).
+	Costs CostModel
 }
 
 // Cluster is an assembled service: n server replicas, one client stub, a
@@ -170,6 +176,8 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			Consensus:     providerFor(i),
 			Network:       net,
 			CleanInterval: cfg.CleanInterval,
+			Batch:         cfg.Batch,
+			Costs:         cfg.Costs,
 		})
 		srv.Start()
 		c.Servers = append(c.Servers, srv)
@@ -226,6 +234,18 @@ func (c *Cluster) CrashServer(i int) { c.Servers[i].Crash() }
 
 // Machine returns replica i's state machine.
 func (c *Cluster) Machine(i int) *sm.Machine { return c.Servers[i].mach }
+
+// OpenStation builds the open-loop station over the cluster's client
+// endpoint and detector (the closed-loop Client must then stay unused for
+// the run: both would drain the same mailbox).
+func (c *Cluster) OpenStation() *Station {
+	return NewStation(StationConfig{
+		ID:       c.Client.id,
+		Endpoint: c.Client.ep,
+		Replicas: c.Client.replicas,
+		Detector: c.Client.det,
+	})
+}
 
 // Stop shuts the whole cluster down.
 func (c *Cluster) Stop() {

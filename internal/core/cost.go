@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"xability/internal/vclock"
+)
+
+// CostModel charges virtual-clock time for the protocol's two expensive
+// primitives, per server. The simulated network is an infinite-server
+// queue — any number of deliveries and executions overlap in virtual time —
+// so without a cost model a replica has unbounded capacity and open-loop
+// throughput curves never saturate. Charging a fixed virtual cost per
+// consensus proposal and per action execution on a serialized per-replica
+// CPU gives each replica a finite service rate, which is exactly what T11's
+// saturation experiments measure: batching amortizes the Consensus charge
+// over the batch, pipelining overlaps agreement with execution.
+//
+// The zero value disables charging entirely: no sleeps, no serialization,
+// and every existing scenario runs bit-identically to the uncharged build.
+type CostModel struct {
+	// Consensus is charged once per consensus proposal a server issues
+	// (ownership, result, and outcome agreement alike, in both the
+	// per-request and the batched plane).
+	Consensus time.Duration
+	// Exec is charged once per action execution attempt (including
+	// cancel/commit derived actions and replayed applies stay free — they
+	// are local bookkeeping in both planes).
+	Exec time.Duration
+}
+
+// enabled reports whether any charge is non-zero.
+func (cm CostModel) enabled() bool { return cm.Consensus > 0 || cm.Exec > 0 }
+
+// vcpu serializes charged work on one replica: a ticket-FIFO queue on the
+// virtual clock. Arrival order under the deterministic scheduler is
+// deterministic, so the service order — and therefore every run metric —
+// is too.
+type vcpu struct {
+	clk  vclock.Clock
+	mu   sync.Mutex
+	cond vclock.Cond
+	next uint64 // next ticket to hand out
+	serv uint64 // ticket currently being served
+}
+
+func newVCPU(clk vclock.Clock) *vcpu {
+	c := &vcpu{clk: clk}
+	c.cond = clk.NewCond(&c.mu)
+	return c
+}
+
+// charge occupies the CPU for d of virtual time, FIFO among contenders.
+func (c *vcpu) charge(d time.Duration) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	t := c.next
+	c.next++
+	for c.serv != t {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+	c.clk.Sleep(d)
+	c.mu.Lock()
+	c.serv++
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}

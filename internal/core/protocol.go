@@ -85,6 +85,12 @@ type ownerDecision struct {
 	Owner  simnet.ProcessID
 	Req    action.Request
 	Client simnet.ProcessID
+	// Batch carries the slot's ordered members in the batched plane
+	// (see batch.go); nil in the per-request plane. Deciding the batch
+	// content inside the ownership decision is what fixes the batch across
+	// rounds: a cleaner taking over round r+1 re-proposes the round-1 batch
+	// verbatim, so every round of a slot executes the same members.
+	Batch []SubmitPayload
 }
 
 type outcomeDecision struct {
@@ -116,6 +122,9 @@ type Server struct {
 	clk  vclock.Clock
 
 	cleanInterval time.Duration
+	costs         CostModel
+	cpu           *vcpu
+	batch         BatchConfig
 
 	mu      sync.Mutex
 	stopped bool
@@ -124,6 +133,9 @@ type Server struct {
 	rounds  map[consensus.Key]bool // (request, round) pairs this replica has processed
 	stop    chan struct{}
 	wg      sync.WaitGroup
+
+	// Batched plane (nil/zero unless batch.Enabled; see batch.go).
+	slots *slotState
 }
 
 type requestState struct {
@@ -133,6 +145,9 @@ type requestState struct {
 	result   action.Value
 	applied  bool // replayed into the local machine state
 	watching bool // an awaitFixed watcher is already running here
+	direct   bool // this replica received the client's submit itself
+	queued   bool // enqueued in this replica's pending batch or a known slot
+	doneSlot int  // slot that finished it (batched plane; -1 otherwise)
 }
 
 // ServerConfig assembles a server's dependencies.
@@ -145,6 +160,12 @@ type ServerConfig struct {
 	Network   *simnet.Network
 	// CleanInterval is the cleaner's polling period (default 1ms).
 	CleanInterval time.Duration
+	// Costs charges virtual time per protocol primitive (see CostModel);
+	// the zero value disables charging.
+	Costs CostModel
+	// Batch enables the batched/pipelined slot plane (see BatchConfig);
+	// the zero value keeps the per-request protocol.
+	Batch BatchConfig
 }
 
 // NewServer builds a replica.
@@ -153,7 +174,7 @@ func NewServer(cfg ServerConfig) *Server {
 	if ci <= 0 {
 		ci = time.Millisecond
 	}
-	return &Server{
+	s := &Server{
 		id:            cfg.ID,
 		ep:            cfg.Endpoint,
 		mach:          cfg.Machine,
@@ -162,18 +183,42 @@ func NewServer(cfg ServerConfig) *Server {
 		net:           cfg.Network,
 		clk:           cfg.Network.Clock(),
 		cleanInterval: ci,
+		costs:         cfg.Costs,
+		batch:         cfg.Batch.withDefaults(),
 		active:        make(map[string]*requestState),
 		rounds:        make(map[consensus.Key]bool),
 		stop:          make(chan struct{}),
 	}
+	if s.costs.enabled() {
+		s.cpu = newVCPU(s.clk)
+	}
+	if s.batch.Enabled {
+		s.slots = newSlotState(s.clk)
+	}
+	return s
+}
+
+// propose issues a consensus proposal, charging the cost model's per-proposal
+// CPU time first. Both planes (per-request and batched) fund every proposal
+// through here, so T11's before/after comparison charges them identically.
+func (s *Server) propose(key consensus.Key, val any) any {
+	s.cpu.charge(s.costs.Consensus)
+	return s.cons.Object(key).Propose(val)
 }
 
 // Start launches the request loop and the cleaner (the cobegin of
-// Figure 6) on the network clock.
+// Figure 6) on the network clock. With batching enabled the cobegin gains
+// the batcher (window-driven slot formation) and the follower (in-order
+// slot application; see batch.go).
 func (s *Server) Start() {
 	s.wg.Add(2)
 	s.clk.Go(func() { defer s.wg.Done(); s.mainLoop() })
 	s.clk.Go(func() { defer s.wg.Done(); s.cleaner() })
+	if s.batch.Enabled {
+		s.wg.Add(2)
+		s.clk.Go(func() { defer s.wg.Done(); s.batcher() })
+		s.clk.Go(func() { defer s.wg.Done(); s.follower() })
+	}
 }
 
 // Stop terminates the server's goroutines without simulating a crash.
@@ -216,6 +261,14 @@ func (s *Server) mainLoop() {
 		case MsgSubmit:
 			p, ok := msg.Payload.(SubmitPayload)
 			if !ok {
+				continue
+			}
+			if s.batch.Enabled {
+				// Batched plane: no per-request announce gossip (the batch
+				// content rides in the slot's ownership decision, which is
+				// where cleaners discover it) and no per-request ownership
+				// race — the request joins this replica's pending batch.
+				s.enqueue(p)
 				continue
 			}
 			st, first := s.noteRequest(p.Req, p.Client)
@@ -265,7 +318,7 @@ func (s *Server) noteRequest(req action.Request, client simnet.ProcessID) (*requ
 	defer s.mu.Unlock()
 	st, ok := s.active[req.ID]
 	if !ok {
-		st = &requestState{req: req, client: client}
+		st = &requestState{req: req, client: client, doneSlot: -1}
 		s.active[req.ID] = st
 		s.order = append(s.order, req.ID)
 	}
@@ -306,7 +359,7 @@ func (s *Server) processRequest(req action.Request, round int, client simnet.Pro
 	}
 	s.rounds[key] = true
 	s.mu.Unlock()
-	decided := s.cons.Object(key).Propose(ownerDecision{Owner: s.id, Req: req, Client: client})
+	decided := s.propose(key, ownerDecision{Owner: s.id, Req: req, Client: client})
 	od, ok := decided.(ownerDecision)
 	if !ok || od.Owner != s.id {
 		return false // another replica owns this round; the cleaner watches it
@@ -405,8 +458,12 @@ func (s *Server) cleaner() {
 			return
 		default:
 		}
-		for _, st := range s.snapshotActive() {
-			s.cleanRequest(st)
+		if s.batch.Enabled {
+			s.cleanSlot()
+		} else {
+			for _, st := range s.snapshotActive() {
+				s.cleanRequest(st)
+			}
 		}
 		s.clk.Sleep(s.cleanInterval)
 	}
@@ -463,7 +520,7 @@ func (s *Server) cleanRequest(st *requestState) {
 // undoable actions. val == EmptyResult selects cleaning mode.
 func (s *Server) resultCoordination(req action.Request, round int, val action.Value) action.Value {
 	if s.mach.IsIdempotent(req) {
-		decided := s.cons.Object(resultKey(req.ID, round)).Propose(val)
+		decided := s.propose(resultKey(req.ID, round), val)
 		v, ok := decided.(action.Value)
 		if !ok {
 			return EmptyResult
@@ -477,7 +534,7 @@ func (s *Server) resultCoordination(req action.Request, round int, val action.Va
 		} else {
 			proposal = outcomeDecision{Outcome: "commit", Value: val}
 		}
-		decided := s.cons.Object(outcomeKey(req.ID, round)).Propose(proposal)
+		decided := s.propose(outcomeKey(req.ID, round), proposal)
 		dec, ok := decided.(outcomeDecision)
 		if !ok {
 			return EmptyResult
@@ -508,6 +565,7 @@ func (s *Server) executeUntilSuccess(req action.Request) (action.Value, bool) {
 				return "", false
 			}
 		}
+		s.cpu.charge(s.costs.Exec)
 		res, err := s.mach.Execute(req)
 		if err == nil {
 			return res, true

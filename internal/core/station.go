@@ -1,0 +1,229 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"xability/internal/action"
+	"xability/internal/fd"
+	"xability/internal/simnet"
+	"xability/internal/vclock"
+)
+
+// Station is the open-loop client multiplexer: it drives many concurrent
+// single-request sessions over one endpoint, where the closed-loop Client
+// of client.go drives exactly one session at a time. A background pump
+// drains the endpoint and demultiplexes MsgResult by request ID to the
+// per-request waiters, so thousands of in-flight submissions share one
+// mailbox (and one delay stream — the Station reuses the cluster's
+// existing "client" endpoint, keeping the network's seeded delay plan
+// identical whether a run is open- or closed-loop).
+//
+// Each session follows Figure 5's submit discipline independently: send to
+// a replica, await a result or a suspicion, fail over on suspicion. A
+// paced re-send covers the open-loop-specific hole that a dropped submit
+// of a session nobody is watching would otherwise never be retried.
+type Station struct {
+	id       simnet.ProcessID
+	ep       *simnet.Endpoint
+	clk      vclock.Clock
+	replicas []simnet.ProcessID
+	det      fd.Detector
+	poll     time.Duration
+	resend   time.Duration
+
+	mu       sync.Mutex
+	cond     vclock.Cond
+	waiting  map[string]*stationCall
+	open     int // sessions in flight
+	attempts int
+	stopped  bool
+
+	// completion log for the verifier, in completion order (deterministic
+	// under the virtual clock)
+	requests  []action.Request
+	replies   []action.Value
+	latencies []time.Duration
+}
+
+type stationCall struct {
+	done bool
+	val  action.Value
+}
+
+// StationConfig assembles a station.
+type StationConfig struct {
+	ID       simnet.ProcessID
+	Endpoint *simnet.Endpoint
+	Replicas []simnet.ProcessID
+	Detector fd.Detector
+	// Poll bounds the staleness of the suspicion check (default 200µs).
+	Poll time.Duration
+	// Resend is the per-session submit re-send period (default 4ms).
+	Resend time.Duration
+}
+
+// NewStation builds a station and starts its demultiplexing pump. The
+// endpoint must not be concurrently drained by a Client.
+func NewStation(cfg StationConfig) *Station {
+	poll := cfg.Poll
+	if poll <= 0 {
+		poll = 200 * time.Microsecond
+	}
+	resend := cfg.Resend
+	if resend <= 0 {
+		resend = 4 * time.Millisecond
+	}
+	st := &Station{
+		id:       cfg.ID,
+		ep:       cfg.Endpoint,
+		clk:      cfg.Endpoint.Clock(),
+		replicas: append([]simnet.ProcessID(nil), cfg.Replicas...),
+		det:      cfg.Detector,
+		poll:     poll,
+		resend:   resend,
+		waiting:  make(map[string]*stationCall),
+	}
+	st.cond = st.clk.NewCond(&st.mu)
+	st.clk.Go(st.pump)
+	return st
+}
+
+// pump drains the endpoint, resolving waiters. It exits when the endpoint
+// closes (network shutdown).
+func (st *Station) pump() {
+	for {
+		msg, ok := st.ep.Recv()
+		if !ok {
+			st.mu.Lock()
+			st.stopped = true
+			st.mu.Unlock()
+			st.cond.Broadcast()
+			return
+		}
+		if msg.Type != MsgResult {
+			continue
+		}
+		p, ok := msg.Payload.(ResultPayload)
+		if !ok {
+			continue
+		}
+		st.mu.Lock()
+		c := st.waiting[p.ReqID]
+		if c != nil && !c.done {
+			c.done = true
+			c.val = p.Value
+		}
+		st.mu.Unlock()
+		st.cond.Broadcast()
+	}
+}
+
+// Submit runs one open-loop session to completion: the request must
+// already carry a unique ID. It returns the reply, or ok=false if the
+// network closed first. Safe for arbitrary concurrency.
+func (st *Station) Submit(req action.Request) (action.Value, bool) {
+	start := st.clk.Now()
+	c := &stationCall{}
+	st.mu.Lock()
+	st.open++
+	st.waiting[req.ID] = c
+	i := 0
+	st.mu.Unlock()
+
+	defer func() {
+		st.mu.Lock()
+		delete(st.waiting, req.ID)
+		st.open--
+		st.mu.Unlock()
+		st.cond.Broadcast()
+	}()
+
+	for {
+		target := st.replicas[i%len(st.replicas)]
+		st.mu.Lock()
+		st.attempts++
+		st.mu.Unlock()
+		st.ep.Send(target, MsgSubmit, SubmitPayload{Req: req, Client: st.id})
+		deadline := st.clk.Now() + st.resend
+		for {
+			st.mu.Lock()
+			if c.done {
+				val := c.val
+				st.requests = append(st.requests, req)
+				st.replies = append(st.replies, val)
+				st.latencies = append(st.latencies, st.clk.Now()-start)
+				st.mu.Unlock()
+				return val, true
+			}
+			if st.stopped {
+				st.mu.Unlock()
+				return "", false
+			}
+			st.mu.Unlock()
+			if st.det.Suspect(target) {
+				i++
+				break // fail over (Figure 5's advance)
+			}
+			if st.clk.Now() >= deadline {
+				break // re-send to the same replica (submit is idempotent)
+			}
+			st.mu.Lock()
+			st.cond.WaitTimeout(st.poll)
+			st.mu.Unlock()
+		}
+	}
+}
+
+// Drive schedules one session per (ats[i], reqs[i]) pair on the virtual
+// clock and blocks until every session finishes (reply received, or the
+// network closed under it). It reports how many completed with a reply.
+// The caller must be attached to the clock; the session goroutines are
+// attached via GoAfter and the join waits on a virtual-time condition
+// variable (the Router.CallAll discipline), so the whole drive is
+// deterministic.
+func (st *Station) Drive(ats []time.Duration, reqs []action.Request) int {
+	completed, finished := 0, 0
+	for i := range reqs {
+		req := reqs[i]
+		st.clk.GoAfter(ats[i], func() {
+			_, ok := st.Submit(req)
+			st.mu.Lock()
+			finished++
+			if ok {
+				completed++
+			}
+			st.mu.Unlock()
+			st.cond.Broadcast()
+		})
+	}
+	st.mu.Lock()
+	for finished < len(reqs) && !st.stopped {
+		st.cond.WaitTimeout(st.poll)
+	}
+	n := completed
+	st.mu.Unlock()
+	return n
+}
+
+// Attempts reports the total submit attempts.
+func (st *Station) Attempts() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.attempts
+}
+
+// Log returns the completed requests and replies in completion order.
+func (st *Station) Log() ([]action.Request, []action.Value) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]action.Request(nil), st.requests...), append([]action.Value(nil), st.replies...)
+}
+
+// Latencies returns the per-session submit→reply virtual durations, in
+// completion order.
+func (st *Station) Latencies() []time.Duration {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]time.Duration(nil), st.latencies...)
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"xability/internal/action"
+	"xability/internal/verify"
+	"xability/internal/workload"
+)
+
+// driveOpenLoop runs an open-loop workload against a freshly assembled
+// bank cluster and returns the completed count and the verifier's report
+// under the concurrent relaxation.
+func driveOpenLoop(t *testing.T, cfg ClusterConfig, spec workload.OpenLoopSpec, seed int64) (int, verify.Report) {
+	t.Helper()
+	world := &bankWorld{balance: map[string]int{}}
+	cfg.Registry = bankRegistry()
+	cfg.Setup = bankSetup(world)
+	if cfg.Net.MaxDelay == 0 {
+		cfg.Net.MaxDelay = 200 * time.Microsecond
+	}
+	cfg.Seed = seed
+	c := NewCluster(cfg)
+	t.Cleanup(c.Stop)
+
+	st := NewStation(StationConfig{
+		ID:       c.Client.id,
+		Endpoint: c.Client.ep,
+		Replicas: c.Client.replicas,
+		Detector: c.Client.det,
+	})
+	arrivals := workload.GenerateOpenLoop(spec, seed)
+	ats := make([]time.Duration, len(arrivals))
+	reqs := make([]action.Request, len(arrivals))
+	for i, a := range arrivals {
+		ats[i], reqs[i] = a.At, a.Req
+	}
+
+	clk := c.Clock()
+	clk.Enter()
+	completed := st.Drive(ats, reqs)
+	clk.Exit()
+	c.Net.Quiesce()
+
+	logReqs, logReplies := st.Log()
+	rep := verify.Check(verify.Run{
+		Registry:       bankRegistry(),
+		Requests:       logReqs,
+		Replies:        logReplies,
+		History:        c.Observer.History(),
+		SubmitAttempts: st.Attempts(),
+		Concurrent:     true,
+	})
+	return completed, rep
+}
+
+func TestOpenLoopUnbatched(t *testing.T) {
+	spec := workload.OpenLoopSpec{Clients: 100, Rate: 50_000, Duration: 4 * time.Millisecond, Accounts: 8}
+	n, rep := driveOpenLoop(t, ClusterConfig{Replicas: 3}, spec, 11)
+	if n == 0 {
+		t.Fatal("no open-loop sessions completed")
+	}
+	if !rep.OK() {
+		t.Errorf("open-loop run failed verification: %+v", rep)
+	}
+}
+
+func TestOpenLoopBatched(t *testing.T) {
+	spec := workload.OpenLoopSpec{Clients: 100, Rate: 50_000, Duration: 4 * time.Millisecond, Accounts: 8}
+	cfg := ClusterConfig{
+		Replicas: 3,
+		Batch:    BatchConfig{Enabled: true, MaxSize: 16, Window: 100 * time.Microsecond, Pipeline: 4},
+	}
+	n, rep := driveOpenLoop(t, cfg, spec, 12)
+	if n == 0 {
+		t.Fatal("no open-loop sessions completed")
+	}
+	if !rep.OK() {
+		t.Errorf("batched open-loop run failed verification: %+v", rep)
+	}
+}
+
+func TestOpenLoopBatchedWithCosts(t *testing.T) {
+	spec := workload.OpenLoopSpec{Clients: 100, Rate: 20_000, Duration: 4 * time.Millisecond, Accounts: 8}
+	cfg := ClusterConfig{
+		Replicas: 3,
+		Batch:    BatchConfig{Enabled: true, MaxSize: 16, Window: 100 * time.Microsecond, Pipeline: 8},
+		Costs:    CostModel{Consensus: 20 * time.Microsecond, Exec: 5 * time.Microsecond},
+	}
+	n, rep := driveOpenLoop(t, cfg, spec, 13)
+	if n == 0 {
+		t.Fatal("no open-loop sessions completed")
+	}
+	if !rep.OK() {
+		t.Errorf("charged batched open-loop run failed verification: %+v", rep)
+	}
+}

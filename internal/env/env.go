@@ -150,7 +150,7 @@ func (e *Env) ExecIdempotent(a action.Name, iv action.Value, eff Effect) (action
 		if fail, _ := e.shouldFail(a); fail {
 			return "", ErrInjected
 		}
-		e.obs.Observe(event.C(a, v))
+		e.obs.Observe(event.C(a, v).WithAnnotation(string(iv)))
 		return v, nil
 	}
 	fail, after := e.shouldFail(a)
@@ -166,7 +166,7 @@ func (e *Env) ExecIdempotent(a action.Name, iv action.Value, eff Effect) (action
 		// lost). No completion event: the side effect "may have happened".
 		return "", ErrInjected
 	}
-	e.obs.Observe(event.C(a, v))
+	e.obs.Observe(event.C(a, v).WithAnnotation(string(iv)))
 	return v, nil
 }
 
@@ -204,7 +204,7 @@ func (e *Env) ExecUndoable(a action.Name, taggedIV action.Value, ep Epoch, eff E
 		if fail, _ := e.shouldFail(a); fail {
 			return "", ErrInjected
 		}
-		e.obs.Observe(event.C(a, t.result))
+		e.obs.Observe(event.C(a, t.result).WithAnnotation(string(taggedIV)))
 		return t.result, nil
 	case txCancelled:
 		// The epoch check above fails for stale invocations; reaching here
@@ -223,7 +223,7 @@ func (e *Env) ExecUndoable(a action.Name, taggedIV action.Value, ep Epoch, eff E
 	if fail {
 		return "", ErrInjected
 	}
-	e.obs.Observe(event.C(a, v))
+	e.obs.Observe(event.C(a, v).WithAnnotation(string(taggedIV)))
 	return v, nil
 }
 
@@ -256,7 +256,7 @@ func (e *Env) CancelUndoable(a action.Name, taggedIV action.Value, onRollback fu
 	}
 	t.status = txCancelled
 	t.epoch++
-	e.obs.Observe(event.C(cancelName, action.Nil))
+	e.obs.Observe(event.C(cancelName, action.Nil).WithAnnotation(string(taggedIV)))
 	return nil
 }
 
@@ -293,7 +293,7 @@ func (e *Env) CommitUndoable(a action.Name, taggedIV action.Value) error {
 		return fmt.Errorf("env: commit of non-completed transaction (%s, %s)", a, taggedIV)
 	}
 	t.status = txCommitted
-	e.obs.Observe(event.C(commitName, action.Nil))
+	e.obs.Observe(event.C(commitName, action.Nil).WithAnnotation(string(taggedIV)))
 	return nil
 }
 
@@ -313,8 +313,27 @@ func (e *Env) ExecRaw(a action.Name, iv action.Value, eff Effect) (action.Value,
 	if fail {
 		return "", ErrInjected
 	}
-	e.obs.Observe(event.C(a, v))
+	e.obs.Observe(event.C(a, v).WithAnnotation(string(iv)))
 	return v, nil
+}
+
+// PendingOutcome reports how many undoable transactions have completed
+// their effect but not yet executed their decided commit (or cancel).
+// The protocol may answer a client as soon as the outcome decision is
+// *fixed* — the owner's (or cleaner's) commit execution can still be
+// queued behind a loaded executor — so a history snapshot taken while
+// this count is nonzero would miss commit pairs the run will still
+// produce. Run disciplines extend their settle window until it drains.
+func (e *Env) PendingOutcome() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, t := range e.txs {
+		if t.status == txCompleted {
+			n++
+		}
+	}
+	return n
 }
 
 // Applied reports how many times the effect of (a, iv) was applied,

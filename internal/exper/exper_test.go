@@ -200,3 +200,60 @@ func TestT9ShardScaling(t *testing.T) {
 		}
 	}
 }
+
+// TestT11SaturationCurve pins the throughput plane's headline claims.
+// Every point on every curve must be a verified exactly-once run — an
+// unverified row is excluded from peaks by construction, so the ratio
+// check would fail loudly too. The shape checks are the two things a
+// saturation experiment exists to show: the unbatched plane hits a
+// capacity wall (latency explodes past the knee while throughput
+// plateaus), and batching moves the wall by at least 3×.
+func TestT11SaturationCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation sweep skipped in -short mode")
+	}
+	rows := TableT11(1)
+	if len(rows) != 3*(1+len(t11Rates)) {
+		t.Fatalf("rows = %d, want %d", len(rows), 3*(1+len(t11Rates)))
+	}
+	for _, r := range rows {
+		if !r.XAble || !r.Replied {
+			t.Errorf("%s %s rate %d: x-able %v replied %v — every swept point must verify",
+				r.Config, r.Mode, r.Rate, r.XAble, r.Replied)
+		}
+	}
+	peaks := T11Peak(rows)
+	if ratio := peaks["batched+pipelined"] / peaks["unbatched"]; ratio < 3 {
+		t.Errorf("batched+pipelined peak %.0f vs unbatched peak %.0f ops/vsec = %.2fx, want ≥3x",
+			peaks["batched+pipelined"], peaks["unbatched"], ratio)
+	}
+	// The unbatched knee: past saturation the offered load keeps rising
+	// but throughput does not follow, and queueing shows up as latency.
+	var low, high T11Row
+	for _, r := range rows {
+		if r.Config != "unbatched" || r.Mode != "open" {
+			continue
+		}
+		if r.Rate == t11Rates[0] {
+			low = r
+		}
+		if r.Rate == t11Rates[len(t11Rates)-1] {
+			high = r
+		}
+	}
+	if high.OpsPerVSec > peaks["unbatched"]*1.01 {
+		t.Errorf("unbatched did not saturate: %.0f ops/vsec at rate %d", high.OpsPerVSec, high.Rate)
+	}
+	if high.LatP50 < 10*low.LatP50 {
+		t.Errorf("unbatched overload latency p50 %v is not the post-knee blowup (baseline %v)",
+			high.LatP50, low.LatP50)
+	}
+	// Batching absorbs the same overload with bounded latency: the batched
+	// p99 at the highest rate stays well under the unbatched p50 there.
+	for _, r := range rows {
+		if r.Config == "batched+pipelined" && r.Rate == high.Rate && r.LatP99 >= high.LatP50 {
+			t.Errorf("batched+pipelined p99 %v at rate %d not under unbatched p50 %v",
+				r.LatP99, r.Rate, high.LatP50)
+		}
+	}
+}

@@ -101,6 +101,23 @@ func (n *Normalizer) Signature(h event.History, req action.Request) []action.Val
 // is the observable residue of "the state resulting from R1 is used as a
 // context for executing R2" (§4).
 func (n *Normalizer) XAbleProjected(h event.History, reqs []action.Request) (bool, []action.Value) {
+	return n.xableProjected(h, reqs, true)
+}
+
+// XAbleConcurrent is the projection relaxation for concurrently submitted
+// requests: each request's projected events must still reduce to its
+// sequential failure-free form (exactly-once per request), but no
+// inter-request sequencing is required. This is the right obligation for
+// open-loop load, where every request is its own single-request client
+// session — §4's composition across clients leaves concurrent sessions
+// unordered, so "R1's state is the context of R2" never applies between
+// them. Requests must carry IDs (open-loop stations always tag), since
+// identity is what attributes events when inputs collide across clients.
+func (n *Normalizer) XAbleConcurrent(h event.History, reqs []action.Request) (bool, []action.Value) {
+	return n.xableProjected(h, reqs, false)
+}
+
+func (n *Normalizer) xableProjected(h event.History, reqs []action.Request, sequenced bool) (bool, []action.Value) {
 	outs := make([]action.Value, 0, len(reqs))
 	prevEnd := -1
 	for _, req := range reqs {
@@ -113,15 +130,19 @@ func (n *Normalizer) XAbleProjected(h event.History, reqs []action.Request) (boo
 			action.Cancel(req.Action): true,
 			action.Commit(req.Action): true,
 		}
-		// Project on the request's actions. Completion events do not carry
-		// the input, so each is first attributed to its nearest preceding
-		// unmatched start of the same action, and kept iff that start is
-		// kept.
-		keepStart := func(e event.Event) bool {
-			if !names[e.Action] {
+		// Project on the request's actions. A completion's value is the
+		// output, which does not identify the invocation, so attribution
+		// uses the environment's annotation when present (the env stamps
+		// every completion with the tagged input it resolved — exact
+		// attribution even when executors on different replicas
+		// interleave). Unannotated completions — synthetic histories —
+		// fall back to the nearest preceding unmatched start of the same
+		// action, and are kept iff that start is kept.
+		keepValue := func(name action.Name, v action.Value) bool {
+			if !names[name] {
 				return false
 			}
-			base, id, _ := action.SplitTag(e.Value)
+			base, id, _ := action.SplitTag(v)
 			if id != "" {
 				return id == req.ID
 			}
@@ -133,11 +154,21 @@ func (n *Normalizer) XAbleProjected(h event.History, reqs []action.Request) (boo
 		for i, e := range h {
 			switch e.Type {
 			case event.Start:
-				kept[i] = keepStart(e)
+				kept[i] = keepValue(e.Action, e.Value)
 				openByAction[e.Action] = append(openByAction[e.Action], i)
 			case event.Complete:
 				open := openByAction[e.Action]
-				if len(open) > 0 {
+				if e.Annotation != "" {
+					kept[i] = keepValue(e.Action, action.Value(e.Annotation))
+					// Unwind the matching start so heuristic attribution
+					// of any unannotated completions stays coherent.
+					for j := len(open) - 1; j >= 0; j-- {
+						if h[open[j]].Value == action.Value(e.Annotation) {
+							openByAction[e.Action] = append(open[:j], open[j+1:]...)
+							break
+						}
+					}
+				} else if len(open) > 0 {
 					s := open[len(open)-1]
 					openByAction[e.Action] = open[:len(open)-1]
 					kept[i] = kept[s]
@@ -160,8 +191,9 @@ func (n *Normalizer) XAbleProjected(h event.History, reqs []action.Request) (boo
 		outs = append(outs, o[0])
 		// Sequencing: this request's first completion must come after the
 		// previous request's first completion — the observable residue of
-		// R1's state being the execution context of R2 (§4).
-		if firstKeptCompletion >= 0 && firstKeptCompletion < prevEnd {
+		// R1's state being the execution context of R2 (§4). Concurrent
+		// sessions (XAbleConcurrent) skip this: they are unordered.
+		if sequenced && firstKeptCompletion >= 0 && firstKeptCompletion < prevEnd {
 			return false, nil
 		}
 		if firstKeptCompletion >= 0 {

@@ -38,3 +38,48 @@ func TestNiceRunReusedAllocBudget(t *testing.T) {
 		t.Fatalf("reused-network nice run allocates %.0f objects, budget 320", avg)
 	}
 }
+
+// TestBatchedRunAllocBudget pins the slot plane's allocation bill: a full
+// batch-nice run — 8 requests through batched submit, slot formation,
+// pipelined commit, and per-request reply fan-out. Measured at ~731
+// objects fresh / ~691 reused (≈91 per request, the whole run amortized);
+// the budgets give ~30% headroom so fan-out allocations that scale with
+// batch size fail loudly.
+func TestBatchedRunAllocBudget(t *testing.T) {
+	sc, ok := Get("batch-nice")
+	if !ok {
+		t.Fatal("batch-nice not registered")
+	}
+	Execute(sc, 1)
+	avg := testing.AllocsPerRun(20, func() { Execute(sc, 2) })
+	if avg > 950 {
+		t.Fatalf("batched run allocates %.0f objects, budget 950", avg)
+	}
+	scratch := &runScratch{}
+	executeTracedWith(sc, 1, nil, nil, scratch)
+	avg = testing.AllocsPerRun(20, func() { executeTracedWith(sc, 2, nil, nil, scratch) })
+	if avg > 900 {
+		t.Fatalf("reused-network batched run allocates %.0f objects, budget 900", avg)
+	}
+}
+
+// TestOpenLoopSessionAllocBudget pins the open-loop path's per-session
+// bill: an open-loop-batch run divided by its session count. Measured at
+// ~49 objects per session (station registration, submit, slot membership,
+// reply demux, latency log); budget 65. Per-session cost is the number
+// that must stay flat for 100k-session experiments to be routine.
+func TestOpenLoopSessionAllocBudget(t *testing.T) {
+	sc, ok := Get("open-loop-batch")
+	if !ok {
+		t.Fatal("open-loop-batch not registered")
+	}
+	sessions := Execute(sc, 2).Requests
+	if sessions == 0 {
+		t.Fatal("open-loop-batch generated no arrivals")
+	}
+	avg := testing.AllocsPerRun(10, func() { Execute(sc, 2) })
+	if per := avg / float64(sessions); per > 65 {
+		t.Fatalf("open-loop batched run allocates %.1f objects per session (%.0f over %d sessions), budget 65",
+			per, avg, sessions)
+	}
+}

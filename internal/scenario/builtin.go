@@ -217,6 +217,90 @@ func init() {
 		Settle:       20 * time.Millisecond,
 	})
 
+	// The throughput-plane rows: the batched/pipelined slot protocol
+	// (internal/core, batch.go) under the same adversarial schedules as
+	// the per-request plane, plus open-loop arrival scenarios where
+	// offered load is fixed by the spec rather than by service latency.
+	// The closed-loop batch-* scenarios keep the strict verifier (one
+	// sequential session); the open-loop ones verify under the concurrent
+	// per-request relaxation. Costs give each replica finite virtual
+	// capacity — without them the simulated cluster never saturates and
+	// batching has nothing to amortize.
+	batchCfg := core.BatchConfig{Enabled: true, MaxSize: 8, Window: 100 * time.Microsecond, Pipeline: 4}
+	batchWL := &workload.Spec{Requests: 8, Accounts: 4}
+
+	MustRegister(Scenario{
+		Name:        "batch-nice",
+		Description: "failure-free multi-request run on the batched/pipelined slot plane",
+		Batch:       batchCfg,
+		Accounts:    4,
+		Workload:    batchWL,
+	})
+
+	// batch-crash-failover: the T1 centerpiece against the slot plane —
+	// the slot owner crashes mid-batch and the slot cleaner must abort its
+	// round and re-propose the same batch, keeping batch-order effects
+	// exactly-once.
+	MustRegister(Scenario{
+		Name:        "batch-crash-failover",
+		Description: "slot owner crashes mid-batch; the slot cleaner re-proposes and takes over",
+		Batch:       batchCfg,
+		Accounts:    4,
+		Workload:    batchWL,
+		Failures:    []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		Plan:        NewPlan().CrashAt(2*time.Millisecond, 0),
+	})
+
+	// batch-storm-hb: delay-storm-hb's endogenous false suspicions against
+	// the slot plane — concurrent slot cleaners racing live slot owners.
+	MustRegister(Scenario{
+		Name:              "batch-storm-hb",
+		Description:       "24× delay storm under heartbeat ◇P detectors on the batched slot plane",
+		Batch:             batchCfg,
+		Detector:          core.DetectorHeartbeat,
+		HeartbeatInterval: 500 * time.Microsecond,
+		Accounts:          4,
+		Workload:          batchWL,
+		Failures:          []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		Plan:              NewPlan().DelayStormAt(500*time.Microsecond, 4*time.Millisecond, 24),
+		Settle:            20 * time.Millisecond,
+	})
+
+	olCosts := core.CostModel{Consensus: 20 * time.Microsecond, Exec: 5 * time.Microsecond}
+	olSpec := workload.OpenLoopSpec{Clients: 200, Rate: 20_000, Duration: 5 * time.Millisecond, Accounts: 8}
+
+	// open-loop-nice: the unbatched saturation baseline — arrivals at a
+	// fixed offered rate against per-request agreement, every request
+	// paying the full consensus cost alone.
+	MustRegister(Scenario{
+		Name:        "open-loop-nice",
+		Description: "open-loop arrivals at fixed offered rate; per-request protocol with costed replicas",
+		Costs:       olCosts,
+		OpenLoop:    &olSpec,
+	})
+
+	// open-loop-batch: the same offered load against the slot plane —
+	// concurrent arrivals coalesce into batches, amortizing the consensus
+	// cost across batch members.
+	MustRegister(Scenario{
+		Name:        "open-loop-batch",
+		Description: "open-loop arrivals on the batched/pipelined slot plane with costed replicas",
+		Costs:       olCosts,
+		Batch:       core.BatchConfig{Enabled: true, MaxSize: 16, Window: 100 * time.Microsecond, Pipeline: 8},
+		OpenLoop:    &olSpec,
+	})
+
+	// shard-open-loop: the composed form — Zipf-skewed keys over 4 groups,
+	// each group batching its own arrival stream through its own station.
+	MustRegister(Scenario{
+		Name:        "shard-open-loop",
+		Description: "4-shard open-loop run, Zipf-keyed arrivals through per-group stations",
+		Shards:      4,
+		Costs:       olCosts,
+		Batch:       core.BatchConfig{Enabled: true, MaxSize: 16, Window: 100 * time.Microsecond, Pipeline: 8},
+		OpenLoop:    &workload.OpenLoopSpec{Clients: 200, Rate: 20_000, Duration: 5 * time.Millisecond, Accounts: 16, ZipfS: 1.2},
+	})
+
 	// suspect: a permanent false suspicion of the round-1 owner makes a
 	// second replica execute concurrently (the active flavor) over a
 	// non-deterministic idempotent action.

@@ -38,6 +38,37 @@ func TestReusedNetworkBitEqualOutcomes(t *testing.T) {
 	}
 }
 
+// TestReusedShardedNetworksBitEqualOutcomes extends the reset-and-rerun
+// contract to the sharded runtime: a sweep worker recycles one network
+// per replica group (simnet.ResetShared onto a fresh shared clock), and a
+// run on the recycled group set must be bit-equal to a fresh-world
+// Execute. The list crosses the sharded shapes reuse must survive: the
+// failure-free router path, correlated crashes, the storm's link-fault
+// mutation, and the batched open-loop composition.
+func TestReusedShardedNetworksBitEqualOutcomes(t *testing.T) {
+	for _, name := range []string{
+		"shard-nice", "shard-crash-failover", "shard-storm", "shard-open-loop",
+	} {
+		sc, ok := Get(name)
+		if !ok {
+			t.Fatalf("scenario %q not registered", name)
+		}
+		scratch := &runScratch{}
+		for seed := int64(1); seed <= 5; seed++ {
+			fresh := Execute(sc, seed)
+			reused := executeTracedWith(sc, seed, nil, nil, scratch)
+			fresh.History, reused.History = nil, nil
+			if !reflect.DeepEqual(fresh, reused) {
+				t.Errorf("%s seed %d: reused-network outcome differs from fresh run:\nfresh:  %+v\nreused: %+v",
+					name, seed, fresh, reused)
+			}
+		}
+		if scratch.groups == nil {
+			t.Errorf("%s: scratch abandoned its group networks (ResetShared failed); reuse never engaged", name)
+		}
+	}
+}
+
 // TestSweepMatchesSingleRuns pins the same contract at the Sweep level:
 // the distribution a parallel, network-reusing sweep folds must be exactly
 // the one per-seed fresh Executes produce.

@@ -81,6 +81,17 @@ type Scenario struct {
 	// SyncDelay widens primary-backup's duplication window.
 	SyncDelay time.Duration
 
+	// Batch enables the x-ability protocol's batched/pipelined slot plane
+	// on every replica (zero value: per-request protocol). Baselines
+	// ignore it.
+	Batch core.BatchConfig
+	// Costs charges virtual CPU time per consensus proposal and per
+	// execution attempt (zero value: free). Without costs the simulated
+	// replicas have unbounded capacity and open-loop throughput never
+	// saturates; with them the saturation experiments (T11) measure real
+	// queueing.
+	Costs core.CostModel
+
 	// Accounts and Opening size the bank the replicas serve (defaults 1
 	// account, 100 opening balance).
 	Accounts int
@@ -104,6 +115,15 @@ type Scenario struct {
 	// Workload, when set, generates the request sequence from the run's
 	// seed, so every seed of a sweep exercises a different sequence.
 	Workload *workload.Spec
+	// OpenLoop, when set, replaces the closed-loop workload entirely: the
+	// run drives a seeded open-loop arrival schedule (many concurrent
+	// single-request sessions through a core.Station) instead of one
+	// sequential client session. Requests/Workload are ignored; the
+	// verifier runs under the concurrent per-request relaxation
+	// (verify.Run.Concurrent) because an open-loop completion log has no
+	// sequential form. An unset Accounts in the spec defaults to the
+	// scenario's Accounts.
+	OpenLoop *workload.OpenLoopSpec
 
 	// Settle extends the run past the last submit by this much virtual
 	// time before verdicts are read, letting in-flight protocol activity
@@ -150,7 +170,7 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.Opening == 0 {
 		sc.Opening = 100
 	}
-	if len(sc.Requests) == 0 && sc.Workload == nil {
+	if len(sc.Requests) == 0 && sc.Workload == nil && sc.OpenLoop == nil {
 		sc.Requests = []action.Request{action.NewRequest("debit", "acct-0")}
 	}
 	return sc
@@ -213,6 +233,9 @@ type Outcome struct {
 	// SimTime is the virtual time the workload spanned (excluding
 	// settling).
 	SimTime time.Duration
+	// Latency summarizes per-session submit→reply virtual latencies for
+	// open-loop runs (zero value otherwise).
+	Latency workload.LatencySummary
 
 	// TimedOut reports that the scenario's Deadline watchdog killed the
 	// run before the workload finished.
@@ -265,6 +288,10 @@ func ExecuteTraced(sc Scenario, seed int64, record *schedule.Log, replay *schedu
 // results against fresh-world Execute runs.
 type runScratch struct {
 	net *simnet.Network
+	// groups is the sharded analogue: one recycled network per replica
+	// group, re-seeded and re-clocked per run via simnet.ResetShared (see
+	// takeGroups in sharded.go).
+	groups []*simnet.Network
 }
 
 // take returns a network ready for a seeded run: the recycled one when
@@ -299,10 +326,16 @@ func executeTracedWith(sc Scenario, seed int64, record *schedule.Log, replay *sc
 	case sc.Protocol == XAbility && sc.Shards > 0:
 		// The sharded runtime is outside the record/replay plane (see
 		// Scenario.Shards): drop the hooks rather than hand one log to
-		// several racing networks. It is also outside the reuse plane:
-		// a sharded run deploys one network per group.
+		// several racing networks. Reuse works per group: the scratch
+		// recycles one network per shard via simnet.ResetShared.
 		sc.Net.Record, sc.Net.Replay = nil, nil
-		o = executeSharded(sc, seed, reqs)
+		if sc.OpenLoop != nil {
+			o = executeOpenLoopSharded(sc, seed, scratch)
+		} else {
+			o = executeSharded(sc, seed, reqs, scratch)
+		}
+	case sc.Protocol == XAbility && sc.OpenLoop != nil:
+		o = executeOpenLoop(sc, seed, scratch)
 	case sc.Protocol == XAbility:
 		o = executeXAbility(sc, seed, reqs, scratch)
 	default:
@@ -346,6 +379,22 @@ func settleFor(sc Scenario) time.Duration {
 	return settle
 }
 
+// settleRun sleeps the settle horizon, then extends it in fixed steps
+// while undoable transactions still await their decided commit or cancel.
+// The protocol answers a client as soon as the outcome decision is fixed;
+// executing that outcome can trail far behind a loaded executor (under
+// open-loop overload, by a whole backlog). Snapshotting mid-drain would
+// miss commit pairs the run will still produce and fail verification on a
+// run that is exactly-once. The extension is deterministic — pending() at
+// a virtual instant is a function of the schedule — and bounded, so a
+// pathological run still settles.
+func settleRun(sc Scenario, clk vclock.Clock, pending func() int) {
+	clk.Sleep(settleFor(sc))
+	for i := 0; i < 400 && pending() > 0; i++ {
+		clk.Sleep(500 * time.Microsecond)
+	}
+}
+
 func executeXAbility(sc Scenario, seed int64, reqs []action.Request, scratch *runScratch) Outcome {
 	bank := workload.NewBank(sc.Accounts, sc.Opening)
 	netcfg := netConfig(sc, seed)
@@ -358,6 +407,8 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request, scratch *ru
 		Detector:  sc.Detector,
 		Registry:  workload.Registry(),
 		Setup:     bank.Setup(),
+		Batch:     sc.Batch,
+		Costs:     sc.Costs,
 
 		HeartbeatInterval: sc.HeartbeatInterval,
 	})
@@ -381,7 +432,7 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request, scratch *ru
 	}
 	disarm()
 	simTime := clk.Now() - start
-	clk.Sleep(settleFor(sc))
+	settleRun(sc, clk, c.Env.PendingOutcome)
 	// Every observation — send counter, history, side-effect audit — is
 	// snapshotted at the settle horizon, a fixed virtual instant, while
 	// this goroutine is still attached: it was just woken by the pump, so

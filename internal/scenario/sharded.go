@@ -48,6 +48,71 @@ func (t shardedTarget) ShardTarget(s int) Target { return t.c.Group(s) }
 // same clock-held calling convention as Plan.Apply.
 func (p *Plan) ApplySharded(c *shard.Cluster) { p.Apply(shardedTarget{c}) }
 
+// takeGroups returns per-group networks ready for a seeded sharded run,
+// plus the fresh shared clock they run on — the sharded extension of
+// runScratch.take. On reuse each group's network is recycled in shard
+// order via simnet.ResetShared (the first drain quiesces the old shared
+// clock; the rest return immediately); the first call, or a shard-count
+// change, builds fresh networks that later seeds then recycle. A nil
+// return means build-from-scratch: the caller lets shard.New deploy its
+// own world (a network whose previous run failed to wind down is
+// abandoned rather than risked, mirroring take).
+func (s *runScratch) takeGroups(base simnet.Config, seed int64, shards int) ([]*simnet.Network, vclock.Clock) {
+	if s == nil {
+		return nil, nil
+	}
+	clk := vclock.NewVirtual()
+	cfgFor := func(g int) simnet.Config {
+		cfg := base
+		cfg.Clock = clk
+		cfg.Seed = shard.GroupSeed(seed, int64(g))
+		return cfg
+	}
+	if len(s.groups) == shards {
+		for g, net := range s.groups {
+			if !net.ResetShared(cfgFor(g)) {
+				s.groups = nil
+				return nil, nil
+			}
+		}
+		return s.groups, clk
+	}
+	s.groups = make([]*simnet.Network, shards)
+	for g := range s.groups {
+		s.groups[g] = simnet.New(cfgFor(g))
+	}
+	return s.groups, clk
+}
+
+// shardConfig assembles one seeded sharded deployment config, with the
+// scratch's recycled per-group networks when available. accounts sizes
+// each group's bank (open-loop runs size it from the arrival spec).
+func shardConfig(sc Scenario, seed int64, scratch *runScratch, accounts int) shard.Config {
+	banks := make([]*workload.Bank, sc.Shards)
+	for s := range banks {
+		banks[s] = workload.NewBank(accounts, sc.Opening)
+	}
+	netCfg := netConfig(sc, seed)
+	nets, sharedClk := scratch.takeGroups(netCfg, seed, sc.Shards)
+	if sharedClk != nil {
+		netCfg.Clock = sharedClk
+	}
+	return shard.Config{
+		Shards:            sc.Shards,
+		Replicas:          sc.Replicas,
+		Seed:              seed,
+		Net:               netCfg,
+		Networks:          nets,
+		Consensus:         sc.Consensus,
+		Detector:          sc.Detector,
+		HeartbeatInterval: sc.HeartbeatInterval,
+		Registry:          workload.Registry(),
+		Setup:             func(s int) func(m *sm.Machine) { return banks[s].Setup() },
+		Batch:             sc.Batch,
+		Costs:             sc.Costs,
+	}
+}
+
 // executeSharded runs a scenario on the sharded runtime: Scenario.Shards
 // replica groups behind the keyspace router, each group its own
 // core.Cluster (own network, environment, bank) on one shared virtual
@@ -55,22 +120,8 @@ func (p *Plan) ApplySharded(c *shard.Cluster) { p.Apply(shardedTarget{c}) }
 // run concurrently, so simulated time measures aggregate throughput. The
 // verdict is the merged checker's: per-shard R2–R4 plus the global
 // exactly-once-routing audit.
-func executeSharded(sc Scenario, seed int64, reqs []action.Request) Outcome {
-	banks := make([]*workload.Bank, sc.Shards)
-	for s := range banks {
-		banks[s] = workload.NewBank(sc.Accounts, sc.Opening)
-	}
-	c := shard.New(shard.Config{
-		Shards:            sc.Shards,
-		Replicas:          sc.Replicas,
-		Seed:              seed,
-		Net:               netConfig(sc, seed),
-		Consensus:         sc.Consensus,
-		Detector:          sc.Detector,
-		HeartbeatInterval: sc.HeartbeatInterval,
-		Registry:          workload.Registry(),
-		Setup:             func(s int) func(m *sm.Machine) { return banks[s].Setup() },
-	})
+func executeSharded(sc Scenario, seed int64, reqs []action.Request, scratch *runScratch) Outcome {
+	c := shard.New(shardConfig(sc, seed, scratch, sc.Accounts))
 	defer c.Stop()
 	for s := 0; s < c.Shards(); s++ {
 		for _, f := range sc.Failures {
@@ -88,7 +139,13 @@ func executeSharded(sc Scenario, seed int64, reqs []action.Request) Outcome {
 	_, replied := c.Router.CallAll(reqs)
 	disarm()
 	simTime := clk.Now() - start
-	clk.Sleep(settleFor(sc))
+	settleRun(sc, clk, func() int {
+		n := 0
+		for s := 0; s < c.Shards(); s++ {
+			n += c.Group(s).Env.PendingOutcome()
+		}
+		return n
+	})
 	// Observations — send counters, histories, the audit — are all read at
 	// the settle horizon while still attached: the pump just woke this
 	// goroutine, so every protocol goroutine in every group is blocked and

@@ -61,6 +61,28 @@ func TestSweepCrashFailoverThousandSeeds(t *testing.T) {
 	}
 }
 
+// TestSweepBatchedAdversarialRates sweeps the slot plane's adversarial
+// scenarios: batching and pipelining must hold the x-able and replied
+// rates at 1.0 under owner crashes and heartbeat-detector delay storms,
+// seed after seed — the throughput plane buys speed, not a weaker
+// correctness story. Failing seeds here feed the same record → shrink
+// pipeline as the per-request plane (batched single-cluster runs stay
+// inside the record/replay plane).
+func TestSweepBatchedAdversarialRates(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 25
+	}
+	for _, name := range []string{"batch-crash-failover", "batch-storm-hb"} {
+		sc, _ := Get(name)
+		d := Sweep(sc, Seeds(700, n), 0)
+		if d.XAbleRate() != 1.0 || d.RepliedRate() != 1.0 {
+			t.Errorf("%s: x-able %.4f replied %.4f over %d seeds, want 1.0; failing: %v",
+				name, d.XAbleRate(), d.RepliedRate(), d.Runs, d.Failing)
+		}
+	}
+}
+
 // TestSweepAdversarialSetRates sweeps the partition and delay-storm
 // scenarios over a smaller population: the new adversarial rows must hold
 // at rate 1.0 too, not just on one lucky seed.

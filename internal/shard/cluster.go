@@ -42,6 +42,15 @@ type Config struct {
 	// VNodes is the ring's virtual-node count per shard (0 selects
 	// DefaultVNodes).
 	VNodes int
+	// Networks, when non-nil (one per shard), deploys each group onto an
+	// existing recycled network instead of building fresh ones — the
+	// sharded analogue of core.ClusterConfig.Network. Each must already
+	// have been ResetShared with the group's config and the deployment's
+	// new shared clock (which the caller then also passes as Net.Clock).
+	Networks []*simnet.Network
+	// Batch and Costs configure every group's replicas (see core).
+	Batch core.BatchConfig
+	Costs core.CostModel
 }
 
 // Cluster is the cluster-of-clusters runtime: the groups, the ring, and
@@ -86,16 +95,23 @@ func New(cfg Config) *Cluster {
 		if cfg.Setup != nil {
 			setup = cfg.Setup(s)
 		}
+		var reuse *simnet.Network
+		if len(cfg.Networks) == cfg.Shards {
+			reuse = cfg.Networks[s]
+		}
 		c.groups = append(c.groups, core.NewCluster(core.ClusterConfig{
 			Replicas:          cfg.Replicas,
 			Seed:              GroupSeed(cfg.Seed, int64(s)),
 			Net:               netCfg,
+			Network:           reuse,
 			Consensus:         cfg.Consensus,
 			Detector:          cfg.Detector,
 			Registry:          cfg.Registry,
 			Setup:             setup,
 			CleanInterval:     cfg.CleanInterval,
 			HeartbeatInterval: cfg.HeartbeatInterval,
+			Batch:             cfg.Batch,
+			Costs:             cfg.Costs,
 		}))
 	}
 	c.Router = newRouter(c.ring, key, c.groups, clk)

@@ -7,8 +7,11 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
+	"xability/internal/core"
 	"xability/internal/scenario"
+	"xability/internal/workload"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -161,5 +164,51 @@ func TestSweepShrinkFailing(t *testing.T) {
 	if !reflect.DeepEqual(d.Counterexamples, serial.Counterexamples) {
 		t.Errorf("counterexamples differ across worker counts:\n%v\nvs\n%v",
 			d.Counterexamples, serial.Counterexamples)
+	}
+}
+
+// TestShrinkBatchedDeadline pins the shrink pipeline on the throughput
+// plane: a batched, pipelined run that fails by not answering (slot-owner
+// crash under injected failures and a tight deadline) must shrink like
+// any per-request run — batched single-cluster runs live inside the
+// record/replay plane, so a failing sweep seed from the batch sweeps has
+// the same counterexample path as the rest of the repo. The failure-class
+// predicate holds: the minimal trace still times out without answering.
+func TestShrinkBatchedDeadline(t *testing.T) {
+	sc := scenario.Scenario{
+		Name:        "batch-deadline",
+		Description: "slot owner crash + injected failures under a tight deadline",
+		Batch:       core.BatchConfig{Enabled: true, MaxSize: 8, Window: 100 * time.Microsecond, Pipeline: 4},
+		Accounts:    2,
+		Workload:    &workload.Spec{Requests: 4, Accounts: 2},
+		Failures:    []scenario.Failure{{Action: "debit", Prob: 1, Budget: 4}},
+		Plan:        scenario.NewPlan().CrashAt(1*time.Millisecond, 0),
+		Deadline:    3 * time.Millisecond,
+	}
+	base := scenario.Execute(sc, 2)
+	if base.Replied || !base.TimedOut {
+		t.Fatalf("scenario does not fail by deadline on seed 2: %+v", base)
+	}
+	mt, err := Shrink(sc, 2, Options{})
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	if !mt.Minimal {
+		t.Error("trace not verified 1-minimal")
+	}
+	if mt.Outcome.Counterexample == "" {
+		t.Error("outcome carries no rendered counterexample")
+	}
+	o := scenario.ExecuteTraced(sc, 2, nil, mt.Replay())
+	if o.Replied || !o.TimedOut {
+		t.Errorf("replayed minimal trace no longer fails by deadline: %+v", o)
+	}
+	// Determinism: equal inputs shrink to byte-equal traces.
+	again, err := Shrink(sc, 2, Options{})
+	if err != nil {
+		t.Fatalf("second Shrink: %v", err)
+	}
+	if mt.Render() != again.Render() {
+		t.Errorf("renders differ:\n--- first\n%s\n--- second\n%s", mt.Render(), again.Render())
 	}
 }

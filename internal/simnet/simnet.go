@@ -794,6 +794,27 @@ func (n *Network) Reset(cfg Config) bool {
 	if cfg.Clock != nil || n.virt == nil {
 		return false
 	}
+	return n.resetDrained(cfg)
+}
+
+// ResetShared is Reset for deployments whose networks share one virtual
+// clock (the sharded runtime): cfg.Clock must carry the *new* shared
+// virtual clock the recycled network will run on. Each group's network is
+// Reset with the same new clock; draining the *old* shared clock is
+// idempotent across the group set — the first group's drain leaves it
+// quiescent, the remaining groups' drains return immediately — so callers
+// simply ResetShared every group in shard order.
+func (n *Network) ResetShared(cfg Config) bool {
+	if _, ok := cfg.Clock.(*vclock.Virtual); !ok || n.virt == nil {
+		return false
+	}
+	return n.resetDrained(cfg)
+}
+
+// resetDrained drains the previous run's clock to quiescence, then
+// reinstalls configuration and reopens endpoints (the shared tail of Reset
+// and ResetShared).
+func (n *Network) resetDrained(cfg Config) bool {
 	deadline := time.Now().Add(drainBudget)
 	for spin := 0; !n.virt.Quiesced(); spin++ {
 		if spin > 1000 {

@@ -41,6 +41,13 @@ type Run struct {
 	PossibleReply func(req action.Request, ov action.Value) bool
 	// SubmitAttempts is the total number of submit attempts (≥ len(Requests)).
 	SubmitAttempts int
+	// Concurrent marks a run whose requests were submitted concurrently
+	// (open-loop load): R3 then checks the per-request projection without
+	// the inter-request sequencing clause — concurrent sessions are
+	// unordered (§4's composition across clients) — and strict
+	// whole-history reduction is not attempted (no sequential form
+	// exists to reduce to).
+	Concurrent bool
 }
 
 // Report is the verdict, with one flag per checkable clause.
@@ -94,15 +101,25 @@ func Check(run Run) Report {
 
 	if specsOK {
 		var strictOuts []action.Value
-		rep.R3Strict, strictOuts = n.XAbleTo(run.History, specs)
+		if !run.Concurrent {
+			rep.R3Strict, strictOuts = n.XAbleTo(run.History, specs)
+		}
 		var projOuts []action.Value
-		rep.R3Projected, projOuts = n.XAbleProjected(run.History, run.Requests)
+		if run.Concurrent {
+			rep.R3Projected, projOuts = n.XAbleConcurrent(run.History, run.Requests)
+		} else {
+			rep.R3Projected, projOuts = n.XAbleProjected(run.History, run.Requests)
+		}
 		switch {
 		case rep.R3Strict:
 			rep.Outputs = strictOuts
 		case rep.R3Projected:
 			rep.Outputs = projOuts
-			rep.Details = append(rep.Details, "R3: strict whole-history reduction failed; per-request projection holds (straggling duplicate completions)")
+			if run.Concurrent {
+				rep.Details = append(rep.Details, "R3: concurrent per-request projection holds (open-loop run; no sequential form)")
+			} else {
+				rep.Details = append(rep.Details, "R3: strict whole-history reduction failed; per-request projection holds (straggling duplicate completions)")
+			}
 		default:
 			rep.Details = append(rep.Details, "R3: history is not x-able for the submitted sequence")
 		}
