@@ -24,6 +24,7 @@ package consensus
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -146,9 +147,10 @@ func (p *LocalProvider) Object(key Key) Object {
 	return o
 }
 
-// Keys returns the instance keys created so far, for introspection (the
-// cleaner's "largest defined index" scan uses Read on candidate keys
-// instead, but tests want visibility).
+// Keys returns the instance keys created so far in key order, for
+// introspection (the cleaner's "largest defined index" scan uses Read on
+// candidate keys instead, but tests want visibility). The sort keeps the
+// returned order independent of Go's randomized map iteration.
 func (p *LocalProvider) Keys() []Key {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -156,5 +158,18 @@ func (p *LocalProvider) Keys() []Key {
 	for k := range p.objects {
 		out = append(out, k)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
 	return out
+}
+
+// less orders keys by (space, id, round) — a total order for deterministic
+// renders of key sets.
+func (k Key) less(o Key) bool {
+	if k.Space != o.Space {
+		return k.Space < o.Space
+	}
+	if k.ID != o.ID {
+		return k.ID < o.ID
+	}
+	return k.Round < o.Round
 }

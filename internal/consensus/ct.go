@@ -2,6 +2,7 @@ package consensus
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -86,7 +87,11 @@ func (n *Node) Stop() {
 	}
 	n.mu.Unlock()
 	// Waits on instance conditions are event-driven; wake them so blocked
-	// Propose calls and round loops observe the stop promptly.
+	// Propose calls and round loops observe the stop promptly. Wake in key
+	// order: broadcast order decides which goroutines become runnable
+	// first at teardown, and map order would leak Go's per-run iteration
+	// randomization into the schedule.
+	sort.Slice(insts, func(i, j int) bool { return insts[i].key.less(insts[j].key) })
 	for _, inst := range insts {
 		inst.mu.Lock()
 		inst.cond.Broadcast()

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// DirectiveRule is the pseudo-rule under which directive misuse is
+// reported: an //xvet:ok with no reason, an unknown rule name, or a
+// directive that suppresses nothing. Directives are the escape hatch of
+// the suite; a sloppy escape hatch is how disciplines rot, so the hatch
+// itself is checked.
+const DirectiveRule = "directive"
+
+// directivePrefix introduces a suppression: `//xvet:ok <rule> <reason>`.
+// The reason is mandatory — an annotation that doesn't say *why* the
+// escape is legitimate documents nothing for the next reader.
+const directivePrefix = "//xvet:ok"
+
+// directive is one parsed //xvet:ok comment.
+type directive struct {
+	file   string
+	line   int // line the comment starts on
+	col    int
+	rule   string
+	reason string
+	known  bool // rule names a registered analyzer
+	target int  // line whose diagnostics this directive suppresses
+	used   bool
+}
+
+// complete reports whether the directive is well-formed enough to
+// suppress: a known rule and a non-empty reason.
+func (d *directive) complete() bool { return d.known && d.reason != "" }
+
+// parseDirectives extracts every //xvet:ok directive in the package and
+// returns them together with diagnostics for malformed ones.
+//
+// Placement: a directive trailing code on a line suppresses that line; a
+// directive on a line of its own suppresses the next line (consecutive
+// standalone directives chain, all targeting the first non-directive
+// line, so one statement can carry several rule escapes).
+func parseDirectives(pkg *Package) ([]*directive, []Diagnostic) {
+	names := AnalyzerNames()
+	var dirs []*directive
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		standalone := make(map[int]*directive)
+		var fileDirs []*directive
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := text[len(directivePrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //xvet:okay — not ours
+				}
+				// Fixture files append `// want "..."` expectations to
+				// the same comment token; they are not part of the reason.
+				if i := strings.Index(rest, "// want"); i >= 0 {
+					rest = rest[:i]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := &directive{file: pos.Filename, line: pos.Line, col: pos.Column}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					d.rule = fields[0]
+					d.known = names[d.rule]
+					d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), d.rule))
+				}
+				switch {
+				case d.rule == "":
+					diags = append(diags, Diagnostic{
+						File: d.file, Line: d.line, Col: d.col, Rule: DirectiveRule,
+						Message: "//xvet:ok directive missing rule and reason (want //xvet:ok <rule> <reason>)",
+					})
+				case !d.known:
+					diags = append(diags, Diagnostic{
+						File: d.file, Line: d.line, Col: d.col, Rule: DirectiveRule,
+						Message: fmt.Sprintf("//xvet:ok names unknown rule %q (see xvet -rules)", d.rule),
+					})
+				case d.reason == "":
+					diags = append(diags, Diagnostic{
+						File: d.file, Line: d.line, Col: d.col, Rule: DirectiveRule,
+						Message: fmt.Sprintf("//xvet:ok %s directive missing reason: say why this escape is sound", d.rule),
+					})
+				}
+				fileDirs = append(fileDirs, d)
+				if !trailsCode(pkg, f, d) {
+					standalone[d.line] = d
+				}
+			}
+		}
+		// A trailing directive targets its own line; a standalone one
+		// targets the first following non-directive line.
+		for _, d := range fileDirs {
+			if standalone[d.line] != d {
+				d.target = d.line
+				continue
+			}
+			t := d.line + 1
+			for standalone[t] != nil {
+				t++
+			}
+			d.target = t
+		}
+		dirs = append(dirs, fileDirs...)
+	}
+	return dirs, diags
+}
+
+// trailsCode reports whether the directive shares its line with source
+// text (code before the comment), as opposed to sitting on a line of its
+// own.
+func trailsCode(pkg *Package, f *ast.File, d *directive) bool {
+	src := pkg.Sources[d.file]
+	if src == nil {
+		return false
+	}
+	// Walk back from the comment's byte offset to the preceding newline;
+	// any non-whitespace on the way means the directive trails code.
+	off := d.col - 1 // column is 1-based; find the line start via offsets
+	lineStart := 0
+	line := 1
+	for i := 0; i < len(src) && line < d.line; i++ {
+		if src[i] == '\n' {
+			line++
+			lineStart = i + 1
+		}
+	}
+	for i := lineStart; i < lineStart+off && i < len(src); i++ {
+		if src[i] != ' ' && src[i] != '\t' {
+			return true
+		}
+	}
+	return false
+}
+
+// suppress consumes the first complete directive matching the diagnostic,
+// if any.
+func suppress(dirs []*directive, d Diagnostic) bool {
+	for _, dir := range dirs {
+		if dir.complete() && dir.rule == d.Rule && dir.file == d.File && dir.target == d.Line {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,150 @@
+// Package lint implements xvet, the repo's determinism-discipline static
+// analyzer suite. The whole value of this reproduction rests on runs being
+// virtual-time, seed-deterministic, and byte-replayable; every rule here
+// encodes an invariant the tree has already been burned by (detached waits,
+// wall-time escapes, untracked goroutines, unordered map folds). The shapes
+// deliberately mirror golang.org/x/tools/go/analysis — Analyzer, Pass,
+// Diagnostic — so analyzers stay portable if the module ever takes that
+// dependency, but the implementation is pure stdlib (go/parser, go/ast,
+// go/types): the module stays zero-dependency.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named rule: a documented invariant plus the function that
+// checks it over a type-checked package.
+type Analyzer struct {
+	// Name identifies the rule in diagnostics and //xvet:ok directives.
+	Name string
+	// Doc is the one-line description shown by `xvet -rules`.
+	Doc string
+	// Run reports violations on pass via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one package: the syntax, the type
+// information, and the diagnostic sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: where, which rule, and why. The JSON field
+// names are the `xvet -json` output contract.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Rule)
+}
+
+// Analyzers returns the full rule suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Walltime, Globalrand, Baregoroutine, Detachedwait, Mapiter}
+}
+
+// AnalyzerNames returns the set of valid rule names (for directive
+// validation).
+func AnalyzerNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// Check runs every analyzer over every package, applies the //xvet:ok
+// directive filter, and returns the surviving diagnostics sorted by
+// position. Directive misuse (missing reason, unknown rule, a directive
+// that suppresses nothing) is itself reported under the "directive" rule.
+func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := checkPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+func checkPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	dirs, dirDiags := parseDirectives(pkg)
+	kept := raw[:0]
+	for _, d := range raw {
+		if !suppress(dirs, d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, dirDiags...)
+	for _, dir := range dirs {
+		if dir.complete() && !dir.used {
+			kept = append(kept, Diagnostic{
+				File: dir.file, Line: dir.line, Col: dir.col,
+				Rule:    DirectiveRule,
+				Message: fmt.Sprintf("unused //xvet:ok %s directive: nothing to suppress on line %d", dir.rule, dir.target),
+			})
+		}
+	}
+	return kept, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+}

@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit analyzers run on.
+type Package struct {
+	Path    string // import path
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Sources map[string][]byte // filename → raw source (directive placement)
+}
+
+// FindModuleRoot walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModuleRoot(dir string) (root, modpath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s: no module line", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load parses and type-checks the packages matched by patterns ("./...",
+// "dir/...", or plain directories, resolved against the module root) and
+// returns them sorted by import path. It is pure stdlib: module-internal
+// imports are resolved against the packages loaded here, standard-library
+// imports through the source importer.
+func Load(root, modpath string, patterns []string) ([]*Package, error) {
+	l := newLoader(root, modpath)
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.check(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir loads a single standalone package (a test fixture): no
+// module-internal imports, stdlib only.
+func LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(dir, "fixture/"+filepath.Base(dir))
+	pkg, err := l.check(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("%s: no buildable Go files", dir)
+	}
+	return pkg, nil
+}
+
+type loader struct {
+	fset    *token.FileSet
+	ctx     build.Context
+	root    string
+	modpath string
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // import path → checked package
+	loading map[string]bool     // cycle guard
+}
+
+func newLoader(root, modpath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		ctx:     build.Default,
+		root:    root,
+		modpath: modpath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// expand resolves patterns to package directories (absolute, sorted).
+func (l *loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Join(l.root, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(l.root, filepath.FromSlash(pat)))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// importPath maps a directory under the module root to its import path.
+func (l *loader) importPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.modpath, nil
+	}
+	return l.modpath + "/" + filepath.ToSlash(rel), nil
+}
+
+// check type-checks the package in dir (and, recursively, its
+// module-internal dependencies). It returns nil for directories with no
+// buildable non-test Go files.
+func (l *loader) check(dir string) (*Package, error) {
+	path, err := l.importPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, sources, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	// Ensure module-internal dependencies are checked first, so the
+	// importer below can hand out their *types.Package.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ipath := strings.Trim(imp.Path.Value, `"`)
+			if l.internal(ipath) {
+				idir := l.root
+				if ipath != l.modpath {
+					idir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(ipath, l.modpath+"/")))
+				}
+				if _, err := l.check(idir); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	info := &types.Info{
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) {
+			return l.importPkg(ipath, dir)
+		}),
+		Error: func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%s: type errors: %v", path, typeErrs[0])
+	}
+	pkg := &Package{
+		Path:    path,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Sources: sources,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (l *loader) internal(path string) bool {
+	return path == l.modpath || strings.HasPrefix(path, l.modpath+"/")
+}
+
+func (l *loader) importPkg(path, srcDir string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.internal(path) {
+		if pkg, ok := l.pkgs[path]; ok {
+			return pkg.Types, nil
+		}
+		return nil, fmt.Errorf("internal package %s not loaded", path)
+	}
+	return l.std.ImportFrom(path, srcDir, 0)
+}
+
+// parseDir parses the buildable, non-test Go files of dir. Build
+// constraints (//go:build lines and GOOS/GOARCH file suffixes) are
+// honored for the host platform, so per-arch variants (vclock's gid
+// implementations) don't collide.
+func (l *loader) parseDir(dir string) ([]*ast.File, map[string][]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	sources := make(map[string][]byte)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := l.ctx.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		sources[full] = src
+	}
+	return files, sources, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Mapiter flags range-over-map loops whose iteration order can escape into
+// results: bodies that print/write output or append to a slice that
+// outlives the loop, with no sort between the map and the reader. Go
+// randomizes map iteration order per run *by design*, so any verdict fold,
+// render, or verifier input assembled this way differs between identical
+// seeds — the misattribution/ordering class that PR 6's completion
+// accounting and every deterministic-fold fix had to hunt down by hand.
+// The blessed idiom stays cheap: collect keys, sort, range the slice.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "no range over a map that emits ordered output or fills an outer slice without a subsequent sort",
+	Run:  runMapiter,
+}
+
+func runMapiter(pass *Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass, rs.X) {
+				return true
+			}
+			if body := enclosingFuncBody(stack); body != nil {
+				checkMapRange(pass, rs, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapType(pass *Pass, x ast.Expr) bool {
+	t := pass.Info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// enclosingFuncBody returns the body of the innermost function literal or
+// declaration on the ancestor stack (excluding the node itself).
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// checkMapRange inspects one map-range loop for order-sensitive sinks.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	appendSinks := make(map[types.Object]string)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := orderedOutputCall(pass, n); ok {
+				pass.Reportf(rs.Pos(), "map iteration order reaches %s; iterate a sorted key slice instead", name)
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if obj, name := appendTarget(pass, n.Lhs[i], rhs); obj != nil && obj.Pos() < rs.Pos() {
+					appendSinks[obj] = name
+				}
+			}
+		}
+		return true
+	})
+	for obj, name := range appendSinks {
+		if !sortedAfter(pass, fnBody, rs.End(), obj) {
+			pass.Reportf(rs.Pos(), "map iteration appends to %q, which escapes the loop unsorted; sort it (or the map's keys) before it is read", name)
+			return
+		}
+	}
+}
+
+// appendTarget matches `x = append(x, ...)`-shaped assignments and returns
+// the destination object (identifier or selector field) and its name.
+func appendTarget(pass *Pass, lhs, rhs ast.Expr) (types.Object, string) {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, ""
+	}
+	switch dst := lhs.(type) {
+	case *ast.Ident:
+		return pass.Info.ObjectOf(dst), dst.Name
+	case *ast.SelectorExpr:
+		return pass.Info.ObjectOf(dst.Sel), dst.Sel.Name
+	}
+	return nil, ""
+}
+
+// orderedOutputCall reports whether call emits ordered output: the fmt
+// print family, or a Write* method on strings.Builder, bytes.Buffer, or an
+// io.Writer.
+func orderedOutputCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "fmt" && fn.Type().(*types.Signature).Recv() == nil {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return "fmt." + fn.Name(), true
+		}
+		return "", false
+	}
+	s := pass.Info.Selections[sel]
+	if s == nil || len(s.Obj().Name()) < 5 || s.Obj().Name()[:5] != "Write" {
+		return "", false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer", "io.Writer":
+		return named.Obj().Name() + "." + s.Obj().Name(), true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether obj is passed to a sort (package sort or
+// slices) lexically after pos within body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,19 @@
+// Package baregoroutine exercises the baregoroutine analyzer: every raw go
+// statement is flagged; sanctioned wall-side workers carry an annotation.
+package baregoroutine
+
+func bad(done chan struct{}) {
+	go func() { // want `bare go statement spawns a goroutine the virtual clock cannot track`
+		close(done)
+	}()
+}
+
+func badNamed(f func()) {
+	go f() // want `bare go statement`
+}
+
+func annotatedEscape(done chan struct{}) {
+	go func() { //xvet:ok baregoroutine fixture: models a wall-side sweep worker outside every clock
+		close(done)
+	}()
+}

@@ -1,0 +1,39 @@
+// Package detachedwait exercises the detachedwait analyzer: sync waits and
+// bare channel receives block outside the virtual clock's view; select
+// communication ops and annotated clock internals do not count.
+package detachedwait
+
+import "sync"
+
+func badWaitGroup(wg *sync.WaitGroup) {
+	wg.Wait() // want `sync\.WaitGroup\.Wait blocks outside the virtual clock`
+}
+
+func badCond(c *sync.Cond) {
+	c.Wait() // want `sync\.Cond\.Wait blocks outside the virtual clock`
+}
+
+func badReceive(ch chan int) int {
+	return <-ch // want `bare channel receive blocks outside the virtual clock`
+}
+
+func okSelect(ch chan int) int {
+	select {
+	case v := <-ch: // a select comm op is the select's business
+		return v
+	default:
+		return 0
+	}
+}
+
+func okSelectExpr(ch chan int, sink func(int)) {
+	select {
+	case <-ch:
+		sink(1)
+	default:
+	}
+}
+
+func annotatedEscape(ch chan int) {
+	<-ch //xvet:ok detachedwait fixture: models the clock-internal wake channel handoff
+}

@@ -1,0 +1,39 @@
+// Package directive exercises the //xvet:ok machinery itself: a directive
+// missing its reason (or naming an unknown rule, or missing everything) is
+// a diagnostic and does not suppress; a complete directive that suppresses
+// nothing is flagged as unused; complete directives suppress exactly their
+// target line, and consecutive standalone directives chain.
+package directive
+
+import "time"
+
+func missingReason() time.Time {
+	//xvet:ok walltime // want `directive missing reason: say why this escape is sound`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func unknownRule() time.Time {
+	//xvet:ok wallclock the rule name has a typo // want `unknown rule "wallclock"`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func missingEverything() {
+	//xvet:ok // want `missing rule and reason`
+}
+
+func unused() time.Duration {
+	d := 3 * time.Second //xvet:ok walltime duration arithmetic never reads the clock // want `unused //xvet:ok walltime directive`
+	return d
+}
+
+func suppressed() time.Time {
+	return time.Now() //xvet:ok walltime fixture: a complete trailing directive suppresses its own line
+}
+
+// Consecutive standalone directives chain to the first code line, so one
+// statement can carry several rule escapes.
+func chained(ch chan int) int64 {
+	//xvet:ok walltime fixture: chained escape covering the wall read
+	//xvet:ok detachedwait fixture: chained escape covering the receive
+	return time.Now().UnixNano() + int64(<-ch)
+}

@@ -1,0 +1,23 @@
+// Package globalrand exercises the globalrand analyzer: draws from the
+// shared package-level source are flagged; seeded *rand.Rand streams (and
+// the constructors that build them) are the blessed pattern.
+package globalrand
+
+import "math/rand"
+
+func bad() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the shared global source`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the shared global source`
+}
+
+func okSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors build explicit streams
+	return r.Intn(10)
+}
+
+func annotatedEscape() float64 {
+	return rand.Float64() //xvet:ok globalrand fixture: models a sanctioned wall-side jitter draw
+}

@@ -1,0 +1,55 @@
+// Package mapiter exercises the mapiter analyzer: map iteration order
+// escaping into printed output or an outer slice is flagged unless a sort
+// stands between the map and the reader.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration appends to "out", which escapes the loop unsorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+func badBuilder(m map[string]int, b *strings.Builder) {
+	for k := range m { // want `map iteration order reaches Builder\.WriteString`
+		b.WriteString(k)
+	}
+}
+
+func okSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // sorted before anything reads it
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okOrderFreeFold(m map[string]int) int {
+	total := 0
+	for _, v := range m { // commutative fold: order cannot escape
+		total += v
+	}
+	return total
+}
+
+func annotatedEscape(m map[string]int) []string {
+	var out []string
+	for k := range m { //xvet:ok mapiter fixture: models a fold whose order is normalized downstream
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package walltime exercises the walltime analyzer: wall-clock reads and
+// sleeps are flagged; pure duration arithmetic and annotated Real-boundary
+// escapes are not.
+package walltime
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+}
+
+func okArithmetic(d time.Duration) time.Duration {
+	// Duration math and data constructors never observe the host clock.
+	return 3*time.Second + d
+}
+
+func okConstructor() time.Time {
+	return time.Unix(0, 42)
+}
+
+func annotatedEscape() time.Time {
+	return time.Now() //xvet:ok walltime fixture: models a Real-boundary stopwatch
+}

@@ -183,7 +183,7 @@ func SweepWithOptions(sc Scenario, seeds []int64, opts SweepOptions) VerdictDist
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func() { //xvet:ok baregoroutine wall-side sweep worker: each seed's run builds (or recycles) its own virtual clock; the worker is outside them all
 			defer wg.Done()
 			// Each worker recycles one network across its seeds
 			// (reset-and-rerun): the substrate — endpoints, interned
@@ -203,7 +203,7 @@ func SweepWithOptions(sc Scenario, seeds []int64, opts SweepOptions) VerdictDist
 		idx <- i
 	}
 	close(idx)
-	wg.Wait()
+	wg.Wait() //xvet:ok detachedwait joins wall-side sweep workers; the sweeping goroutine is attached to no clock
 
 	d := VerdictDistribution{
 		Scenario:   sc.Name,

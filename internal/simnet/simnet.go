@@ -149,7 +149,7 @@ type Network struct {
 	virt *vclock.Virtual // clk when it is virtual, for pooled-Runner scheduling
 
 	mu           sync.Mutex
-	idle         *sync.Cond // signaled when inflight returns to zero
+	idle         vclock.Cond // signaled when inflight returns to zero
 	byName       map[ProcessID]*Endpoint
 	eps          []*Endpoint        // dense, by endpoint index (registration order)
 	order        []ProcessID        // registration order, for deterministic iteration
@@ -189,7 +189,6 @@ func New(cfg Config) *Network {
 		crashedNames: make(map[ProcessID]bool),
 		dropped:      make(map[[2]int32]bool),
 	}
-	n.idle = sync.NewCond(&n.mu)
 	n.apply(cfg)
 	return n
 }
@@ -205,6 +204,11 @@ func (n *Network) apply(cfg Config) {
 	n.cfg = cfg
 	n.clk = clk
 	n.virt, _ = clk.(*vclock.Virtual)
+	// The idle cond lives on the run's clock (it changes across Reset) so
+	// Quiesce waits inside the virtual schedule: a sync.Cond here would
+	// re-admit the waiter at an instant the schedule doesn't order — the
+	// detached-wait class behind PR 4's router bug.
+	n.idle = clk.NewCond(&n.mu)
 	n.delayScale = 1
 	n.record = cfg.Record
 	n.replay = schedule.NewCursor(cfg.Replay)
@@ -541,15 +545,18 @@ func (n *Network) TotalSent() int {
 
 // Quiesce blocks until all in-flight deliveries have settled. Useful at the
 // end of a scenario before reading counters. Safe from goroutines attached
-// to the clock and from external (test) goroutines alike.
+// to the clock and from external (test) goroutines alike: the caller is
+// attached for the duration (Enter/Exit nest), and the wait itself runs on
+// the clock's cond, so the wake is a scheduled event rather than an OS
+// scheduling race.
 func (n *Network) Quiesce() {
-	n.clk.Detached(func() {
-		n.mu.Lock()
-		for n.inflight > 0 {
-			n.idle.Wait()
-		}
-		n.mu.Unlock()
-	})
+	n.clk.Enter()
+	defer n.clk.Exit()
+	n.mu.Lock()
+	for n.inflight > 0 {
+		n.idle.Wait()
+	}
+	n.mu.Unlock()
 }
 
 // delivery is one scheduled delivery event: a pooled vclock.Runner, so the
@@ -771,9 +778,14 @@ func (n *Network) Close() {
 	}
 }
 
-// drainBudget bounds how long Reset waits for the previous run's clock to
-// quiesce before giving up on reuse.
-const drainBudget = 2 * time.Second
+// drainSpinBudget bounds how many scheduler yields resetDrained grants the
+// previous run's goroutines to unwind before giving up on reuse. The
+// budget is counted in yields, not wall time: the reset path stays free of
+// wall-clock reads, and a yield only matters when there is still an
+// unwinding goroutine to hand the processor to. Giving up is the
+// exceptional path (a wedged old world); the caller then builds a fresh
+// network, which is correct either way.
+const drainSpinBudget = 5_000_000
 
 // Reset recycles a closed network for a new run: the endpoint structures,
 // interning tables, dense fault/counter state, and event pools are kept;
@@ -815,13 +827,9 @@ func (n *Network) ResetShared(cfg Config) bool {
 // reinstalls configuration and reopens endpoints (the shared tail of Reset
 // and ResetShared).
 func (n *Network) resetDrained(cfg Config) bool {
-	deadline := time.Now().Add(drainBudget)
 	for spin := 0; !n.virt.Quiesced(); spin++ {
-		if spin > 1000 {
-			if time.Now().After(deadline) {
-				return false
-			}
-			time.Sleep(50 * time.Microsecond)
+		if spin > drainSpinBudget {
+			return false
 		}
 		runtime.Gosched()
 	}

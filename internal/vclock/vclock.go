@@ -1,7 +1,11 @@
 package vclock
 
 import (
+	"fmt"
 	"hash/fnv"
+	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -48,6 +52,32 @@ type Clock interface {
 	// waiting releases the caller's runnability so virtual time can
 	// advance, and timed waits use clock time.
 	NewCond(l sync.Locker) Cond
+	// Stop audits the clock at teardown: it reports goroutines still
+	// attached (count plus creation sites), excluding the caller. A clean
+	// shutdown reports zero — anything else is an attachment leak, the
+	// runtime counterpart of xvet's baregoroutine rule, surfaced as a
+	// loud test failure instead of a hang. Stop is purely diagnostic and
+	// idempotent; the Real clock, which tracks no attachments, always
+	// reports zero.
+	Stop() LeakReport
+}
+
+// LeakReport is Stop's audit result: how many goroutines were still
+// attached to the clock, and where they were created.
+type LeakReport struct {
+	// Leaked counts attached goroutines other than the caller.
+	Leaked int
+	// Sites are the distinct creation sites ("file:line (func)", with a
+	// ×N multiplicity suffix), sorted for deterministic assertions.
+	Sites []string
+}
+
+func (r LeakReport) String() string {
+	if r.Leaked == 0 {
+		return "vclock: no leaked goroutines"
+	}
+	return fmt.Sprintf("vclock: %d leaked goroutine(s) still attached; created at %s",
+		r.Leaked, strings.Join(r.Sites, "; "))
 }
 
 // Cond is a sync.Cond-shaped condition variable whose waits the clock
@@ -96,6 +126,7 @@ type vevent struct {
 	wgen uint32 // waiter generation at arming time (see waiter.gen)
 	fn   func()
 	r    Runner
+	pc   uintptr // creation site of fn's spawner, for Stop's leak audit
 }
 
 // waiter is one blocked goroutine (or timed cond wait). Waiters are pooled
@@ -112,7 +143,15 @@ type waiter struct {
 	cond     *vcond // set for cond waiters, for list cleanup on timeout
 }
 
-type gent struct{ depth int }
+// gent is one ledger entry: a goroutine's attachment depth plus the
+// program counter of whatever created the attachment, so Stop can name the
+// origin of a leak. site is zero for pooled-Runner spawns (GoAfterRunner
+// is the per-message hot path; a runtime.Caller there would tax every
+// delivery).
+type gent struct {
+	depth int
+	site  uintptr
+}
 
 // Virtual is the discrete-event clock. Create with NewVirtual.
 type Virtual struct {
@@ -193,7 +232,7 @@ func eventLess(a, b *vevent) bool {
 	return a.seq < b.seq
 }
 
-func (v *Virtual) pushLocked(at time.Duration, w *waiter, fn func(), r Runner) {
+func (v *Virtual) pushLocked(at time.Duration, w *waiter, fn func(), r Runner, pc uintptr) {
 	v.seq++
 	var ev *vevent
 	if n := len(v.evfree); n > 0 {
@@ -203,7 +242,7 @@ func (v *Virtual) pushLocked(at time.Duration, w *waiter, fn func(), r Runner) {
 	} else {
 		ev = new(vevent)
 	}
-	ev.at, ev.seq, ev.w, ev.fn, ev.r = at, v.seq, w, fn, r
+	ev.at, ev.seq, ev.w, ev.fn, ev.r, ev.pc = at, v.seq, w, fn, r, pc
 	if w != nil {
 		ev.wgen = w.gen
 	}
@@ -251,8 +290,8 @@ func (v *Virtual) addBusyLocked(d int) {
 func (v *Virtual) pumpLocked() {
 	for v.busy == 0 && len(v.pq) > 0 {
 		ev := v.heapPop()
-		at, w, wgen, fn, r := ev.at, ev.w, ev.wgen, ev.fn, ev.r
-		ev.w, ev.fn, ev.r = nil, nil, nil
+		at, w, wgen, fn, r, pc := ev.at, ev.w, ev.wgen, ev.fn, ev.r, ev.pc
+		ev.w, ev.fn, ev.r, ev.pc = nil, nil, nil, 0
 		v.evfree = append(v.evfree, ev)
 		if w != nil && (w.fired || w.gen != wgen) {
 			continue // woken by a broadcast, or the waiter was recycled
@@ -262,11 +301,11 @@ func (v *Virtual) pumpLocked() {
 		}
 		v.busy++
 		if fn != nil {
-			go v.runAdopted(fn)
+			go v.runAdopted(fn, pc) //xvet:ok baregoroutine the clock's own spawn: the runnability unit was added above and the goroutine adopts into the ledger
 			return
 		}
 		if r != nil {
-			go v.runAdoptedRunner(r)
+			go v.runAdoptedRunner(r) //xvet:ok baregoroutine pooled-Runner spawn, adopted into the ledger like runAdopted
 			return
 		}
 		w.fired = true
@@ -280,11 +319,12 @@ func (v *Virtual) pumpLocked() {
 }
 
 // adopt registers the calling (fresh) goroutine in the ledger; the
-// runnability unit was already added by the spawner.
-func (v *Virtual) adopt() uint64 {
+// runnability unit was already added by the spawner. site names the
+// spawner's call site for Stop's leak audit (zero when untracked).
+func (v *Virtual) adopt(site uintptr) uint64 {
 	id := gid()
 	v.mu.Lock()
-	v.ledger[id] = v.newGentLocked(1)
+	v.ledger[id] = v.newGentLocked(1, site)
 	v.mu.Unlock()
 	return id
 }
@@ -301,26 +341,27 @@ func (v *Virtual) disown(id uint64) {
 	v.mu.Unlock()
 }
 
-func (v *Virtual) newGentLocked(depth int) *gent {
+func (v *Virtual) newGentLocked(depth int, site uintptr) *gent {
 	if n := len(v.gfree); n > 0 {
 		g := v.gfree[n-1]
 		v.gfree[n-1] = nil
 		v.gfree = v.gfree[:n-1]
 		g.depth = depth
+		g.site = site
 		return g
 	}
-	return &gent{depth: depth}
+	return &gent{depth: depth, site: site}
 }
 
 // runAdopted runs fn on the calling (fresh) goroutine with a ledger entry.
-func (v *Virtual) runAdopted(fn func()) {
-	id := v.adopt()
+func (v *Virtual) runAdopted(fn func(), site uintptr) {
+	id := v.adopt(site)
 	defer v.disown(id)
 	fn()
 }
 
 func (v *Virtual) runAdoptedRunner(r Runner) {
-	id := v.adopt()
+	id := v.adopt(0) // pooled hot path: no site capture (see gent)
 	defer v.disown(id)
 	r.Run()
 }
@@ -331,7 +372,10 @@ func (v *Virtual) Enter() {
 	v.mu.Lock()
 	g := v.ledger[id]
 	if g == nil {
-		g = v.newGentLocked(0)
+		// First attach of an external goroutine: record where. The
+		// capture is creation-only so re-entrant Enters (every Sleep,
+		// every cond wait) stay alloc- and caller-walk-free.
+		g = v.newGentLocked(0, callerPC())
 		v.ledger[id] = g
 	}
 	g.depth++
@@ -387,10 +431,10 @@ func (v *Virtual) Sleep(d time.Duration) {
 	v.Enter()
 	v.mu.Lock()
 	w := v.newWaiterLocked()
-	v.pushLocked(v.now+d, w, nil, nil)
+	v.pushLocked(v.now+d, w, nil, nil, 0)
 	v.addBusyLocked(-1)
 	v.mu.Unlock()
-	<-w.ch
+	<-w.ch //xvet:ok detachedwait the clock's own sleep: runnability was released above and the wake is a scheduled event
 	v.mu.Lock()
 	v.releaseWaiterLocked(w)
 	v.mu.Unlock()
@@ -400,10 +444,11 @@ func (v *Virtual) Sleep(d time.Duration) {
 // Go implements Clock. The runnability unit is added before Go returns, so
 // the schedule cannot advance past the spawn.
 func (v *Virtual) Go(fn func()) {
+	pc := callerPC()
 	v.mu.Lock()
 	v.busy++
 	v.mu.Unlock()
-	go v.runAdopted(fn)
+	go v.runAdopted(fn, pc) //xvet:ok baregoroutine this IS vclock.Go: the spawn is counted busy above and adopted into the ledger
 }
 
 // GoAfter implements Clock.
@@ -411,8 +456,9 @@ func (v *Virtual) GoAfter(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
+	pc := callerPC()
 	v.mu.Lock()
-	v.pushLocked(v.now+d, nil, fn, nil)
+	v.pushLocked(v.now+d, nil, fn, nil, pc)
 	if v.busy == 0 {
 		v.pumpLocked()
 	}
@@ -428,11 +474,69 @@ func (v *Virtual) GoAfterRunner(d time.Duration, r Runner) {
 		d = 0
 	}
 	v.mu.Lock()
-	v.pushLocked(v.now+d, nil, nil, r)
+	v.pushLocked(v.now+d, nil, nil, r, 0)
 	if v.busy == 0 {
 		v.pumpLocked()
 	}
 	v.mu.Unlock()
+}
+
+// callerPC returns the program counter two frames up: the caller of the
+// exported clock API that invoked it. Stop resolves it to file:line when
+// reporting attachment leaks. runtime.Callers into a stack array (rather
+// than runtime.Caller, which materializes the file string) keeps the
+// capture allocation-free — the alloc budgets on Go/GoAfter gate this.
+func callerPC() uintptr {
+	var pcs [1]uintptr
+	if runtime.Callers(3, pcs[:]) == 0 {
+		return 0
+	}
+	return pcs[0]
+}
+
+// Stop implements Clock: the teardown audit of still-attached goroutines.
+func (v *Virtual) Stop() LeakReport {
+	self := gid()
+	v.mu.Lock()
+	leaked := 0
+	counts := make(map[uintptr]int)
+	for id, g := range v.ledger {
+		if id == self {
+			continue // the caller's own attachment is not a leak
+		}
+		leaked++
+		counts[g.site]++
+	}
+	v.mu.Unlock()
+	sites := make([]string, 0, len(counts))
+	for pc, c := range counts {
+		s := siteLabel(pc)
+		if c > 1 {
+			s = fmt.Sprintf("%s ×%d", s, c)
+		}
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	return LeakReport{Leaked: leaked, Sites: sites}
+}
+
+// siteLabel renders a creation-site pc as "file:line (func)", keeping the
+// last two path elements of the file for readable test output.
+func siteLabel(pc uintptr) string {
+	if pc == 0 {
+		return "untracked site (pooled runner)"
+	}
+	fn := runtime.FuncForPC(pc)
+	if fn == nil {
+		return "unknown site"
+	}
+	file, line := fn.FileLine(pc)
+	if i := strings.LastIndex(file, "/"); i >= 0 {
+		if j := strings.LastIndex(file[:i], "/"); j >= 0 {
+			file = file[j+1:]
+		}
+	}
+	return fmt.Sprintf("%s:%d (%s)", file, line, fn.Name())
 }
 
 // Quiesced reports whether the clock has fully wound down: no attached
@@ -476,12 +580,12 @@ func (c *vcond) wait(d time.Duration) bool {
 	w.cond = c
 	c.waiters = append(c.waiters, w)
 	if d >= 0 {
-		v.pushLocked(v.now+d, w, nil, nil)
+		v.pushLocked(v.now+d, w, nil, nil, 0)
 	}
 	v.addBusyLocked(-1)
 	v.mu.Unlock()
 	c.l.Unlock()
-	<-w.ch
+	<-w.ch //xvet:ok detachedwait the clock's own cond wait: runnability was released above; the wake is a broadcast or scheduled timeout
 	// The wake (fired=true) happens before the channel send, so reading
 	// timedOut here is ordered; after the read nothing references w and it
 	// can be recycled. A timer event for a broadcast-woken w may still sit
@@ -524,30 +628,34 @@ type Real struct {
 }
 
 // NewReal returns a clock backed by package time.
-func NewReal() *Real { return &Real{epoch: time.Now()} }
+func NewReal() *Real { return &Real{epoch: time.Now()} } //xvet:ok walltime the Real clock IS the wall-time boundary: durations mean wall time here by contract
 
 // Now implements Clock.
-func (r *Real) Now() time.Duration { return time.Since(r.epoch) }
+func (r *Real) Now() time.Duration { return time.Since(r.epoch) } //xvet:ok walltime the Real clock delegates to package time by contract
 
 // Sleep implements Clock.
 func (r *Real) Sleep(d time.Duration) {
 	if d > 0 {
-		time.Sleep(d)
+		time.Sleep(d) //xvet:ok walltime the Real clock delegates to package time by contract
 	}
 }
 
 // Go implements Clock.
-func (r *Real) Go(fn func()) { go fn() }
+func (r *Real) Go(fn func()) { go fn() } //xvet:ok baregoroutine the Real clock tracks no attachments; its Go is a plain spawn by contract
 
 // GoAfter implements Clock.
 func (r *Real) GoAfter(d time.Duration, fn func()) {
-	go func() {
+	go func() { //xvet:ok baregoroutine the Real clock tracks no attachments; its GoAfter is a plain spawn by contract
 		if d > 0 {
-			time.Sleep(d)
+			time.Sleep(d) //xvet:ok walltime the Real clock delegates to package time by contract
 		}
 		fn()
 	}()
 }
+
+// Stop implements Clock. The Real clock tracks no attachments, so there is
+// nothing to leak.
+func (r *Real) Stop() LeakReport { return LeakReport{} }
 
 // Enter implements Clock (no-op: real time advances on its own).
 func (r *Real) Enter() {}
@@ -580,7 +688,7 @@ func (c *rcond) current() chan struct{} {
 func (c *rcond) Wait() {
 	ch := c.current()
 	c.l.Unlock()
-	<-ch
+	<-ch //xvet:ok detachedwait the Real clock's cond wait: real time advances on its own, nothing to detach from
 	c.l.Lock()
 }
 
@@ -588,7 +696,7 @@ func (c *rcond) WaitTimeout(d time.Duration) bool {
 	ch := c.current()
 	c.l.Unlock()
 	defer c.l.Lock()
-	t := time.NewTimer(d)
+	t := time.NewTimer(d) //xvet:ok walltime the Real clock's timed cond wait delegates to package time by contract
 	defer t.Stop()
 	select {
 	case <-ch:
