@@ -1,10 +1,12 @@
 // Command xbench regenerates the experiment tables of EXPERIMENTS.md
-// (T1–T4, T3d, T6, T7, T9, T10, T11; T5 is produced by
+// (T1–T4, T3d, T6, T7, T9, T10, T11, T12; T5 is produced by
 // examples/threetier). Each table validates one of the paper's claims —
 // see DESIGN.md §3 for the claim-to-table map. T9 is the shard-scaling
 // table; T10 is the sweep-throughput table that tracks the repo's perf
 // trajectory; T11 is the saturation-curve table of the throughput plane
-// (batching and pipelining under open-loop load).
+// (batching and pipelining under open-loop load); T12 is the
+// crash-recovery table of the durable-state plane (failure density with
+// restarts on/off, plus the sync-latency cost curve).
 //
 // With -json, the requested tables are additionally written to a JSON
 // file (default BENCH_6.json) with per-table wall time and allocation
@@ -77,12 +79,13 @@ func timed(rep *report, name string, f func() any) any {
 func main() {
 	var (
 		seed      = flag.Int64("seed", 1, "base seed for all experiments")
-		tables    = flag.String("tables", "1,2,3,3d,4,6,7,9,10,11", "comma-separated table numbers to run")
+		tables    = flag.String("tables", "1,2,3,3d,4,6,7,9,10,11,12", "comma-separated table numbers to run")
 		reqs      = flag.Int("requests", 200, "requests per cost measurement (T3)")
 		insts     = flag.Int("instances", 500, "consensus instances (T4)")
 		sweep     = flag.Int("sweep", 2000, "seeds per scenario sweep (T7)")
 		t3seeds   = flag.Int("t3seeds", 100, "seeds per cost-distribution row (T3d)")
 		t10seeds  = flag.Int("t10seeds", 512, "seeds per throughput row (T10; 512 matches the recorded baselines)")
+		t12seeds  = flag.Int("t12seeds", 64, "seeds per failure-density cell (T12; the sync curve uses a quarter)")
 		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		shardReqs = flag.Int("shard-requests", 0, "requests per shard-scaling row (T9; 0 = default)")
 		jsonOut   = flag.Bool("json", false, "also write the requested tables as JSON")
@@ -244,6 +247,29 @@ func main() {
 		if peaks["unbatched"] > 0 {
 			fmt.Printf("  batched+pipelined vs unbatched peak: %.2fx  (claim: ≥3x)\n",
 				peaks["batched+pipelined"]/peaks["unbatched"])
+		}
+		fmt.Println()
+	}
+
+	if want["12"] {
+		rows := timed(rep, "12", func() any { return exper.TableT12(*seed, *t12seeds, *workers) }).([]exper.T12Row)
+		fmt.Printf("T12 — crash-recovery: x-able rate vs failure density, restarts on/off (%d seeds per cell)\n", *t12seeds)
+		fmt.Printf("  %-6s %-10s %-8s %-8s %-8s %-10s %-10s %-10s\n",
+			"ops", "restarts", "x-able", "replied", "dup-runs", "wal/run", "msgs/run", "seeds")
+		for _, r := range rows {
+			fmt.Printf("  %-6d %-10v %-8.4f %-8.4f %-8d %-10.1f %-10.1f %-10d\n",
+				r.Ops, r.Restarts, r.XAbleRate, r.RepliedRate, r.DupRuns, r.MeanWALAppends, r.MeanMsgs, r.Seeds)
+		}
+		syncSeeds := *t12seeds / 4
+		if syncSeeds < 1 {
+			syncSeeds = 1
+		}
+		syncRows := timed(rep, "12sync", func() any { return exper.TableT12Sync(*seed, syncSeeds) }).([]exper.T12SyncRow)
+		fmt.Printf("  durability price — sync tariff vs virtual-time cost (restart-minority, %d seeds per point)\n", syncSeeds)
+		fmt.Printf("  %-10s %-8s %-10s %-14s %-14s\n", "sync", "x-able", "wal/run", "sync-t/run", "sim-t/run")
+		for _, r := range syncRows {
+			fmt.Printf("  %-10v %-8.4f %-10.1f %-14v %-14v\n",
+				r.Sync, r.XAbleRate, r.MeanAppends, r.MeanSyncTime, r.MeanSimTime)
 		}
 		fmt.Println()
 	}

@@ -69,7 +69,7 @@ func run(pulses int) (executions, cancels int, xable bool) {
 			at += time.Duration(1+i) * time.Millisecond
 			plan.SuspectAt(at, "replica-0")
 			at += 500 * time.Microsecond
-			plan.RecoverAt(at, "replica-0")
+			plan.UnsuspectAt(at, "replica-0")
 		}
 		svc.Apply(plan)
 	}

@@ -9,6 +9,14 @@
 // internals. Both tiers are verified independently against their own
 // observers.
 //
+// The second phase runs the same pipeline under fire, using fault plans
+// from the scenario registry: the durable back-end owner crashes and later
+// restarts from its write-ahead log (restart-minority's schedule), while a
+// false suspicion drags the order tier into its active flavor (suspect's
+// schedule) — so two order replicas execute concurrently and both drive
+// the shared back-end stub at once. Composition must hold through all of
+// it: each tier still verifies exactly-once on its own history.
+//
 //	go run ./examples/threetier
 package main
 
@@ -20,7 +28,8 @@ import (
 )
 
 func main() {
-	// ---- Tier 1: the replicated inventory database.
+	// ---- Tier 1: the replicated inventory database, on stable storage so
+	// a crashed replica can restart from its log.
 	dbReg := xability.NewRegistry()
 	dbReg.MustRegister("reserve", xability.Idempotent)
 
@@ -28,6 +37,7 @@ func main() {
 		Replicas: 3,
 		Seed:     11,
 		Registry: dbReg,
+		Durable:  true,
 		Setup: func(m *xability.Machine) {
 			check(m.HandleIdempotent("reserve", func(ctx *xability.Ctx) xability.Value {
 				// Reserving stock is naturally idempotent per order ID: the
@@ -59,14 +69,42 @@ func main() {
 	})
 	defer orders.Close()
 
+	// ---- Phase 1: the failure-free pipeline.
 	reply := orders.Call(xability.NewRequest("order", "sku-42"))
 	fmt.Println("client  ←", reply)
+
+	// ---- Phase 2: the same pipeline under the registry's fault plans.
+	// The back end replays restart-minority's schedule (owner crashes, then
+	// restarts from its WAL); the order tier replays suspect's false
+	// suspicion, which makes a second replica execute the order
+	// concurrently — both executors then submit through the shared back-end
+	// stub at the same time. Injected action failures stretch the order's
+	// execution so the 2ms fault ops land mid-pipeline.
+	restart, ok := xability.ScenarioByName("restart-minority")
+	if !ok {
+		log.Fatal("restart-minority not registered")
+	}
+	suspect, ok := xability.ScenarioByName("suspect")
+	if !ok {
+		log.Fatal("suspect not registered")
+	}
+	orders.Environment().SetFailures("order", 1, 6, 0)
+
+	dbClk, orderClk := db.Clock(), orders.Clock()
+	dbClk.Enter()
+	db.Apply(restart.Plan)
+	dbClk.Exit()
+	orderClk.Enter()
+	orders.Apply(suspect.Plan)
+	reply = orders.Call(xability.NewRequest("order", "sku-43"))
+	orderClk.Exit()
+	fmt.Println("client  ←", reply, " (back end crashed and restarted mid-pipeline)")
 
 	// Verify each tier locally against its own history.
 	dbReport := db.Verify(dbReg)
 	orderReport := orders.Verify(orderReg)
-	fmt.Printf("tier 1 (database) x-able: R3=%v\n", dbReport.R3Strict)
-	fmt.Printf("tier 2 (orders)   x-able: R3=%v\n", orderReport.R3Strict)
+	fmt.Printf("tier 1 (database) x-able: R3=%v  submits=%d\n", dbReport.R3Strict, db.Attempts())
+	fmt.Printf("tier 2 (orders)   x-able: R3=%v  submits=%d\n", orderReport.R3Strict, orders.Attempts())
 	fmt.Printf("tier-1 events: %d   tier-2 events: %d\n", len(db.History()), len(orders.History()))
 
 	if !dbReport.OK() || !orderReport.OK() {

@@ -100,8 +100,8 @@ type Provider interface {
 // value is ready to use.
 type Local struct {
 	mu      sync.Mutex
-	decided bool
-	value   any
+	decided bool //xvet:durable
+	value   any  //xvet:durable
 }
 
 // Propose implements Object. It is wait-free: one critical section.
@@ -109,8 +109,8 @@ func (l *Local) Propose(v any) any {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if !l.decided {
-		l.decided = true
-		l.value = v
+		l.decided = true //xvet:ok durablewrite Local is the paper's assumed shared-memory object: linearizable, crash-free, nothing to persist
+		l.value = v      //xvet:ok durablewrite Local is the paper's assumed shared-memory object: linearizable, crash-free, nothing to persist
 	}
 	return l.value
 }

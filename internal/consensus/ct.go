@@ -9,6 +9,7 @@ import (
 	"xability/internal/fd"
 	"xability/internal/simnet"
 	"xability/internal/vclock"
+	"xability/internal/wal"
 )
 
 // Node is one replica's participant in a message-passing consensus service
@@ -42,6 +43,7 @@ type Node struct {
 	ep    *simnet.Endpoint
 	det   fd.Detector
 	clk   vclock.Clock
+	log   *wal.Log // nil: in-memory acceptor (no crash-recovery)
 
 	mu        sync.Mutex
 	instances map[Key]*ctInstance
@@ -70,6 +72,67 @@ func NewNode(self simnet.ProcessID, ep *simnet.Endpoint, peers []simnet.ProcessI
 
 // Start launches the receive loop on the network clock.
 func (n *Node) Start() { n.clk.Go(n.recvLoop) }
+
+// WAL record kinds (see DESIGN.md §9): an acceptor's promise is exactly
+// the (estimate, ts) pairs it acked and the decisions it learned.
+const (
+	recEstimate = "est" // Key/Space/Round: instance; Aux: adoption ts; Val: estimate
+	recDecision = "dec" // Key/Space/Round: instance; Val: decision
+)
+
+// SetLog makes the node durable: acceptor state — the (estimate, ts) pair
+// adopted before each ack, and every learned decision — is forced to l
+// before the message that reveals it is sent. Quorum intersection on
+// acked estimates is what carries agreement across a crash; an acceptor
+// that acked in memory only and restarted amnesiac could let two rounds
+// decide differently. Call before Start.
+func (n *Node) SetLog(l *wal.Log) { n.log = l }
+
+// Recover rebuilds acceptor state from the node's log: the instance map
+// is repopulated with each instance's last adopted (estimate, ts) and any
+// learned decision. Call after SetLog and before Start. A recovered node
+// participates passively — it answers estimates and relays decisions —
+// until a Propose or an incoming message restarts its round loops.
+func (n *Node) Recover() {
+	if n.log == nil {
+		return
+	}
+	n.log.Replay(func(r wal.Record) {
+		key := Key{Space: Space(r.Space), ID: r.Key, Round: r.Round}
+		inst := n.instance(key)
+		inst.mu.Lock()
+		switch r.Kind {
+		case recEstimate:
+			// Replay, not new state: the pair was persisted before its ack
+			// went out, and later records overwrite earlier ones just as
+			// later adoptions did in the crashed incarnation.
+			inst.estimate, inst.hasEst, inst.ts = r.Val, true, int(r.Aux) //xvet:ok durablewrite recovery replays the log; re-persisting here would double every record
+		case recDecision:
+			inst.decided, inst.decision = true, r.Val //xvet:ok durablewrite recovery replays the log; re-persisting here would double every record
+		}
+		inst.mu.Unlock()
+	})
+}
+
+// persistEstimate forces an adopted (estimate, ts) pair to the log before
+// the caller acks it. Callers must not hold inst.mu: the sync wait is a
+// scheduled event, and goroutines blocked on a held mutex count as
+// runnable to the clock.
+func (n *Node) persistEstimate(key Key, v any, ts int) {
+	if n.log == nil {
+		return
+	}
+	n.log.Append(wal.Record{Kind: recEstimate, Key: key.ID, Space: uint8(key.Space), Round: key.Round, Aux: int32(ts), Val: v})
+}
+
+// persistDecision forces a learned decision to the log before it is
+// relayed or acted on. Same locking rule as persistEstimate.
+func (n *Node) persistDecision(key Key, v any) {
+	if n.log == nil {
+		return
+	}
+	n.log.Append(wal.Record{Kind: recDecision, Key: key.ID, Space: uint8(key.Space), Round: key.Round, Val: v})
+}
 
 // Stop terminates the node's goroutines. In-flight Propose calls unblock
 // with the zero value.
@@ -120,14 +183,17 @@ type ctMsg struct {
 }
 
 type ctInstance struct {
-	mu       sync.Mutex
-	cond     vclock.Cond
-	key      Key
-	estimate any
-	hasEst   bool
-	ts       int
-	decided  bool
-	decision any
+	mu   sync.Mutex
+	cond vclock.Cond
+	key  Key
+	// The acceptor's durable state (xvet:durable): writes must be paired
+	// with a WAL persist — the durablewrite analyzer flags any assignment
+	// in a function that never persists.
+	estimate any //xvet:durable
+	hasEst   bool //xvet:durable
+	ts       int  //xvet:durable
+	decided  bool //xvet:durable
+	decision any  //xvet:durable
 	running  bool
 	// inbox buffers messages per (round, kind); the round loop consumes
 	// them as its phases come due.
@@ -174,7 +240,10 @@ func (n *Node) Propose(key Key, v any) any {
 		return d
 	}
 	if !inst.hasEst {
-		inst.estimate, inst.hasEst, inst.ts = v, true, 0
+		// The proposer's own initial estimate (ts 0) constrains nothing —
+		// no ack has gone out for it — so it needs no persistence: a
+		// restarted proposer simply re-proposes.
+		inst.estimate, inst.hasEst, inst.ts = v, true, 0 //xvet:ok durablewrite ts-0 initial estimate: never acked, constrains no quorum, safe to lose
 	}
 	n.ensureRunning(inst)
 	for !inst.decided {
@@ -222,17 +291,23 @@ func (n *Node) recvLoop() {
 		inst := n.instance(cm.Key)
 		inst.mu.Lock()
 		if cm.Kind == ctDecide {
-			if !inst.decided {
+			first := !inst.decided
+			if first {
 				inst.decided, inst.decision = true, cm.Value
 				inst.cond.Broadcast()
-				// Reliable broadcast: relay the decision once.
+			}
+			inst.mu.Unlock()
+			if first {
+				// Persist before relaying (a decision, once forwarded, must
+				// survive this node's crash), then reliable-broadcast: relay
+				// the decision once.
+				n.persistDecision(cm.Key, cm.Value)
 				for _, p := range n.peers {
 					if p != n.self {
 						n.ep.Send(ConsEndpoint(p), "cons", ctMsg{Key: cm.Key, Kind: ctDecide, Value: cm.Value})
 					}
 				}
 			}
-			inst.mu.Unlock()
 			continue
 		}
 		if inst.decided {
@@ -347,13 +422,25 @@ func (n *Node) roundLoop(inst *ctInstance) {
 		// must count distinct processes.
 		if coord == n.self {
 			var got []ctMsg
-			seen := make(map[simnet.ProcessID]bool)
+			seen := make(map[simnet.ProcessID]int)
 			ok, stale := n.waitCond(inst, round, func() bool {
 				for _, m := range inst.take(round, ctEstimate) {
-					if !seen[m.From] {
-						seen[m.From] = true
-						got = append(got, m)
+					if j, dup := seen[m.From]; dup {
+						// A retransmitted estimate can carry newer state
+						// than the first: a proposer crash can orphan an
+						// instance every survivor discovered passively
+						// (all-⊥ estimates), and the survivors' cleaners
+						// then Propose real values mid-round. Upgrading a
+						// sender's entry is what lets that late real
+						// estimate un-wedge the gather; keeping the stale ⊥
+						// would block this phase forever.
+						if (m.HasValue && !got[j].HasValue) || (m.HasValue == got[j].HasValue && m.TS > got[j].TS) {
+							got[j] = m
+						}
+						continue
 					}
+					seen[m.From] = len(got)
+					got = append(got, m)
 				}
 				real := 0
 				for _, m := range got {
@@ -365,9 +452,12 @@ func (n *Node) roundLoop(inst *ctInstance) {
 			}, nil, func() {
 				// Stalled gathering: re-announce the round so peers cut off
 				// when the original estimates went out rediscover the
-				// instance once links heal.
+				// instance once links heal. Rebuilt from the live instance
+				// state, not phase 1's snapshot: a Propose that landed
+				// after the round started must reach peers (and this
+				// node's own gather, via the self-send) as a real value.
 				for _, p := range n.peers {
-					n.sendCons(p, est)
+					n.sendCons(p, n.currentEstimate(inst, round))
 				}
 			})
 			if !ok {
@@ -404,7 +494,9 @@ func (n *Node) roundLoop(inst *ctInstance) {
 			suspected = n.det.Suspect(coord)
 			return suspected
 		}, func() {
-			n.sendCons(coord, est)
+			// Rebuild rather than resend phase 1's snapshot: see the
+			// coordinator's resend above for why the live estimate matters.
+			n.sendCons(coord, n.currentEstimate(inst, round))
 		})
 		if !ok {
 			return
@@ -419,6 +511,11 @@ func (n *Node) roundLoop(inst *ctInstance) {
 			inst.mu.Lock()
 			inst.estimate, inst.hasEst, inst.ts = proposal.Value, true, round
 			inst.mu.Unlock()
+			// Persist the adoption before acking: the ack is a promise that
+			// this (estimate, ts) constrains every later round's choice, and
+			// quorum intersection only holds across a restart if the promise
+			// survives it.
+			n.persistEstimate(inst.key, proposal.Value, round)
 			n.sendCons(coord, ctMsg{Key: inst.key, Round: round, Kind: ctAck})
 		} else {
 			n.sendCons(coord, ctMsg{Key: inst.key, Round: round, Kind: ctNack})
@@ -544,16 +641,33 @@ func (n *Node) waitCond(inst *ctInstance, round int, ready func() bool, abort fu
 
 func (n *Node) decide(inst *ctInstance, v any) {
 	inst.mu.Lock()
-	if !inst.decided {
+	first := !inst.decided
+	if first {
 		inst.decided, inst.decision = true, v
 		inst.cond.Broadcast()
 	}
 	inst.mu.Unlock()
+	if first {
+		// Persist before announcing: a coordinator that told anyone and
+		// then forgot could coordinate a later round to a different value.
+		n.persistDecision(inst.key, v)
+	}
 	for _, p := range n.peers {
 		if p != n.self {
 			n.sendCons(p, ctMsg{Key: inst.key, Kind: ctDecide, Value: v})
 		}
 	}
+}
+
+// currentEstimate builds a round-r estimate message from the instance's
+// live state. Retransmissions must use this, not the message snapshotted
+// when the round began: a Propose can seed a real estimate after a round
+// loop that started passively (⊥) is already mid-round, and only a rebuilt
+// message carries it. Callers must not hold inst.mu.
+func (n *Node) currentEstimate(inst *ctInstance, round int) ctMsg {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return ctMsg{Key: inst.key, Round: round, Kind: ctEstimate, Value: inst.estimate, TS: inst.ts, HasValue: inst.hasEst}
 }
 
 func (n *Node) sendCons(to simnet.ProcessID, m ctMsg) {
@@ -564,7 +678,9 @@ func (n *Node) sendCons(to simnet.ProcessID, m ctMsg) {
 		inst.mu.Lock()
 		if m.Kind == ctDecide {
 			if !inst.decided {
-				inst.decided, inst.decision = true, m.Value
+				// Unreachable today — decide() and the relay both skip self —
+				// but kept for sendCons totality.
+				inst.decided, inst.decision = true, m.Value //xvet:ok durablewrite dead branch: no caller self-sends a decide; the live decide paths persist
 				inst.cond.Broadcast()
 			}
 		} else {

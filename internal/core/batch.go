@@ -226,7 +226,7 @@ func (s *Server) runSlot(n, round int, batch []SubmitPayload) {
 		s.mu.Unlock()
 		return
 	}
-	s.rounds[key] = true
+	s.rounds[key] = true //xvet:ok durablewrite batched plane is an in-memory baseline: restart is unsupported there, nothing to persist
 	s.mu.Unlock()
 
 	decided := s.propose(key, ownerDecision{Owner: s.id, Batch: batch})
@@ -365,7 +365,13 @@ func (s *Server) slotCoordination(n, round int, batch []SubmitPayload, fresh []b
 	if out.Outcome == "abort" {
 		for _, m := range batch {
 			if s.mach.IsUndoable(m.Req) {
-				s.executeUntilSuccess(s.taggedFor(m.Req, round).Cancel())
+				// Fence before cancelling (testcancel, §5.3), exactly as on
+				// the per-request plane: without it a losing owner's retry
+				// loop can reactivate the cancelled member and re-apply its
+				// effect after this neutralization.
+				exec := s.taggedFor(m.Req, round)
+				s.mach.Env().FenceUndoable(exec.Action, exec.EffectiveInput())
+				s.executeUntilSuccess(exec.Cancel())
 			}
 		}
 		return out
@@ -412,8 +418,8 @@ func (s *Server) applySlot(n int, batch []SubmitPayload, vals []action.Value, ow
 		s.mu.Lock()
 		dupEarlier := st.done && st.doneSlot >= 0 && st.doneSlot < n
 		if !dupEarlier {
-			st.done = true
-			st.result = vals[i]
+			st.done = true     //xvet:ok durablewrite batched plane is an in-memory baseline: restart is unsupported there, nothing to persist
+			st.result = vals[i] //xvet:ok durablewrite batched plane is an in-memory baseline: restart is unsupported there, nothing to persist
 			st.applied = true
 			st.doneSlot = n
 		}

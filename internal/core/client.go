@@ -23,9 +23,12 @@ var ErrSubmitFailed = errors.New("core: submit failed (replica suspected)")
 // arrive, so retrying is meaningless.
 var ErrClientClosed = errors.New("core: client endpoint closed")
 
-// Client is the client-side stub of Figure 5. It is not safe for concurrent
-// Submits: the paper's model is a single client issuing one request at a
-// time (§4).
+// Client is the client-side stub of Figure 5. The paper's model is a
+// single client issuing one request at a time (§4), but concurrent Submits
+// are safe: a composed service (examples/threetier) shares one back-end
+// stub across every middle-tier replica, and active-replication drift
+// there means two handlers submit through it at once. Replies drained by
+// one Submit on behalf of another are stashed by request ID, not dropped.
 type Client struct {
 	id       simnet.ProcessID
 	ep       *simnet.Endpoint
@@ -38,6 +41,14 @@ type Client struct {
 	i        int // next replica to contact (Figure 5's i)
 	seq      int // request ID generator
 	attempts int
+
+	// awaiting tracks the request IDs with a Submit in flight; stash holds
+	// replies one Submit drained while another was awaiting them. Without
+	// the stash, whichever Submit drains the shared mailbox first discards
+	// the other's reply and that Submit hangs until a (possibly never
+	// coming) suspicion.
+	awaiting map[string]bool
+	stash    map[string]action.Value
 
 	// run log for the verifier
 	requests []action.Request
@@ -67,6 +78,8 @@ func NewClient(cfg ClientConfig) *Client {
 		replicas: append([]simnet.ProcessID(nil), cfg.Replicas...),
 		det:      cfg.Detector,
 		poll:     poll,
+		awaiting: make(map[string]bool),
+		stash:    make(map[string]action.Value),
 	}
 }
 
@@ -93,10 +106,26 @@ func (c *Client) Submit(req action.Request) (action.Value, error) {
 	c.mu.Lock()
 	target := c.replicas[c.i]
 	c.attempts++
+	c.awaiting[req.ID] = true
 	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.awaiting, req.ID)
+		delete(c.stash, req.ID)
+		c.mu.Unlock()
+	}()
 
 	c.ep.Send(target, MsgSubmit, SubmitPayload{Req: req, Client: c.id})
 	for {
+		// A concurrent Submit may have drained this request's reply on our
+		// behalf (the mailbox is shared); check the stash before the
+		// mailbox so that reply is never lost.
+		c.mu.Lock()
+		v, stashed := c.stash[req.ID]
+		c.mu.Unlock()
+		if stashed {
+			return v, nil
+		}
 		// Drain the mailbox: a result for this request from any replica —
 		// including a late reply to an earlier attempt — satisfies the
 		// await (the paper's client awaits any [Result] message).
@@ -109,8 +138,21 @@ func (c *Client) Submit(req action.Request) (action.Value, error) {
 				continue
 			}
 			p, ok := msg.Payload.(ResultPayload)
-			if !ok || p.ReqID != req.ID {
-				continue // stale reply to a previous request
+			if !ok {
+				continue
+			}
+			if p.ReqID != req.ID {
+				// Another in-flight Submit's reply: stash it for that
+				// Submit's next await iteration. Replies to requests no
+				// Submit is awaiting are stale duplicates and drop.
+				c.mu.Lock()
+				if c.awaiting[p.ReqID] {
+					if _, dup := c.stash[p.ReqID]; !dup {
+						c.stash[p.ReqID] = p.Value
+					}
+				}
+				c.mu.Unlock()
+				continue
 			}
 			return p.Value, nil
 		}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"xability/internal/action"
+)
+
+// TestConcurrentSubmitsShareOneMailbox pins the client stub's reply-stash
+// contract: two Submits in flight on one client share one mailbox, so
+// whichever drains first routinely pulls the other's reply out. Before the
+// stash, that reply was dropped as "stale" and the other Submit waited for
+// a suspicion that never comes — the hang the first fault plan against
+// examples/threetier flushed out (every middle-tier replica submits
+// through the one shared back-end stub, and active-replication drift makes
+// those submits concurrent). With the stash, each Submit finds its reply
+// either in the mailbox or left for it by a sibling.
+func TestConcurrentSubmitsShareOneMailbox(t *testing.T) {
+	tc := newBankCluster(t, ClusterConfig{Replicas: 3, Seed: 9})
+	clk := tc.Net.Clock()
+	type reply struct {
+		acct string
+		v    action.Value
+	}
+	done := make(chan reply, 4)
+	for _, acct := range []string{"acct", "acct2", "acct3", "acct4"} {
+		acct := acct
+		clk.Go(func() {
+			done <- reply{acct, tc.Client.SubmitUntilSuccess(action.NewRequest("read", action.Value(acct)))}
+		})
+	}
+	want := map[string]action.Value{"acct": "100", "acct2": "0", "acct3": "0", "acct4": "0"}
+	for i := 0; i < 4; i++ {
+		r := <-done
+		if r.v != want[r.acct] {
+			t.Errorf("read(%s) = %q, want %q", r.acct, r.v, want[r.acct])
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"xability/internal/sm"
 	"xability/internal/trace"
 	"xability/internal/vclock"
+	"xability/internal/wal"
 )
 
 // ConsensusMode selects the consensus substrate.
@@ -65,6 +66,13 @@ type ClusterConfig struct {
 	// Costs charges virtual CPU time per protocol primitive (zero value:
 	// free, as before — see CostModel).
 	Costs CostModel
+	// Durable gives every replica stable storage (internal/wal): servers
+	// and CT acceptors write-ahead their state and RestartServer can revive
+	// a crashed replica by replay. Off (the default), a crash is final.
+	Durable bool
+	// WALSync is the per-append sync tariff charged on the clock when
+	// Durable is set (zero: appends are free and schedule-invisible).
+	WALSync time.Duration
 }
 
 // Cluster is an assembled service: n server replicas, one client stub, a
@@ -80,6 +88,18 @@ type Cluster struct {
 	clientDet *fd.Scripted
 	nodes     []*consensus.Node
 	hbs       []*fd.Heartbeat
+
+	// Rebuild state for RestartServer: the pieces a revived replica is
+	// reassembled from. The WAL store is the deployment's disk — it, the
+	// environment, and the network survive a replica's crash.
+	cfg       ClusterConfig
+	ids       []simnet.ProcessID
+	serverEPs []*simnet.Endpoint
+	fdEPs     []*simnet.Endpoint // heartbeat mode only
+	consEPs   []*simnet.Endpoint // CT mode only
+	detFor    map[simnet.ProcessID]fd.Detector
+	localCons consensus.Provider // shared provider in ConsensusLocal mode
+	walStore  *wal.Store         // nil unless cfg.Durable
 }
 
 // NewCluster assembles and starts a service.
@@ -102,12 +122,17 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		Observer: obs,
 		Env:      world,
 		scripted: make(map[simnet.ProcessID]*fd.Scripted),
+		cfg:      cfg,
+	}
+	if cfg.Durable {
+		c.walStore = wal.NewStore(net.Clock(), wal.Config{SyncLatency: cfg.WALSync})
 	}
 
 	ids := make([]simnet.ProcessID, cfg.Replicas)
 	for i := range ids {
 		ids[i] = simnet.ProcessID(fmt.Sprintf("replica-%d", i))
 	}
+	c.ids = ids
 	clientID := simnet.ProcessID("client")
 
 	// Endpoints.
@@ -115,6 +140,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	for i, id := range ids {
 		serverEPs[i] = net.Register(id)
 	}
+	c.serverEPs = serverEPs
 	clientEP := net.Register(clientID)
 
 	// Failure detectors.
@@ -124,6 +150,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	case DetectorHeartbeat:
 		for _, id := range ids {
 			ep := net.Register(fd.FDEndpoint(id))
+			c.fdEPs = append(c.fdEPs, ep)
 			hb := fd.NewHeartbeat(id, ep, ids, fd.HeartbeatConfig{Interval: cfg.HeartbeatInterval})
 			hb.Start()
 			c.hbs = append(c.hbs, hb)
@@ -146,19 +173,24 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	}
 
 	// Consensus.
+	c.detFor = detFor
 	var providerFor func(i int) consensus.Provider
 	switch cfg.Consensus {
 	case ConsensusCT:
-		for i, id := range ids {
+		for _, id := range ids {
 			ep := net.Register(consensus.ConsEndpoint(id))
+			c.consEPs = append(c.consEPs, ep)
 			node := consensus.NewNode(id, ep, ids, detFor[id])
+			if c.walStore != nil {
+				node.SetLog(c.walStore.Log(consLogName(id)))
+			}
 			node.Start()
 			c.nodes = append(c.nodes, node)
-			_ = i
 		}
 		providerFor = func(i int) consensus.Provider { return c.nodes[i] }
 	default:
 		shared := consensus.NewLocalProvider()
+		c.localCons = shared
 		providerFor = func(int) consensus.Provider { return shared }
 	}
 
@@ -167,6 +199,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		mach := sm.New(string(id), cfg.Registry, world, cfg.Seed+int64(i)*7919+1)
 		if cfg.Setup != nil {
 			cfg.Setup(mach)
+		}
+		var slog *wal.Log
+		if c.walStore != nil {
+			slog = c.walStore.Log(string(id))
 		}
 		srv := NewServer(ServerConfig{
 			ID:            id,
@@ -178,6 +214,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			CleanInterval: cfg.CleanInterval,
 			Batch:         cfg.Batch,
 			Costs:         cfg.Costs,
+			Log:           slog,
 		})
 		srv.Start()
 		c.Servers = append(c.Servers, srv)
@@ -231,6 +268,101 @@ func (c *Cluster) ClientSuspect(target simnet.ProcessID, v bool) {
 // CrashServer crashes replica i. Scripted detectors treat crashed
 // processes as suspected automatically (strong completeness).
 func (c *Cluster) CrashServer(i int) { c.Servers[i].Crash() }
+
+// consLogName names a replica's consensus-acceptor log in the WAL store,
+// kept distinct from the server log so the two layers replay independently.
+func consLogName(id simnet.ProcessID) string { return string(id) + "/cons" }
+
+// RestartServer revives crashed replica i from stable storage: a fresh
+// incarnation (machine, consensus node, detector, server) is rebuilt on the
+// reopened endpoints and recovers its durable state by replaying the WAL.
+// It reports false — and does nothing — when the replica never crashed
+// (mirroring simnet.Crash's idempotence in the other direction) or when the
+// cluster has no stable storage, where a restart would resurrect a replica
+// with amnesia: worse than leaving it dead, it could re-execute effects.
+//
+// The in-memory state of the crashed incarnation is deliberately not
+// consulted: everything the new incarnation knows, it learned from the log.
+func (c *Cluster) RestartServer(i int) bool {
+	if i < 0 || i >= len(c.Servers) || c.walStore == nil {
+		return false
+	}
+	id := c.ids[i]
+	if !c.Net.Crashed(id) {
+		return false
+	}
+	// Tear down the dead incarnation's remaining goroutines (Crash already
+	// stopped the Server; the consensus node and heartbeat are per-replica
+	// processes that died with it), then drain the clock so every goroutine
+	// of the old incarnation has observed the stop and unwound. Reopening
+	// endpoints before that would let a zombie receiver re-attach and steal
+	// the new incarnation's messages.
+	if c.nodes != nil {
+		c.nodes[i].Stop()
+	}
+	if len(c.hbs) > i {
+		c.hbs[i].Stop()
+	}
+	c.Servers[i].Stop()
+	c.Clock().Drain()
+	c.Net.Restart(id)
+	c.Net.Restart(fd.FDEndpoint(id))
+	c.Net.Restart(consensus.ConsEndpoint(id))
+
+	det := c.detFor[id]
+	if len(c.hbs) > i {
+		hb := fd.NewHeartbeat(id, c.fdEPs[i], c.ids, fd.HeartbeatConfig{Interval: c.cfg.HeartbeatInterval})
+		hb.Start()
+		c.hbs[i] = hb
+		c.detFor[id] = hb
+		det = hb
+	}
+
+	prov := c.localCons
+	if c.nodes != nil {
+		node := consensus.NewNode(id, c.consEPs[i], c.ids, det)
+		node.SetLog(c.walStore.Log(consLogName(id)))
+		node.Recover()
+		node.Start()
+		c.nodes[i] = node
+		prov = node
+	}
+
+	// Same machine seed as the original incarnation: recovery must not
+	// re-roll the replica's nondeterminism, or replayed folds diverge.
+	mach := sm.New(string(id), c.cfg.Registry, c.Env, c.cfg.Seed+int64(i)*7919+1)
+	if c.cfg.Setup != nil {
+		c.cfg.Setup(mach)
+	}
+	srv := NewServer(ServerConfig{
+		ID:            id,
+		Endpoint:      c.serverEPs[i],
+		Machine:       mach,
+		Detector:      det,
+		Consensus:     prov,
+		Network:       c.Net,
+		CleanInterval: c.cfg.CleanInterval,
+		Batch:         c.cfg.Batch,
+		Costs:         c.cfg.Costs,
+		Log:           c.walStore.Log(string(id)),
+	})
+	srv.Recover()
+	srv.Start()
+	c.Servers[i] = srv
+	return true
+}
+
+// WALStats reports the stable-storage activity of the run (zero when the
+// cluster is not durable) for T12's sync-tariff cost curves.
+func (c *Cluster) WALStats() wal.Stats {
+	if c.walStore == nil {
+		return wal.Stats{}
+	}
+	return c.walStore.Stats()
+}
+
+// Durable reports whether the cluster was built with stable storage.
+func (c *Cluster) Durable() bool { return c.walStore != nil }
 
 // Machine returns replica i's state machine.
 func (c *Cluster) Machine(i int) *sm.Machine { return c.Servers[i].mach }

@@ -36,15 +36,29 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"xability/internal/action"
 	"xability/internal/consensus"
+	"xability/internal/env"
 	"xability/internal/fd"
 	"xability/internal/simnet"
 	"xability/internal/sm"
 	"xability/internal/vclock"
+	"xability/internal/wal"
+)
+
+// WAL record kinds for the server's durable state (DESIGN.md §9). A
+// restarted replica replays these to remember which requests it saw, which
+// (request, round) pairs it attempted — the duplicate-execution guard must
+// survive a crash, or a restarted owner re-proposes its round, reads back
+// its own ownership and executes twice — and which results it fixed.
+const (
+	recRequest = "req"   // Key=request ID, Str=client, Val=action.Request
+	recRound   = "round" // Key=request ID, Round=attempted round
+	recFinish  = "fin"   // Key=request ID, Str=fixed result
 )
 
 // EmptyResult is the paper's empty-result sentinel: the value the cleaner
@@ -125,29 +139,42 @@ type Server struct {
 	costs         CostModel
 	cpu           *vcpu
 	batch         BatchConfig
+	log           *wal.Log // stable storage; nil runs in-memory (no restart)
 
 	mu      sync.Mutex
 	stopped bool
 	active  map[string]*requestState
-	order   []string               // request IDs in arrival order, for replay
-	rounds  map[consensus.Key]bool // (request, round) pairs this replica has processed
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	order   []string // request IDs in arrival order, for replay
+	// rounds is durable state (xvet:durable): the (request, round) pairs
+	// this replica has processed. Writers must persist the pair first —
+	// the durablewrite analyzer flags any write in a function that never
+	// persists.
+	rounds map[consensus.Key]bool //xvet:durable
+	// inflight marks (request, round) pairs this incarnation is currently
+	// driving through execute/coordinate. Deliberately NOT durable: a
+	// restarted incarnation starts with it empty, which is exactly how the
+	// cleaner's resume path tells "the owner goroutine died with the crash"
+	// from "the owner goroutine is still working".
+	inflight map[consensus.Key]bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
 
 	// Batched plane (nil/zero unless batch.Enabled; see batch.go).
 	slots *slotState
 }
 
 type requestState struct {
-	req      action.Request // untagged except ID
-	client   simnet.ProcessID
-	done     bool
-	result   action.Value
-	applied  bool // replayed into the local machine state
-	watching bool // an awaitFixed watcher is already running here
-	direct   bool // this replica received the client's submit itself
-	queued   bool // enqueued in this replica's pending batch or a known slot
-	doneSlot int  // slot that finished it (batched plane; -1 otherwise)
+	req    action.Request // untagged except ID
+	client simnet.ProcessID
+	// done and result are durable (xvet:durable): a fixed result must
+	// survive restart so re-submissions stay idempotent (R1).
+	done     bool         //xvet:durable
+	result   action.Value //xvet:durable
+	applied  bool         // replayed into the local machine state
+	watching bool         // an awaitFixed watcher is already running here
+	direct   bool         // this replica received the client's submit itself
+	queued   bool         // enqueued in this replica's pending batch or a known slot
+	doneSlot int          // slot that finished it (batched plane; -1 otherwise)
 }
 
 // ServerConfig assembles a server's dependencies.
@@ -166,6 +193,9 @@ type ServerConfig struct {
 	// Batch enables the batched/pipelined slot plane (see BatchConfig);
 	// the zero value keeps the per-request protocol.
 	Batch BatchConfig
+	// Log is the replica's write-ahead log on stable storage; nil (the
+	// default) runs fully in-memory, where a crash is final.
+	Log *wal.Log
 }
 
 // NewServer builds a replica.
@@ -185,8 +215,10 @@ func NewServer(cfg ServerConfig) *Server {
 		cleanInterval: ci,
 		costs:         cfg.Costs,
 		batch:         cfg.Batch.withDefaults(),
+		log:           cfg.Log,
 		active:        make(map[string]*requestState),
 		rounds:        make(map[consensus.Key]bool),
+		inflight:      make(map[consensus.Key]bool),
 		stop:          make(chan struct{}),
 	}
 	if s.costs.enabled() {
@@ -245,6 +277,69 @@ func (s *Server) Crash() {
 // ID returns the replica's process ID.
 func (s *Server) ID() simnet.ProcessID { return s.id }
 
+// persistRequest forces a first-seen request to stable storage. Callers
+// must not hold s.mu: the sync wait is a clock event, and goroutines
+// blocked on a held mutex count as runnable to the clock.
+func (s *Server) persistRequest(req action.Request, client simnet.ProcessID) {
+	if s.log != nil {
+		s.log.Append(wal.Record{Kind: recRequest, Key: req.ID, Str: string(client), Val: req})
+	}
+}
+
+// persistRound forces a (request, round) attempt to stable storage —
+// write-ahead of the ownership proposal, so a restarted replica cannot
+// re-attempt a round it already entered. Callers must not hold s.mu.
+func (s *Server) persistRound(key consensus.Key) {
+	if s.log != nil {
+		s.log.Append(wal.Record{Kind: recRound, Key: key.ID, Round: key.Round})
+	}
+}
+
+// persistFinish forces a fixed result to stable storage. Callers must not
+// hold s.mu.
+func (s *Server) persistFinish(reqID string, res action.Value) {
+	if s.log != nil {
+		s.log.Append(wal.Record{Kind: recFinish, Key: reqID, Str: string(res)})
+	}
+}
+
+// Recover rebuilds the replica's durable state from its write-ahead log.
+// Call it on a fresh Server before Start, with the log of the crashed
+// incarnation. Replay is idempotent by construction: requests re-create
+// their entry only on first sight, round records re-arm the
+// (request, round) guard, and finish records overwrite with the same fixed
+// value. Recovered requests come back with applied=false — the machine
+// state died with the process, so the first round this replica owns after
+// restart re-folds earlier results through replayEarlier, which reuses the
+// normal Apply path (a pure state fold: no environment effects re-fire).
+func (s *Server) Recover() {
+	if s.log == nil {
+		return
+	}
+	s.log.Replay(func(r wal.Record) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		switch r.Kind {
+		case recRequest:
+			req, ok := r.Val.(action.Request)
+			if !ok {
+				return
+			}
+			if _, seen := s.active[r.Key]; !seen {
+				s.active[r.Key] = &requestState{req: req, client: simnet.ProcessID(r.Str), doneSlot: -1}
+				s.order = append(s.order, r.Key)
+			}
+		case recRound:
+			s.rounds[consensus.Key{Space: consensus.SpaceOwner, ID: r.Key, Round: r.Round}] = true //xvet:ok durablewrite recovery replays the log; re-persisting here would double every record
+		case recFinish:
+			if st := s.active[r.Key]; st != nil {
+				st.done = true                 //xvet:ok durablewrite recovery replays the log; re-persisting here would double every record
+				st.result = action.Value(r.Str) //xvet:ok durablewrite recovery replays the log; re-persisting here would double every record
+			}
+		}
+	})
+}
+
 func (s *Server) isStopped() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -273,6 +368,7 @@ func (s *Server) mainLoop() {
 			}
 			st, first := s.noteRequest(p.Req, p.Client)
 			if first {
+				s.persistRequest(p.Req, p.Client)
 				s.ep.Broadcast(MsgAnnounce, p)
 			}
 			s.mu.Lock()
@@ -305,7 +401,9 @@ func (s *Server) mainLoop() {
 			})
 		case MsgAnnounce:
 			if p, ok := msg.Payload.(SubmitPayload); ok {
-				s.noteRequest(p.Req, p.Client)
+				if _, first := s.noteRequest(p.Req, p.Client); first {
+					s.persistRequest(p.Req, p.Client)
+				}
 			}
 		}
 	}
@@ -359,16 +457,34 @@ func (s *Server) processRequest(req action.Request, round int, client simnet.Pro
 	}
 	s.rounds[key] = true
 	s.mu.Unlock()
+	// Write-ahead of the proposal: a replica that crashes between here and
+	// the decision must come back remembering the attempt, or it would
+	// re-propose, read back its own ownership, and execute the round twice.
+	s.persistRound(key)
 	decided := s.propose(key, ownerDecision{Owner: s.id, Req: req, Client: client})
 	od, ok := decided.(ownerDecision)
 	if !ok || od.Owner != s.id {
 		return false // another replica owns this round; the cleaner watches it
 	}
+	// Mark the round in flight so the cleaner's resume path (for rounds we
+	// own but are no longer driving — the post-restart gap) leaves this
+	// live execution alone.
+	s.mu.Lock()
+	s.inflight[key] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+	}()
 	s.replayEarlier(req.ID)
 	exec := s.taggedFor(req, round)
 	res, ok := s.executeUntilSuccess(exec)
 	if !ok {
-		return false // crashed mid-execution
+		// Crashed mid-execution, or a cleaner fenced the round (decided
+		// abort) while we retried — either way the aborting side owns the
+		// request's progress from here.
+		return false
 	}
 	res = s.resultCoordination(req, round, res)
 	if res != EmptyResult && !s.isStopped() {
@@ -497,7 +613,17 @@ func (s *Server) cleanRequest(st *requestState) {
 	if lastRound == 0 {
 		return // nobody owns round 1 yet; the client's retry handles it
 	}
-	if od.Owner == s.id || !s.det.Suspect(od.Owner) {
+	if od.Owner == s.id {
+		// A round we own but are not driving is a round our previous
+		// incarnation was driving when it crashed: the goroutine died, the
+		// WAL replay recovered the attempt record, and no other cleaner
+		// will ever touch it — correct detectors do not suspect a live,
+		// restarted replica. Resume it; a still-live execution is guarded
+		// by the in-flight mark.
+		s.resumeOwnRound(od, lastRound)
+		return
+	}
+	if !s.det.Suspect(od.Owner) {
 		return
 	}
 	// Cleaning mode: prevent the suspected owner from enforcing a result.
@@ -513,6 +639,72 @@ func (s *Server) cleanRequest(st *requestState) {
 	// before replying. Forward the result so the client terminates (R2).
 	s.finish(reqID, res)
 	s.ep.Send(od.Client, MsgResult, ResultPayload{ReqID: reqID, Value: res})
+}
+
+// resumeOwnRound re-drives a round this replica owns but has no live
+// goroutine for — the crash-recovery gap the write-ahead log alone cannot
+// close. Recovery restores the round-attempt record, but the executing
+// goroutine died with the old incarnation, and cleanRequest's takeover
+// path requires suspicion of the owner, which a live restarted replica
+// never draws. Re-execution is safe: the environment's transaction replays
+// a completed effect idempotently, a fenced (aborted) round refuses to
+// re-execute, and result coordination arbitrates against any concurrent
+// cleaner.
+func (s *Server) resumeOwnRound(od ownerDecision, round int) {
+	req := od.Req
+	key := ownerKey(req.ID, round)
+	s.mu.Lock()
+	if s.inflight[key] {
+		s.mu.Unlock()
+		return // a live execution is driving this round
+	}
+	s.inflight[key] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+	}()
+	// The crash may have hit between the outcome decision and the reply:
+	// forward a fixed result rather than re-driving the round.
+	if v, ok := s.resultFixed(req); ok {
+		s.finish(req.ID, v)
+		s.ep.Send(od.Client, MsgResult, ResultPayload{ReqID: req.ID, Value: v})
+		return
+	}
+	// A round already decided abort needs no re-execution, only a
+	// successor — and only if the aborting cleaner died before starting
+	// one (the ownership array is the evidence either way).
+	if s.mach.IsUndoable(req) {
+		if v, ok := s.cons.Object(outcomeKey(req.ID, round)).Read(); ok {
+			if dec, good := v.(outcomeDecision); good && dec.Outcome == "abort" {
+				if _, started := s.cons.Object(ownerKey(req.ID, round+1)).Read(); !started {
+					s.processRequest(req, round+1, od.Client)
+				}
+				return
+			}
+		}
+	}
+	exec := s.taggedFor(req, round)
+	res, ok := s.executeUntilSuccess(exec)
+	if !ok {
+		if s.isStopped() {
+			return
+		}
+		res = EmptyResult // fenced mid-resume: join the abort below
+	}
+	res = s.resultCoordination(req, round, res)
+	if s.isStopped() {
+		return
+	}
+	if res == EmptyResult {
+		// The round aborted under us; drive the successor round like an
+		// aborting cleaner would.
+		s.processRequest(req, round+1, od.Client)
+		return
+	}
+	s.finish(req.ID, res)
+	s.ep.Send(od.Client, MsgResult, ResultPayload{ReqID: req.ID, Value: res})
 }
 
 // resultCoordination is Figure 7's result-coordination: agreement on the
@@ -541,6 +733,14 @@ func (s *Server) resultCoordination(req action.Request, round int, val action.Va
 		}
 		exec := s.taggedFor(req, round)
 		if dec.Outcome == "abort" {
+			// Fence before cancelling (testcancel, §5.3): the abort decision
+			// means this round's effect must never be in force. The cancel
+			// alone only rolls back — without the fence, an owner still
+			// inside execute-until-success reactivates the cancelled
+			// transaction on its next retry and re-applies the effect; if it
+			// then crashes before reading the abort decision, that effect is
+			// orphaned in force next to the succeeding round's commit.
+			s.mach.Env().FenceUndoable(exec.Action, exec.EffectiveInput())
 			s.executeUntilSuccess(exec.Cancel())
 			return EmptyResult
 		}
@@ -552,8 +752,9 @@ func (s *Server) resultCoordination(req action.Request, round int, val action.Va
 
 // executeUntilSuccess is Figure 7's execute-until-success: retry an action
 // until it succeeds; a failed undoable action is cancelled before the
-// retry. Returns ok=false only when the server stopped (crashed) before
-// succeeding.
+// retry. Returns ok=false when the server stopped (crashed) before
+// succeeding, or when the transaction was fenced by an abort decision —
+// in both cases the action will never succeed here.
 func (s *Server) executeUntilSuccess(req action.Request) (action.Value, bool) {
 	for attempt := 0; ; attempt++ {
 		if s.isStopped() {
@@ -569,6 +770,18 @@ func (s *Server) executeUntilSuccess(req action.Request) (action.Value, bool) {
 		res, err := s.mach.Execute(req)
 		if err == nil {
 			return res, true
+		}
+		if errors.Is(err, env.ErrFenced) {
+			// A cleaner neutralized this round while we were retrying: the
+			// abort is decided, the fence makes re-execution impossible, and
+			// the aborting cleaner owns the next round. Cancel once — the
+			// fenced attempt emitted a start event, and the checker can only
+			// erase a dangling start through a later cancel pair — then give
+			// up instead of spinning on the fence.
+			if s.mach.Registry().IsUndoable(req.Action) {
+				s.executeUntilSuccess(req.Cancel())
+			}
+			return "", false
 		}
 		if s.mach.Registry().IsUndoable(req.Action) {
 			if _, ok := s.executeUntilSuccess(req.Cancel()); !ok {
@@ -630,13 +843,21 @@ func (s *Server) decidedResult(req action.Request) (action.Value, bool) {
 
 // finish marks a request complete, remembering its result for
 // re-submissions. The executing replica also folds its own result into the
-// applied set so later replays skip it.
+// applied set so later replays skip it. The result is persisted before the
+// in-memory mark (and so before any reply built on it), keeping R1's
+// fixed-result promise across a crash directly after the reply.
 func (s *Server) finish(reqID string, res action.Value) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if st := s.active[reqID]; st != nil {
-		st.done = true
-		st.result = res
-		st.applied = true
+	st := s.active[reqID]
+	if st == nil || st.done {
+		s.mu.Unlock()
+		return
 	}
+	s.mu.Unlock()
+	s.persistFinish(reqID, res)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.done = true
+	st.result = res
+	st.applied = true
 }

@@ -55,6 +55,12 @@ var ErrInjected = errors.New("env: injected action failure")
 // interleaved cancellation of its transaction epoch.
 var ErrCancelled = errors.New("env: transaction cancelled during execution")
 
+// ErrFenced is returned when an invocation targets a fenced transaction:
+// an abort decision neutralized the round, and per the paper's testcancel
+// semantics (§5.3) the tagged action must never take effect afterwards.
+// Unlike ErrCancelled this is terminal — retrying cannot succeed.
+var ErrFenced = errors.New("env: transaction fenced by an abort decision")
+
 // Effect computes an action's side effect and output value. It runs under
 // the environment lock and must not block.
 type Effect func() action.Value
@@ -75,6 +81,12 @@ type tx struct {
 	status txStatus
 	epoch  Epoch
 	result action.Value
+	// fenced marks a transaction whose round's outcome was decided abort:
+	// re-execution (including reactivation) is forbidden forever. This is
+	// the prohibitive arm of the paper's testcancel — cancellation alone
+	// only rolls back, it does not prevent a later retry from re-applying
+	// the effect.
+	fenced bool
 }
 
 type failurePlan struct {
@@ -196,6 +208,9 @@ func (e *Env) ExecUndoable(a action.Name, taggedIV action.Value, ep Epoch, eff E
 	if t == nil {
 		return "", fmt.Errorf("env: ExecUndoable without BeginUndoable for %s", a)
 	}
+	if t.fenced {
+		return "", ErrFenced
+	}
 	if t.epoch != ep {
 		return "", ErrCancelled
 	}
@@ -262,6 +277,9 @@ func (e *Env) CancelUndoable(a action.Name, taggedIV action.Value, onRollback fu
 
 // ReactivateUndoable transitions a cancelled transaction back to active for
 // a fresh invocation (retry after cancellation) and returns the new epoch.
+// A fenced transaction stays cancelled: the abort decision is final, and
+// reviving it here is exactly how a late owner retry would re-apply an
+// effect the cleaners already neutralized.
 func (e *Env) ReactivateUndoable(a action.Name, taggedIV action.Value) Epoch {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -270,11 +288,30 @@ func (e *Env) ReactivateUndoable(a action.Name, taggedIV action.Value) Epoch {
 		t = &tx{}
 		e.txs[key(a, taggedIV)] = t
 	}
-	if t.status == txCancelled {
+	if t.status == txCancelled && !t.fenced {
 		t.status = txActive
 		t.epoch++
 	}
 	return t.epoch
+}
+
+// FenceUndoable forbids the transaction's action from ever taking effect
+// again — the prohibitive arm of the paper's testcancel (§5.3). The
+// protocol fences a round's tagged transaction the moment its outcome is
+// decided abort, *before* executing the cancellation, so there is no
+// window in which a retrying owner can reactivate the rolled-back
+// transaction and re-apply the effect. Fencing is a property of the
+// environment (the external world), so it survives the fencing replica's
+// crash. It rolls nothing back itself; the cancel action does that.
+func (e *Env) FenceUndoable(a action.Name, taggedIV action.Value) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.txs[key(a, taggedIV)]
+	if t == nil {
+		t = &tx{}
+		e.txs[key(a, taggedIV)] = t
+	}
+	t.fenced = true
 }
 
 // CommitUndoable executes the commit action aᶜ: the transaction's effect

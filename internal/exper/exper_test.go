@@ -257,3 +257,57 @@ func TestT11SaturationCurve(t *testing.T) {
 		}
 	}
 }
+
+// TestT12RecoveryMatrix pins the durable-state plane's headline: x-ability
+// holds at rate 1.0 across the failure-density matrix with restarts on and
+// off, the duplicate-replay audit stays clean, and the restart column
+// actually does more stable-storage work (revived replicas replay and keep
+// appending). The sync curve must not move verdicts — only virtual time.
+func TestT12RecoveryMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery sweep skipped in -short mode")
+	}
+	rows := TableT12(1, 16, 0)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	byOps := make(map[int]map[bool]T12Row)
+	for _, r := range rows {
+		if r.XAbleRate != 1 || r.RepliedRate != 1 {
+			t.Errorf("ops %d restarts %v: x-able %.4f replied %.4f, want 1.0",
+				r.Ops, r.Restarts, r.XAbleRate, r.RepliedRate)
+		}
+		if r.DupRuns != 0 {
+			t.Errorf("ops %d restarts %v: %d duplicate-replay runs, want 0", r.Ops, r.Restarts, r.DupRuns)
+		}
+		if r.MeanWALAppends <= 0 {
+			t.Errorf("ops %d restarts %v: no WAL activity in a durable sweep", r.Ops, r.Restarts)
+		}
+		if byOps[r.Ops] == nil {
+			byOps[r.Ops] = make(map[bool]T12Row)
+		}
+		byOps[r.Ops][r.Restarts] = r
+	}
+	for ops, pair := range byOps {
+		if pair[true].MeanWALAppends <= pair[false].MeanWALAppends {
+			t.Errorf("ops %d: restart column appends %.1f not above permanent-crash column %.1f",
+				ops, pair[true].MeanWALAppends, pair[false].MeanWALAppends)
+		}
+	}
+	sync := TableT12Sync(1, 6)
+	if len(sync) != 4 {
+		t.Fatalf("sync rows = %d, want 4", len(sync))
+	}
+	for _, r := range sync {
+		if r.XAbleRate != 1 {
+			t.Errorf("sync %v: x-able %.4f, want 1.0 — the tariff may cost time, never correctness", r.Sync, r.XAbleRate)
+		}
+	}
+	if sync[0].MeanSyncTime != 0 {
+		t.Errorf("zero tariff charged %v of sync time, want 0", sync[0].MeanSyncTime)
+	}
+	if sync[len(sync)-1].MeanSimTime <= sync[0].MeanSimTime {
+		t.Errorf("1ms tariff sim time %v not above free-append sim time %v — durability priced at nothing",
+			sync[len(sync)-1].MeanSimTime, sync[0].MeanSimTime)
+	}
+}

@@ -68,7 +68,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full rule suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Walltime, Globalrand, Baregoroutine, Detachedwait, Mapiter}
+	return []*Analyzer{Walltime, Globalrand, Baregoroutine, Detachedwait, Mapiter, Durablewrite}
 }
 
 // AnalyzerNames returns the set of valid rule names (for directive

@@ -1,0 +1,68 @@
+// Package durablewrite exercises the durablewrite rule: writes to fields
+// marked //xvet:durable must sit in a function that also persists
+// (persist*/Append), or carry a reasoned escape.
+package durablewrite
+
+type wal struct{ recs []int }
+
+func (w *wal) Append(r int) { w.recs = append(w.recs, r) }
+
+type acceptor struct {
+	log      *wal
+	estimate int          //xvet:durable
+	decided  bool         //xvet:durable
+	rounds   map[int]bool //xvet:durable
+	inbox    []int        // not durable: free to mutate anywhere
+}
+
+// Bare write: the function never persists — flagged.
+func (a *acceptor) adopt(v int) {
+	a.estimate = v // want `write to durable field "estimate" in a function that never persists`
+}
+
+// Map writes through a marked field are writes to it.
+func (a *acceptor) mark(r int) {
+	a.rounds[r] = true // want `write to durable field "rounds" in a function that never persists`
+}
+
+// Multi-assign reports once per statement.
+func (a *acceptor) learn(v int) {
+	a.decided, a.estimate = true, v // want `write to durable field "decided" in a function that never persists`
+}
+
+// Paired with a direct WAL append: clean.
+func (a *acceptor) adoptPersisted(v int) {
+	a.estimate = v
+	a.log.Append(v)
+}
+
+// Paired through a persist* helper: clean.
+func (a *acceptor) decidePersisted(v int) {
+	a.estimate = v
+	a.persistEstimate(v)
+}
+
+func (a *acceptor) persistEstimate(v int) { a.log.Append(v) }
+
+// The innermost function is what counts: a closure that writes without
+// persisting is flagged even when the enclosing function persists.
+func (a *acceptor) viaClosure(v int) {
+	f := func() {
+		a.estimate = v // want `write to durable field "estimate" in a function that never persists`
+	}
+	f()
+	a.log.Append(v)
+}
+
+// Non-durable fields are free.
+func (a *acceptor) buffer(v int) {
+	a.inbox = append(a.inbox, v)
+}
+
+// Recovery replay is the blessed escape: the state is rebuilt *from* the
+// log, so re-persisting would double every record.
+func (a *acceptor) recover(vals []int) {
+	for _, v := range vals {
+		a.estimate = v //xvet:ok durablewrite replaying the log rebuilds state that is already durable
+	}
+}

@@ -247,6 +247,12 @@ func (n *Normalizer) cancelOnce(h event.History) (event.History, bool) {
 // Cancel-action groups only ever use dangler absorption: their complete
 // pairs are left for rule 19 to consume (one pair per cancelled attempt);
 // surplus pairs fall to the gratuitous-cancel pass afterwards.
+//
+// Round-tagged executions of undoable actions join rule 18 through the §5.2
+// idempotence lifting (replayApplies): a recovered replica that resumes its
+// round re-invokes the same tagged transaction, so its duplicate execution
+// pair absorbs like any idempotent retry. Their completions bind by
+// attribution annotation (replayBinds), never across tags.
 func (n *Normalizer) dedupOnce(h event.History) (event.History, bool) {
 	for i, e := range h {
 		if e.Type != event.Start {
@@ -255,7 +261,8 @@ func (n *Normalizer) dedupOnce(h event.History) (event.History, bool) {
 		a, iv := e.Action, e.Value
 		base, kind := action.Base(a)
 		isCommit := kind == action.KindCommit && n.reg.IsUndoable(base)
-		if !rule18Applies(n.reg, a) && !isCommit {
+		isReplay := !isCommit && !rule18Applies(n.reg, a) && replayApplies(n.reg, a, iv)
+		if !rule18Applies(n.reg, a) && !isCommit && !isReplay {
 			continue
 		}
 		if i > 0 && h[:i].Contains(a, iv) {
@@ -265,9 +272,13 @@ func (n *Normalizer) dedupOnce(h event.History) (event.History, bool) {
 		if starts <= n.expectedCount(e) {
 			continue
 		}
+		// Completions of the group. Tagged undoable executions (the §5.2
+		// replay lifting) only count completions attributable to their own
+		// tag, so a sibling round's completion neither inflates the dangler
+		// guard nor gets stolen as an absorption target.
 		completions := 0
 		for _, x := range h {
-			if x.Type == event.Complete && x.Action == a {
+			if x.Type == event.Complete && x.Action == a && (!isReplay || replayBinds(x, iv)) {
 				completions++
 			}
 		}
@@ -294,9 +305,15 @@ func (n *Normalizer) dedupOnce(h event.History) (event.History, bool) {
 				if h[j].Type != event.Complete || h[j].Action != a {
 					continue
 				}
+				if isReplay && !replayBinds(h[j], iv) {
+					continue
+				}
 				ov := h[j].Value
 				for l := j + 1; l < len(h); l++ {
 					if h[l].Type != event.Complete || h[l].Action != a || h[l].Value != ov {
+						continue
+					}
+					if isReplay && !replayBinds(h[l], iv) {
 						continue
 					}
 					for k := i + 1; k < l; k++ {
@@ -307,7 +324,7 @@ func (n *Normalizer) dedupOnce(h event.History) (event.History, bool) {
 						if !commitClean(i, l, remove) {
 							continue
 						}
-						out := spliceAbsorb(h, i, l, remove, a, iv, ov)
+						out := spliceAbsorb(h, i, l, remove, a, iv, ov, h[l].Annotation)
 						n.record(rule, fmt.Sprintf("absorb duplicate pair of (%s, %s)", a, action.Display(iv)), h, out)
 						return out, true
 					}
@@ -325,11 +342,14 @@ func (n *Normalizer) dedupOnce(h event.History) (event.History, bool) {
 					if h[l].Type != event.Complete || h[l].Action != a {
 						continue
 					}
+					if isReplay && !replayBinds(h[l], iv) {
+						continue
+					}
 					remove := rm(i, k, l)
 					if !commitClean(i, l, remove) {
 						break
 					}
-					out := spliceAbsorb(h, i, l, remove, a, iv, h[l].Value)
+					out := spliceAbsorb(h, i, l, remove, a, iv, h[l].Value, h[l].Annotation)
 					n.record(rule, fmt.Sprintf("absorb dangling start of (%s, %s)", a, action.Display(iv)), h, out)
 					return out, true
 				}
@@ -385,7 +405,7 @@ func (n *Normalizer) compact(h event.History) event.History {
 				}
 			}
 			remove := rm(k, l)
-			out := spliceAbsorb(h, k, l, remove, a, iv, ov)
+			out := spliceAbsorb(h, k, l, remove, a, iv, ov, c.Annotation)
 			rule := Rule18
 			if isCommit {
 				rule = Rule20

@@ -52,6 +52,42 @@ func rule18Applies(reg *action.Registry, a action.Name) bool {
 	return ok && (k == action.KindIdempotent || k == action.KindCancel)
 }
 
+// replayApplies reports whether the §5.2 idempotence lifting extends rule 18
+// to an execution of an undoable action: the action is registered undoable
+// and the input carries a request/round tag. A tagged invocation runs inside
+// the environment's transaction for that tag, which applies the effect at
+// most once — re-invoking a completed transaction (a recovered replica
+// resuming its round) replays the recorded result without a second effect.
+// Two executions with the same tagged input are therefore one effect
+// observed twice, exactly the attempt/success shape of rule 18.
+//
+// The lifting is deliberately narrower than rule 18 proper:
+//
+//   - untagged inputs (baseline executors run actions raw, outside any
+//     transaction) get no at-most-once guarantee and stay irreducible;
+//   - only the absorption forms anchored at a duplicate of the same tag are
+//     admitted — never the Λ/compaction form, so events of undoable actions
+//     are still never reordered relative to other actions' events;
+//   - a completion stamped with an attribution annotation (the environment
+//     stamps every completion with the tagged input it resolved) only binds
+//     when the annotation matches the tag, so a duplicate of round r cannot
+//     absorb by stealing round r′'s completion and stranding its start.
+func replayApplies(reg *action.Registry, a action.Name, iv action.Value) bool {
+	if k, ok := reg.Kind(a); !ok || k != action.KindUndoable {
+		return false
+	}
+	_, id, _ := action.SplitTag(iv)
+	return id != ""
+}
+
+// replayBinds reports whether a completion event may serve as an execution
+// completion of the tagged input iv under the replay lifting: unannotated
+// completions (synthetic histories) bind freely, annotated ones only to
+// their own tag.
+func replayBinds(c event.Event, iv action.Value) bool {
+	return c.Annotation == "" || c.Annotation == string(iv)
+}
+
 // Steps enumerates every single-step reduction of h under rules 18–20,
 // deduplicated by the formal content of the result. The enumeration is
 // deterministic. Intended for the exhaustive engine and for tests; the
@@ -100,8 +136,12 @@ func (r removeSet) has(i int) bool {
 
 // spliceAbsorb builds the result of an absorption rewrite (rules 18/20):
 // the window h[ws:we+1] is replaced by junk • S(a,iv) C(a,ov), where junk is
-// the window minus the events at the removed and success indices.
-func spliceAbsorb(h event.History, ws, we int, remove removeSet, a action.Name, iv, ov action.Value) event.History {
+// the window minus the events at the removed and success indices. The
+// re-emitted completion keeps the surviving completion's attribution
+// annotation (ann): the replay lifting binds completions by tag, and
+// stripping the stamp mid-normalization would let a later rewrite of a
+// sibling tag bind the survivor through the unannotated fallback.
+func spliceAbsorb(h event.History, ws, we int, remove removeSet, a action.Name, iv, ov action.Value, ann string) event.History {
 	out := make(event.History, 0, len(h)-len(remove)+2)
 	out = append(out, h[:ws]...)
 	ri := 0
@@ -112,7 +152,7 @@ func spliceAbsorb(h event.History, ws, we int, remove removeSet, a action.Name, 
 		}
 		out = append(out, h[i])
 	}
-	out = append(out, event.S(a, iv), event.C(a, ov))
+	out = append(out, event.S(a, iv), event.C(a, ov).WithAnnotation(ann))
 	out = append(out, h[we+1:]...)
 	return out
 }
@@ -125,6 +165,10 @@ func spliceAbsorb(h event.History, ws, we int, remove removeSet, a action.Name, 
 //
 // Rule 20 adds the constraint (aᵘ,iv) ∉ h′ — the commit must not overlap
 // the action it commits.
+//
+// Executions of undoable actions with round-tagged inputs participate in
+// rule 18 through the §5.2 idempotence lifting (see replayApplies), in the
+// absorption forms only.
 func stepsRule18and20(reg *action.Registry, h event.History, add func(Step)) {
 	n := len(h)
 	for l := 0; l < n; l++ {
@@ -135,11 +179,17 @@ func stepsRule18and20(reg *action.Registry, h event.History, add func(Step)) {
 		a, ov := c.Action, c.Value
 		base, kind := action.Base(a)
 		var rule Rule
+		replay := false
 		switch {
 		case rule18Applies(reg, a):
 			rule = Rule18
 		case kind == action.KindCommit && reg.IsUndoable(base):
 			rule = Rule20
+		case reg.IsUndoable(a):
+			// Candidate for the §5.2 replay lifting; the per-start tag
+			// check happens below once iv is known.
+			rule = Rule18
+			replay = true
 		default:
 			continue
 		}
@@ -152,6 +202,9 @@ func stepsRule18and20(reg *action.Registry, h event.History, add func(Step)) {
 				continue
 			}
 			iv := s.Value
+			if replay && (!replayApplies(reg, a, iv) || !replayBinds(c, iv)) {
+				continue
+			}
 
 			commitConflict := func(junkHas func(int) bool) bool {
 				if rule != Rule20 {
@@ -169,7 +222,9 @@ func stepsRule18and20(reg *action.Registry, h event.History, add func(Step)) {
 
 			// Case Λ: the ?-part matches the empty history. Window [ws..l]
 			// for any ws ≤ k; the rewrite reorders junk before the pair.
-			for ws := 0; ws <= k; ws++ {
+			// The replay lifting excludes this form: it has no duplicate
+			// anchor and would move undoable events.
+			for ws := 0; !replay && ws <= k; ws++ {
 				remove := rm(k, l)
 				junkHas := func(i int) bool { return i >= ws && i <= l && !remove.has(i) }
 				if commitConflict(junkHas) {
@@ -178,7 +233,7 @@ func stepsRule18and20(reg *action.Registry, h event.History, add func(Step)) {
 				add(Step{
 					Rule:   rule,
 					Desc:   fmt.Sprintf("%v: compact [%s,%s,%s] at %d..%d", rule, a, action.Display(iv), action.Display(ov), ws, l),
-					Result: spliceAbsorb(h, ws, l, remove, a, iv, ov),
+					Result: spliceAbsorb(h, ws, l, remove, a, iv, ov, c.Annotation),
 				})
 			}
 
@@ -195,7 +250,7 @@ func stepsRule18and20(reg *action.Registry, h event.History, add func(Step)) {
 					add(Step{
 						Rule:   rule,
 						Desc:   fmt.Sprintf("%v: absorb attempt S@%d into success %d..%d", rule, i, k, l),
-						Result: spliceAbsorb(h, i, l, remove, a, iv, ov),
+						Result: spliceAbsorb(h, i, l, remove, a, iv, ov, c.Annotation),
 					})
 				}
 				// Attempt start and completion; the pattern shares ov
@@ -203,6 +258,9 @@ func stepsRule18and20(reg *action.Registry, h event.History, add func(Step)) {
 				// completion value must equal ov.
 				for j := i + 1; j < l; j++ {
 					if j == k || !h[j].Equal(event.C(a, ov)) {
+						continue
+					}
+					if replay && !replayBinds(h[j], iv) {
 						continue
 					}
 					remove := rm(i, j, k, l)
@@ -213,7 +271,7 @@ func stepsRule18and20(reg *action.Registry, h event.History, add func(Step)) {
 					add(Step{
 						Rule:   rule,
 						Desc:   fmt.Sprintf("%v: absorb attempt S@%d,C@%d into success %d..%d", rule, i, j, k, l),
-						Result: spliceAbsorb(h, i, l, remove, a, iv, ov),
+						Result: spliceAbsorb(h, i, l, remove, a, iv, ov, c.Annotation),
 					})
 				}
 			}

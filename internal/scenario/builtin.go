@@ -55,7 +55,7 @@ func init() {
 			SuspectAt(time.Millisecond, r0).
 			ClientSuspectAt(time.Millisecond, r0).
 			HealAt(8*time.Millisecond).
-			RecoverAt(9*time.Millisecond, r0),
+			UnsuspectAt(9*time.Millisecond, r0),
 		Settle: 20 * time.Millisecond,
 	})
 
@@ -70,9 +70,9 @@ func init() {
 		Plan: NewPlan().
 			DelayStormAt(500*time.Microsecond, 4*time.Millisecond, 24).
 			SuspectAt(time.Millisecond, r0).
-			RecoverAt(1500*time.Microsecond, r0).
+			UnsuspectAt(1500*time.Microsecond, r0).
 			SuspectAt(3500*time.Microsecond, r0).
-			RecoverAt(4*time.Millisecond, r0),
+			UnsuspectAt(4*time.Millisecond, r0),
 		Settle: 20 * time.Millisecond,
 	})
 
@@ -153,7 +153,7 @@ func init() {
 	splitPulse := NewPlan().
 		SuspectAt(time.Millisecond, r0).
 		ClientSuspectAt(time.Millisecond, r0).
-		RecoverAt(9*time.Millisecond, r0)
+		UnsuspectAt(9*time.Millisecond, r0)
 	MustRegister(Scenario{
 		Name:        "shard-split-brain",
 		Description: "owners of 2 of 4 groups partitioned mid-execution; majorities take over, heals reconcile",
@@ -174,9 +174,9 @@ func init() {
 	// drifting primary/active schedule, k-of-N.
 	stormPulse := NewPlan().
 		SuspectAt(time.Millisecond, r0).
-		RecoverAt(1500*time.Microsecond, r0).
+		UnsuspectAt(1500*time.Microsecond, r0).
 		SuspectAt(3500*time.Microsecond, r0).
-		RecoverAt(4*time.Millisecond, r0)
+		UnsuspectAt(4*time.Millisecond, r0)
 	MustRegister(Scenario{
 		Name:        "shard-storm",
 		Description: "24× delay storm over 2 of 4 groups with suspicion pulses inside the window",
@@ -188,6 +188,39 @@ func init() {
 			OnShard(1, stormPulse).
 			OnShard(3, stormPulse),
 		Settle: 20 * time.Millisecond,
+	})
+
+	// restart-minority: the durable-state plane's centerpiece — the
+	// round-1 owner crashes mid-execution (its CT acceptor vote and any
+	// applied effect already on stable storage), the cleaner side takes
+	// over, and the crashed replica later restarts from its log. The
+	// restarted replica must re-fold — not re-execute — its effect log
+	// (the duplicate-replay audit checks exactly that), and agreement
+	// must still hold with the revived acceptor back in the quorum.
+	MustRegister(Scenario{
+		Name:        "restart-minority",
+		Description: "owner crashes mid-execution, then restarts from stable storage; effects replay exactly once",
+		Consensus:   core.ConsensusCT,
+		Durable:     true,
+		Failures:    []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		Plan: NewPlan().
+			CrashAt(2*time.Millisecond, 0).
+			RestartAt(6*time.Millisecond, 0).
+			UnsuspectAt(7*time.Millisecond, r0),
+		Settle: 20 * time.Millisecond,
+	})
+
+	// restart-random: the generator's crash→restart schedule class —
+	// every seed draws crashes that later revive from stable storage, on
+	// top of the usual pulses, storms, and cuts.
+	MustRegister(Scenario{
+		Name:         "restart-random",
+		Description:  "seeded random fault schedules with crash→restart pairs over stable storage",
+		Consensus:    core.ConsensusCT,
+		Durable:      true,
+		Failures:     []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		RandomFaults: &RandomOptions{Ops: 4, Restarts: true},
+		Settle:       20 * time.Millisecond,
 	})
 
 	// random-faults: every seed draws its own fault schedule from the
@@ -347,7 +380,7 @@ func init() {
 				t += time.Duration(1+i) * time.Millisecond
 				plan.SuspectAt(t, r0)
 				t += 500 * time.Microsecond
-				plan.RecoverAt(t, r0)
+				plan.UnsuspectAt(t, r0)
 			}
 			sc.Plan = plan
 		}

@@ -33,13 +33,25 @@ type Target interface {
 	Clock() vclock.Clock
 	// Network exposes the link fault plane.
 	Network() *simnet.Network
-	// CrashServer crashes replica i (crash-stop, permanent).
+	// CrashServer crashes replica i (crash-stop; permanent unless the
+	// target also implements Restarter and the plan restarts it).
 	CrashServer(i int)
 	// SuspectEverywhere injects or clears a suspicion of target at every
 	// replica's scripted detector.
 	SuspectEverywhere(target simnet.ProcessID, v bool)
 	// ClientSuspect injects or clears a suspicion at the client's detector.
 	ClientSuspect(target simnet.ProcessID, v bool)
+}
+
+// Restarter is the optional crash-recovery surface of a target: reviving a
+// crashed replica from stable storage (core.Cluster implements it; the
+// baselines, which have no durable state, do not). RestartServer reports
+// whether a restart actually happened — false when replica i never
+// crashed (RestartAt on a live replica is a no-op, mirroring the
+// idempotence of Crash) or when the deployment has no stable storage to
+// recover from.
+type Restarter interface {
+	RestartServer(i int) bool
 }
 
 // Sharded is the additional fault surface of a sharded deployment
@@ -157,13 +169,44 @@ func (p *Plan) ClientSuspectAt(at time.Duration, target simnet.ProcessID) *Plan 
 	})
 }
 
-// RecoverAt clears suspicions of target everywhere — replicas and client —
-// at the given virtual time, ending a false-suspicion pulse.
-func (p *Plan) RecoverAt(at time.Duration, target simnet.ProcessID) *Plan {
-	return p.add(at, fmt.Sprintf("recover %s", target), func(t Target) {
+// UnsuspectAt clears suspicions of target everywhere — replicas and client
+// — at the given virtual time, ending a false-suspicion pulse. It touches
+// detectors only: a crashed process stays crashed (and scripted detectors
+// keep suspecting it via strong completeness). Reviving a crashed replica
+// is RestartAt's job — the two were once conflated under the name
+// "RecoverAt", which read as if it brought processes back.
+func (p *Plan) UnsuspectAt(at time.Duration, target simnet.ProcessID) *Plan {
+	return p.add(at, fmt.Sprintf("unsuspect %s", target), func(t Target) {
 		eachGroup(t, func(g Target) {
 			g.SuspectEverywhere(target, false)
 			g.ClientSuspect(target, false)
+		})
+	})
+}
+
+// RecoverAt is the deprecated name of UnsuspectAt, kept for existing
+// plans.
+//
+// Deprecated: use UnsuspectAt, which says what the op does (it clears
+// suspicions; it does not revive a crashed process — see RestartAt).
+func (p *Plan) RecoverAt(at time.Duration, target simnet.ProcessID) *Plan {
+	return p.UnsuspectAt(at, target)
+}
+
+// RestartAt revives crashed replica i at the given virtual time, on targets
+// that support it (see Restarter): the replica's endpoints reopen and a
+// fresh incarnation recovers its durable state from the write-ahead log.
+// On a never-crashed replica the op is a no-op (the target's contract), so
+// a plan may schedule a restart without proving the crash fired first. On
+// targets without a restart surface — the baselines — the op does nothing.
+// On a sharded target the restart, like CrashAt, is correlated: replica i
+// of every group restarts at that instant.
+func (p *Plan) RestartAt(at time.Duration, replica int) *Plan {
+	return p.add(at, fmt.Sprintf("restart replica %d", replica), func(t Target) {
+		eachGroup(t, func(g Target) {
+			if r, ok := g.(Restarter); ok {
+				r.RestartServer(replica)
+			}
 		})
 	})
 }

@@ -26,6 +26,13 @@ type RandomOptions struct {
 	Shards int
 	// MaxStormFactor bounds delay-storm multipliers (default 16).
 	MaxStormFactor float64
+	// Restarts pairs every drawn crash with a later restart inside the
+	// horizon — the crash→restart schedule class. Meaningful only when the
+	// scenario deploys stable storage (Scenario.Durable): on an in-memory
+	// deployment RestartAt is a no-op and the crash stays permanent. A
+	// restarted replica still counts against the crash budget, so the
+	// minority guard stays conservative even before its restart fires.
+	Restarts bool
 }
 
 func (o RandomOptions) withDefaults() RandomOptions {
@@ -87,7 +94,18 @@ func (p *Plan) Random(seed int64, opt RandomOptions) *Plan {
 				r = (r + 1) % opt.Replicas
 			}
 			crashed[g][r] = true
-			sub.CrashAt(at(0.8), r)
+			ct := at(0.8)
+			sub.CrashAt(ct, r)
+			if opt.Restarts {
+				// Revive strictly inside the horizon: at least a quarter of
+				// the remaining window after the crash, at most three
+				// quarters, so the replica is verifiably down for a while
+				// and verifiably back before settle. The replica stays in
+				// the crash budget (see Restarts), so the guard holds.
+				gap := opt.Horizon - ct
+				rt := ct + gap/4 + time.Duration(rng.Int63n(int64(gap/2)+1))
+				sub.RestartAt(rt, r)
+			}
 		case kind == 1:
 			// False-suspicion pulse: replicas (and sometimes the client)
 			// wrongly suspect a peer for a window, then recover.
@@ -98,7 +116,7 @@ func (p *Plan) Random(seed int64, opt RandomOptions) *Plan {
 			if rng.Intn(2) == 0 {
 				sub.ClientSuspectAt(start, r)
 			}
-			sub.RecoverAt(start+width, r)
+			sub.UnsuspectAt(start+width, r)
 		case kind == 2:
 			// Delay storm window.
 			start := at(0.6)
@@ -131,7 +149,7 @@ func (p *Plan) Random(seed int64, opt RandomOptions) *Plan {
 			sub.SuspectAt(start, rid)
 			sub.ClientSuspectAt(start, rid)
 			sub.HealAt(start + width)
-			sub.RecoverAt(start+width+opt.Horizon/20, rid)
+			sub.UnsuspectAt(start+width+opt.Horizon/20, rid)
 		}
 		if opt.Shards > 1 {
 			p.OnShard(g, sub)

@@ -92,6 +92,21 @@ type Scenario struct {
 	// queueing.
 	Costs core.CostModel
 
+	// Durable gives every replica stable storage (internal/wal): servers
+	// write-ahead request sightings, round claims, and finishes, CT
+	// acceptors their estimates and decisions, and Plan.RestartAt can
+	// revive a crashed replica from its log. Without it a crash is
+	// permanent (the paper's §5.2 no-recovery model) and RestartAt is a
+	// no-op. Baselines and the sharded runtime ignore it — they have no
+	// restart surface.
+	Durable bool
+	// WALSync is the virtual-time sync tariff charged per WAL append when
+	// Durable is set. Zero keeps stable storage schedule-invisible, so a
+	// durable run with no restarts is byte-identical to its in-memory
+	// twin; a positive tariff prices the paper's stable-storage writes
+	// and shifts the whole schedule (T12's cost curve).
+	WALSync time.Duration
+
 	// Accounts and Opening size the bank the replicas serve (defaults 1
 	// account, 100 opening balance).
 	Accounts int
@@ -225,6 +240,18 @@ type Outcome struct {
 	// Cancels counts completed cancellation actions (the protocol's
 	// cleanup work).
 	Cancels int
+	// ReplayDuplicates counts workload (action, input) pairs whose side
+	// effect is in force more than once at the settle instant — the
+	// duplicate-replay audit. A restarted replica that re-applied an
+	// effect it had already applied before crashing shows up here even
+	// when the client-visible verdicts all pass.
+	ReplayDuplicates int
+
+	// WALAppends and WALSyncTime report stable-storage activity for
+	// durable runs (zero otherwise): records appended across all logs,
+	// and total virtual time spent in sync tariffs.
+	WALAppends  int
+	WALSyncTime time.Duration
 
 	// Requests, Attempts, and Messages are the run's volume counters.
 	Requests int
@@ -409,6 +436,8 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request, scratch *ru
 		Setup:     bank.Setup(),
 		Batch:     sc.Batch,
 		Costs:     sc.Costs,
+		Durable:   sc.Durable,
+		WALSync:   sc.WALSync,
 
 		HeartbeatInterval: sc.HeartbeatInterval,
 	})
@@ -443,6 +472,8 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request, scratch *ru
 	msgs := c.Net.TotalSent()
 	h := c.Observer.History()
 	effects := auditEffects(reqs, c.Env.InForceTotal)
+	dups := auditDuplicates(reqs, c.Env.InForceTotal)
+	wstats := c.WALStats()
 	// Stop the cluster while still attached: once this goroutine Exits, a
 	// live cluster's periodic loops (cleaners, heartbeats) would free-run
 	// on the virtual clock at CPU speed, racing the verdict computation
@@ -469,6 +500,9 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request, scratch *ru
 	o.Messages = msgs
 	o.SimTime = simTime
 	o.EffectsInForce = effects
+	o.ReplayDuplicates = dups
+	o.WALAppends = wstats.Appends
+	o.WALSyncTime = wstats.SyncTime
 	return o
 }
 
@@ -567,6 +601,31 @@ func auditEffects(reqs []action.Request, inForce func(action.Name, action.Value)
 		}
 	}
 	return total
+}
+
+// auditDuplicates counts the workload's distinct (action, input) pairs
+// whose effect is in force more than once — each such pair is a broken R2:
+// some replica applied the effect a second time without cancelling the
+// first. This is the restart plane's sharpest probe: a replica that
+// replays its log wrongly (re-executing instead of re-folding) duplicates
+// effects that the client-visible reply path never inspects.
+func auditDuplicates(reqs []action.Request, inForce func(action.Name, action.Value) int) int {
+	type pair struct {
+		a  action.Name
+		iv action.Value
+	}
+	counted := make(map[pair]bool, len(reqs))
+	dups := 0
+	for _, r := range reqs {
+		p := pair{r.Action, r.Input}
+		if !counted[p] {
+			counted[p] = true
+			if inForce(r.Action, r.Input) > 1 {
+				dups++
+			}
+		}
+	}
+	return dups
 }
 
 // netConfig clones the scenario's network config for one seeded run.

@@ -16,7 +16,7 @@ func TestPlanBuilderAndString(t *testing.T) {
 		HealAt(5*time.Millisecond).
 		DelayStormAt(3*time.Millisecond, time.Millisecond, 10).
 		SuspectAt(time.Millisecond, "replica-0").
-		RecoverAt(4*time.Millisecond, "replica-0")
+		UnsuspectAt(4*time.Millisecond, "replica-0")
 
 	// DelayStormAt contributes two ops (start and end of the window).
 	if got := len(p.Ops()); got != 7 {
@@ -26,7 +26,7 @@ func TestPlanBuilderAndString(t *testing.T) {
 		t.Errorf("horizon = %v, want 5ms", got)
 	}
 	s := p.String()
-	for _, want := range []string{"crash replica 0", "partition {replica-0} | {replica-1}", "heal", "delay storm ×10", "suspect replica-0", "recover replica-0"} {
+	for _, want := range []string{"crash replica 0", "partition {replica-0} | {replica-1}", "heal", "delay storm ×10", "suspect replica-0", "unsuspect replica-0"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("plan string missing %q:\n%s", want, s)
 		}

@@ -35,6 +35,13 @@ type VerdictDistribution struct {
 	// networks' sends over the whole sweep.
 	Attempts int
 	Messages int
+	// ReplayDuplicates counts runs whose duplicate-replay audit found any
+	// (action, input) pair in force more than once — for a correct
+	// protocol this is zero even under crash→restart schedules.
+	ReplayDuplicates int
+	// WALAppends totals stable-storage appends over the sweep (zero for
+	// non-durable scenarios).
+	WALAppends int
 	// Failing lists the seeds whose run was not x-able or went
 	// unanswered — the inputs a schedule-shrinking pass starts from.
 	Failing []int64
@@ -68,6 +75,10 @@ func (d VerdictDistribution) String() string {
 	if d.Runs > 0 {
 		fmt.Fprintf(&b, "\n  mean attempts %.2f  mean msgs %.1f",
 			float64(d.Attempts)/float64(d.Runs), float64(d.Messages)/float64(d.Runs))
+	}
+	if d.WALAppends > 0 || d.ReplayDuplicates > 0 {
+		fmt.Fprintf(&b, "\n  wal appends %d  duplicate-replay runs %d",
+			d.WALAppends, d.ReplayDuplicates)
 	}
 	if len(d.Failing) > 0 {
 		n := len(d.Failing)
@@ -222,6 +233,10 @@ func SweepWithOptions(sc Scenario, seeds []int64, opts SweepOptions) VerdictDist
 		d.Executions[o.Executions]++
 		d.Attempts += o.Attempts
 		d.Messages += o.Messages
+		if o.ReplayDuplicates > 0 {
+			d.ReplayDuplicates++
+		}
+		d.WALAppends += o.WALAppends
 		if !o.XAble || !o.Replied {
 			d.Failing = append(d.Failing, o.Seed)
 		}

@@ -349,10 +349,11 @@ func (n *Network) Register(id ProcessID) *Endpoint {
 
 // Crash marks a process as crashed: its outstanding and future messages are
 // dropped, and its pending receives unblock with ok=false. Crash is
-// permanent (§5.2: no recovery), idempotent (crashing a crashed process is
-// a no-op), and safe for process IDs that were never registered (the crash
-// is recorded, so a send to that ID — were it ever registered — stays
-// dropped).
+// idempotent (crashing a crashed process is a no-op) and safe for process
+// IDs that were never registered (the crash is recorded, so a send to that
+// ID — were it ever registered — stays dropped). A crash lasts until
+// Restart revives the process; without one it is permanent (§5.2's
+// no-recovery model is a plan that never restarts).
 func (n *Network) Crash(id ProcessID) {
 	n.mu.Lock()
 	ep := n.byName[id]
@@ -372,6 +373,44 @@ func (n *Network) Crash(id ProcessID) {
 	ep.clearLocked()
 	ep.cond.Broadcast()
 	ep.mu.Unlock()
+}
+
+// Restart revives a crashed process: sends to it flow again and a fresh
+// incarnation can attach to the reopened endpoint. The endpoint comes back
+// empty — messages dropped while crashed stay lost, as they would on a real
+// host whose kernel buffers died with it — and with a fresh cond, so
+// receivers of the dead incarnation still unwinding from Crash's wake can
+// never steal the new incarnation's messages. Per-sender delay streams are
+// untouched: they advance only on delivered draws, so a crash/restart pair
+// perturbs no other link's schedule. Restarting a process that never
+// crashed (or was never registered) is a no-op returning false, the mirror
+// of Crash's idempotence. Callers must ensure the dead incarnation's
+// goroutines have observed the crash (drain the clock) before restarting.
+func (n *Network) Restart(id ProcessID) bool {
+	n.mu.Lock()
+	ep := n.byName[id]
+	if ep == nil {
+		if !n.crashedNames[id] {
+			n.mu.Unlock()
+			return false
+		}
+		delete(n.crashedNames, id)
+		n.mu.Unlock()
+		return true
+	}
+	if !n.crashed[ep.idx] {
+		n.mu.Unlock()
+		return false
+	}
+	n.crashed[ep.idx] = false
+	clk := n.clk
+	n.mu.Unlock()
+	ep.mu.Lock()
+	ep.closed = false
+	ep.clearLocked()
+	ep.cond = clk.NewCond(&ep.mu)
+	ep.mu.Unlock()
+	return true
 }
 
 // Partition splits the network: messages between base process IDs in
@@ -552,11 +591,25 @@ func (n *Network) TotalSent() int {
 func (n *Network) Quiesce() {
 	n.clk.Enter()
 	defer n.clk.Exit()
-	n.mu.Lock()
-	for n.inflight > 0 {
-		n.idle.Wait()
+	for {
+		n.mu.Lock()
+		for n.inflight > 0 {
+			n.idle.Wait()
+		}
+		n.mu.Unlock()
+		// Broadcast wakes are scheduled events now, not instant
+		// runnability: a receiver whose delivery just landed may still be
+		// waiting its turn in the heap. Drain the current instant so every
+		// woken receiver has processed its mailbox, then re-check — the
+		// processing may have put new messages in flight.
+		n.clk.Drain()
+		n.mu.Lock()
+		settled := n.inflight == 0
+		n.mu.Unlock()
+		if settled {
+			return
+		}
 	}
-	n.mu.Unlock()
 }
 
 // delivery is one scheduled delivery event: a pooled vclock.Runner, so the

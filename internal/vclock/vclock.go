@@ -48,6 +48,14 @@ type Clock interface {
 	// released: use it around waits on synchronization that the clock
 	// does not manage, so virtual time can advance meanwhile.
 	Detached(fn func())
+	// Drain blocks until no events remain scheduled at the current
+	// instant: broadcast wakes already pushed have been delivered and
+	// their owners have run to their next blocking point. Settle-style
+	// barriers ("everything that was going to happen now has happened")
+	// call it after their own condition holds. The caller must be
+	// attached; the Real clock, whose wakes are immediate, treats it as
+	// a no-op.
+	Drain()
 	// NewCond returns a condition variable integrated with the clock:
 	// waiting releases the caller's runnability so virtual time can
 	// advance, and timed waits use clock time.
@@ -124,6 +132,7 @@ type vevent struct {
 	seq  uint64
 	w    *waiter
 	wgen uint32 // waiter generation at arming time (see waiter.gen)
+	bw   bool   // broadcast wake: w was fired by Broadcast, not a timer
 	fn   func()
 	r    Runner
 	pc   uintptr // creation site of fn's spawner, for Stop's leak audit
@@ -243,9 +252,33 @@ func (v *Virtual) pushLocked(at time.Duration, w *waiter, fn func(), r Runner, p
 		ev = new(vevent)
 	}
 	ev.at, ev.seq, ev.w, ev.fn, ev.r, ev.pc = at, v.seq, w, fn, r, pc
+	ev.bw = false
 	if w != nil {
 		ev.wgen = w.gen
 	}
+	v.heapPush(ev)
+}
+
+// pushBroadcastLocked schedules a broadcast wake for w at the current
+// instant. Broadcast pushes one per waiter, in arming order, instead of
+// making every waiter runnable at once: the pump then delivers the wakes
+// one at a time, so sibling goroutines woken by one broadcast run in a
+// deterministic order rather than racing under the OS scheduler (whose
+// interleaving varies with worker count). Events come from the same pool
+// as timers, so a broadcast allocates nothing in steady state.
+func (v *Virtual) pushBroadcastLocked(w *waiter) {
+	v.seq++
+	var ev *vevent
+	if n := len(v.evfree); n > 0 {
+		ev = v.evfree[n-1]
+		v.evfree[n-1] = nil
+		v.evfree = v.evfree[:n-1]
+	} else {
+		ev = new(vevent)
+	}
+	ev.at, ev.seq, ev.w, ev.fn, ev.r, ev.pc = v.now, v.seq, w, nil, nil, 0
+	ev.wgen = w.gen
+	ev.bw = true
 	v.heapPush(ev)
 }
 
@@ -290,11 +323,14 @@ func (v *Virtual) addBusyLocked(d int) {
 func (v *Virtual) pumpLocked() {
 	for v.busy == 0 && len(v.pq) > 0 {
 		ev := v.heapPop()
-		at, w, wgen, fn, r, pc := ev.at, ev.w, ev.wgen, ev.fn, ev.r, ev.pc
-		ev.w, ev.fn, ev.r, ev.pc = nil, nil, nil, 0
+		at, w, wgen, bw, fn, r, pc := ev.at, ev.w, ev.wgen, ev.bw, ev.fn, ev.r, ev.pc
+		ev.w, ev.fn, ev.r, ev.pc, ev.bw = nil, nil, nil, 0, false
 		v.evfree = append(v.evfree, ev)
-		if w != nil && (w.fired || w.gen != wgen) {
-			continue // woken by a broadcast, or the waiter was recycled
+		if w != nil && w.gen != wgen {
+			continue // the waiter was recycled; the event is stale
+		}
+		if w != nil && !bw && w.fired {
+			continue // timer for a waiter already woken by a broadcast
 		}
 		if at > v.now {
 			v.now = at
@@ -308,10 +344,14 @@ func (v *Virtual) pumpLocked() {
 			go v.runAdoptedRunner(r) //xvet:ok baregoroutine pooled-Runner spawn, adopted into the ledger like runAdopted
 			return
 		}
-		w.fired = true
-		w.timedOut = true
-		if w.cond != nil {
-			w.cond.removeLocked(w)
+		if !bw {
+			// Timer expiry: mark and detach from the cond's list. Broadcast
+			// wakes (bw) did both at broadcast time; timedOut stays false.
+			w.fired = true
+			w.timedOut = true
+			if w.cond != nil {
+				w.cond.removeLocked(w)
+			}
 		}
 		w.ch <- struct{}{}
 		return
@@ -539,6 +579,31 @@ func siteLabel(pc uintptr) string {
 	return fmt.Sprintf("%s:%d (%s)", file, line, fn.Name())
 }
 
+// Drain implements Clock. Each round sleeps zero duration — the timer
+// lands behind every event already scheduled at the current instant, so
+// by the time the caller wakes, those events have fired and their owners
+// have run until they blocked again. Rounds repeat until a scan finds
+// nothing left at ≤ now (events those owners pushed at the same instant
+// drain in the next round); stale timers left by broadcasts are popped
+// and discarded along the way.
+func (v *Virtual) Drain() {
+	for {
+		v.mu.Lock()
+		pending := false
+		for _, ev := range v.pq {
+			if ev.at <= v.now {
+				pending = true
+				break
+			}
+		}
+		v.mu.Unlock()
+		if !pending {
+			return
+		}
+		v.Sleep(0)
+	}
+}
+
 // Quiesced reports whether the clock has fully wound down: no attached
 // goroutines, none runnable, and no pending events. A deployment that has
 // been stopped reaches this state once its goroutines observe the stop and
@@ -598,17 +663,26 @@ func (c *vcond) wait(d time.Duration) bool {
 	return !timedOut
 }
 
+// Broadcast wakes all current waiters — as scheduled events at the current
+// instant, one per waiter in arming order, not all at once. Marking fired
+// here (rather than at delivery) keeps the at-most-one-wake-per-arming
+// invariant: a pending timer for a broadcast waiter is recognized as dead
+// the moment it pops. The wakes drain through the pump, so the waiters run
+// serialized in arm order; a broadcast can never make two goroutines
+// simultaneously runnable.
 func (c *vcond) Broadcast() {
 	v := c.v
 	v.mu.Lock()
 	for _, w := range c.waiters {
 		if !w.fired {
 			w.fired = true
-			v.busy++
-			w.ch <- struct{}{}
+			v.pushBroadcastLocked(w)
 		}
 	}
 	c.waiters = c.waiters[:0]
+	if v.busy == 0 {
+		v.pumpLocked()
+	}
 	v.mu.Unlock()
 }
 
@@ -656,6 +730,10 @@ func (r *Real) GoAfter(d time.Duration, fn func()) {
 // Stop implements Clock. The Real clock tracks no attachments, so there is
 // nothing to leak.
 func (r *Real) Stop() LeakReport { return LeakReport{} }
+
+// Drain implements Clock (no-op: real-time wakes are immediate, there is
+// no pending-event heap to let pass).
+func (r *Real) Drain() {}
 
 // Enter implements Clock (no-op: real time advances on its own).
 func (r *Real) Enter() {}

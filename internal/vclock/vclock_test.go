@@ -221,3 +221,148 @@ func TestGoAfterFromIdleClock(t *testing.T) {
 		t.Fatal("idle-clock GoAfter never fired")
 	}
 }
+
+// A broadcast with several waiters must wake them one at a time, in the
+// order they armed — never make siblings simultaneously runnable and let
+// the OS scheduler pick. This is the within-process send-order pin: two
+// goroutines of one node woken by the same broadcast used to race their
+// subsequent sends, so schedules could differ across worker counts. Run
+// under -race -count=5 in CI.
+func TestBroadcastWakesInArmOrder(t *testing.T) {
+	const n = 8
+	for iter := 0; iter < 25; iter++ {
+		v := NewVirtual()
+		var mu sync.Mutex
+		cond := v.NewCond(&mu)
+		var order []int
+		ready := false
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			i := i
+			v.Go(func() {
+				defer wg.Done()
+				// Distinct arm instants fix the arming order; the
+				// broadcast later wakes everyone at one instant.
+				v.Sleep(time.Duration(i+1) * time.Microsecond)
+				mu.Lock()
+				for !ready {
+					cond.Wait()
+				}
+				order = append(order, i)
+				mu.Unlock()
+			})
+		}
+		v.Go(func() {
+			v.Sleep(time.Duration(n+2) * time.Microsecond)
+			mu.Lock()
+			ready = true
+			mu.Unlock()
+			cond.Broadcast()
+		})
+		wg.Wait()
+		for i := range order {
+			if order[i] != i {
+				t.Fatalf("iter %d: wake order = %v, want arm order 0..%d", iter, order, n-1)
+			}
+		}
+	}
+}
+
+// Timed waiters broadcast at one instant must also wake in arm order, and
+// their abandoned timers must neither wake them twice nor advance the
+// clock.
+func TestBroadcastTimedWaitersArmOrder(t *testing.T) {
+	const n = 6
+	v := NewVirtual()
+	var mu sync.Mutex
+	cond := v.NewCond(&mu)
+	var order []int
+	ready := false
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		i := i
+		v.Go(func() {
+			defer wg.Done()
+			v.Sleep(time.Duration(i+1) * time.Microsecond)
+			mu.Lock()
+			for !ready {
+				if !cond.WaitTimeout(time.Hour) {
+					t.Errorf("waiter %d timed out", i)
+					break
+				}
+			}
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	v.Go(func() {
+		v.Sleep(time.Duration(n+2) * time.Microsecond)
+		mu.Lock()
+		ready = true
+		mu.Unlock()
+		cond.Broadcast()
+	})
+	wg.Wait()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("wake order = %v, want arm order 0..%d", order, n-1)
+		}
+	}
+	if v.Now() >= time.Hour {
+		t.Errorf("Now = %v: an abandoned timer advanced the clock", v.Now())
+	}
+}
+
+// Drain must let every same-instant wake already in the heap run to its
+// next blocking point before returning, and must not wait for events at
+// future instants.
+func TestDrainDeliversPendingWakes(t *testing.T) {
+	v := NewVirtual()
+	var mu sync.Mutex
+	cond := v.NewCond(&mu)
+	woken := 0
+	ready := false
+	const n = 4
+	var armed sync.WaitGroup
+	for i := 0; i < n; i++ {
+		armed.Add(1)
+		v.Go(func() {
+			v.Enter()
+			mu.Lock()
+			armed.Done()
+			for !ready {
+				cond.Wait()
+			}
+			woken++
+			mu.Unlock()
+			v.Exit()
+		})
+	}
+	armed.Wait()
+	done := make(chan struct{})
+	v.Go(func() {
+		v.Sleep(time.Millisecond)
+		// A future timer must not block Drain.
+		v.GoAfter(time.Hour, func() {})
+		mu.Lock()
+		ready = true
+		mu.Unlock()
+		cond.Broadcast()
+		v.Drain()
+		mu.Lock()
+		got := woken
+		mu.Unlock()
+		if got != n {
+			t.Errorf("after Drain, %d of %d waiters had run", got, n)
+		}
+		// Checked here, before the teardown quiescence fires the hour
+		// timer: Drain itself must not have waited for it.
+		if now := v.Now(); now >= time.Hour {
+			t.Errorf("Now = %v: Drain waited for a future event", now)
+		}
+		close(done)
+	})
+	<-done
+}

@@ -1,0 +1,164 @@
+// Package wal simulates stable storage: per-process write-ahead logs whose
+// sync latency is charged on the virtual clock.
+//
+// The paper's failure model (§2) lets processes crash and recover, and its
+// hardest demands — replay effects idempotently, never twice — only bite
+// when a replica comes back with its memory gone. This package is the
+// "disk" that survives the crash: a Store models the deployment's stable
+// storage, one Log per process, and a crash (which tears down the
+// process's goroutines and in-memory state) leaves the Log untouched. A
+// restarted process replays its Log to rebuild exactly the state it had
+// promised to remember.
+//
+// Durability has a price, and the price is the point: every Append charges
+// a configurable sync latency on the clock (a CostModel-style tariff, the
+// fsync of the simulation), so experiments can plot what exactly-once
+// recovery costs against how often it is needed (EXPERIMENTS.md T12). A
+// zero tariff appends without touching the schedule at all, so deployments
+// that never restart are byte-identical with the WAL on or off.
+//
+// Appends are deliberately generic — flat Record fields, no imports from
+// the protocol layers — so consensus acceptors and protocol servers share
+// one log format and one replay discipline (DESIGN.md §9).
+package wal
+
+import (
+	"sync"
+	"time"
+
+	"xability/internal/vclock"
+)
+
+// Record is one durable log entry. The fields are a flat superset of what
+// the protocol layers persist; each layer uses the subset it needs and
+// tags entries with its own Kind. Flat fields (instead of a boxed
+// per-layer payload) keep Append allocation-free on the hot path: strings
+// slot into Key/Str without boxing, and Val is reserved for values that
+// are interfaces already upstream (consensus estimates and decisions).
+type Record struct {
+	// Kind tags the record type; namespacing is by convention per writer
+	// ("est", "dec" for consensus; "req", "round", "fin" for the server).
+	Kind string
+	// Key is the primary key: a request ID or a consensus instance ID.
+	Key string
+	// Space subdivides Key (the consensus key space: owner/result/outcome).
+	Space uint8
+	// Round is the instance round of the keyed entry.
+	Round int32
+	// Aux is a secondary round — e.g. the adoption timestamp an acceptor
+	// must remember alongside its estimate.
+	Aux int32
+	// Str is a string payload (a result value, a client process ID).
+	Str string
+	// Val is a boxed payload for values that already travel as interfaces.
+	Val any
+}
+
+// Config tunes the store's tariff.
+type Config struct {
+	// SyncLatency is charged on the clock for every Append — the cost of
+	// forcing the entry to stable storage before acting on it. Zero (the
+	// default) makes appends free and schedule-invisible: runs with and
+	// without an idle WAL stay byte-identical.
+	SyncLatency time.Duration
+}
+
+// Stats aggregates the store's activity for cost-curve experiments.
+type Stats struct {
+	// Appends counts records forced to stable storage, over all logs.
+	Appends int
+	// SyncTime is the total virtual time spent in sync waits.
+	SyncTime time.Duration
+}
+
+// Store models one deployment's stable storage: a set of per-process logs
+// that survive process crashes. Logs are keyed by process ID string; a
+// restarted process asks for its log by the same name and finds its
+// pre-crash records.
+type Store struct {
+	clk vclock.Clock
+	cfg Config
+
+	mu      sync.Mutex
+	logs    map[string]*Log
+	appends int
+	synced  time.Duration
+}
+
+// NewStore builds the deployment's stable storage on the given clock.
+func NewStore(clk vclock.Clock, cfg Config) *Store {
+	return &Store{clk: clk, cfg: cfg, logs: make(map[string]*Log)}
+}
+
+// Log returns the named process's log, creating it empty on first use.
+// Calling Log again with the same name — before or after a crash —
+// returns the same log: the disk outlives the process.
+func (s *Store) Log(proc string) *Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.logs[proc]
+	if !ok {
+		l = &Log{store: s, proc: proc}
+		s.logs[proc] = l
+	}
+	return l
+}
+
+// SyncLatency reports the configured per-append tariff.
+func (s *Store) SyncLatency() time.Duration { return s.cfg.SyncLatency }
+
+// Stats returns the store's aggregate activity.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Appends: s.appends, SyncTime: s.synced}
+}
+
+// Log is one process's write-ahead log.
+type Log struct {
+	store *Store
+	proc  string
+
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Append forces one record to stable storage, charging the store's sync
+// latency on the clock. The caller must not hold any lock that other
+// clock-attached goroutines block on: the sync wait is a scheduled event,
+// and a goroutine blocked on a caller-held mutex counts as runnable to the
+// clock, which would stall virtual time forever. Append itself takes only
+// the log's internal lock, and releases it before sleeping.
+func (l *Log) Append(r Record) {
+	l.mu.Lock()
+	l.recs = append(l.recs, r)
+	l.mu.Unlock()
+	s := l.store
+	d := s.cfg.SyncLatency
+	s.mu.Lock()
+	s.appends++
+	s.synced += d
+	s.mu.Unlock()
+	if d > 0 {
+		s.clk.Sleep(d)
+	}
+}
+
+// Len reports the number of records in the log.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Replay calls fn for every record in append order. It snapshots under the
+// log lock and replays outside it, so fn may append (recovery code that
+// re-persists is safe, if unusual).
+func (l *Log) Replay(fn func(Record)) {
+	l.mu.Lock()
+	recs := append([]Record(nil), l.recs...)
+	l.mu.Unlock()
+	for _, r := range recs {
+		fn(r)
+	}
+}
