@@ -1,12 +1,14 @@
 // Command xbench regenerates the experiment tables of EXPERIMENTS.md
-// (T1–T4, T3d, T6, T7, T9, T10, T11, T12; T5 is produced by
+// (T1–T4, T3d, T6, T7, T9, T10, T11, T12, T13; T5 is produced by
 // examples/threetier). Each table validates one of the paper's claims —
 // see DESIGN.md §3 for the claim-to-table map. T9 is the shard-scaling
 // table; T10 is the sweep-throughput table that tracks the repo's perf
 // trajectory; T11 is the saturation-curve table of the throughput plane
 // (batching and pipelining under open-loop load); T12 is the
 // crash-recovery table of the durable-state plane (failure density with
-// restarts on/off, plus the sync-latency cost curve).
+// restarts on/off, plus the sync-latency cost curve); T13 is the
+// observability table (schedule-space coverage and metric rollups per
+// scenario — see DESIGN.md §10).
 //
 // With -json, the requested tables are additionally written to a JSON
 // file (default BENCH_6.json) with per-table wall time and allocation
@@ -79,13 +81,14 @@ func timed(rep *report, name string, f func() any) any {
 func main() {
 	var (
 		seed      = flag.Int64("seed", 1, "base seed for all experiments")
-		tables    = flag.String("tables", "1,2,3,3d,4,6,7,9,10,11,12", "comma-separated table numbers to run")
+		tables    = flag.String("tables", "1,2,3,3d,4,6,7,9,10,11,12,13", "comma-separated table numbers to run")
 		reqs      = flag.Int("requests", 200, "requests per cost measurement (T3)")
 		insts     = flag.Int("instances", 500, "consensus instances (T4)")
 		sweep     = flag.Int("sweep", 2000, "seeds per scenario sweep (T7)")
 		t3seeds   = flag.Int("t3seeds", 100, "seeds per cost-distribution row (T3d)")
 		t10seeds  = flag.Int("t10seeds", 512, "seeds per throughput row (T10; 512 matches the recorded baselines)")
 		t12seeds  = flag.Int("t12seeds", 64, "seeds per failure-density cell (T12; the sync curve uses a quarter)")
+		t13seeds  = flag.Int("t13seeds", 256, "seeds per observability row (T13)")
 		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		shardReqs = flag.Int("shard-requests", 0, "requests per shard-scaling row (T9; 0 = default)")
 		jsonOut   = flag.Bool("json", false, "also write the requested tables as JSON")
@@ -270,6 +273,19 @@ func main() {
 		for _, r := range syncRows {
 			fmt.Printf("  %-10v %-8.4f %-10.1f %-14v %-14v\n",
 				r.Sync, r.XAbleRate, r.MeanAppends, r.MeanSyncTime, r.MeanSimTime)
+		}
+		fmt.Println()
+	}
+
+	if want["13"] {
+		rows := timed(rep, "13", func() any { return exper.TableT13(*seed, *t13seeds, *workers) }).([]exper.T13Row)
+		fmt.Printf("T13 — observability: schedule-space coverage and metric rollups (%d seeds per row)\n", *t13seeds)
+		fmt.Printf("  %-18s %-8s %-9s %-11s %-9s %-12s %-12s %-12s %-12s %-12s %-12s\n",
+			"scenario", "seeds", "classes", "singletons", "tail-new", "submits p50", "announce p50", "dropped p50", "suspects p50", "lat p50", "lat max")
+		for _, r := range rows {
+			fmt.Printf("  %-18s %-8d %-9d %-11d %-9.2f %-12d %-12d %-12d %-12d %-12v %-12v\n",
+				r.Scenario, r.Seeds, r.Classes, r.Singletons, r.TailNewRate,
+				r.SubmitsP50, r.AnnounceP50, r.DroppedP50, r.SuspectP50, r.LatP50, r.LatMax)
 		}
 		fmt.Println()
 	}

@@ -37,9 +37,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"sync"
+	"time"
 
 	"xability/internal/core"
+	"xability/internal/obs"
 	"xability/internal/scenario"
 	"xability/internal/shrink"
 )
@@ -60,6 +65,14 @@ func main() {
 		shrinkOut    = flag.String("shrink-out", "", "also write the rendered minimal trace to this file")
 		shrinkSteps  = flag.Int("shrink-budget", 0, "cap the shrinker's scenario re-executions (0 = default)")
 		shrinkInline = flag.Bool("shrink-failing", false, "sweep mode: shrink failing seeds into counterexample traces")
+		shrinkJSON   = flag.String("shrink-json", "", "shrink mode: also write the machine-readable artifact (scenario, seed, kept ops, minimal schedule) to this file")
+		annotate     = flag.Bool("annotate", false, "shrink mode: append the minimal run's request timeline to the rendered trace")
+		replayFile   = flag.String("replay", "", "re-run a -shrink-json artifact and report whether the failure reproduces")
+
+		metrics     = flag.Bool("metrics", false, "run under the metrics registry (single run: print the table; sweep: fold the rollup)")
+		metricsJSON = flag.String("metrics-json", "", "single-run mode: also write the metrics snapshot as JSON to this file")
+		traceOut    = flag.String("trace", "", "write Chrome trace-event JSON: single run to this file; sweep mode re-runs failing seeds to <file>.seed<N>.json")
+		progress    = flag.Bool("progress", false, "sweep mode: print periodic one-line progress (seeds/s, completion)")
 	)
 	flag.Parse()
 	shrinkMode := false
@@ -74,6 +87,10 @@ func main() {
 			sc, _ := scenario.Get(n)
 			fmt.Printf("  %-18s %s\n", n, sc.Description)
 		}
+		return
+	}
+	if *replayFile != "" {
+		runReplay(*replayFile)
 		return
 	}
 
@@ -107,18 +124,51 @@ func main() {
 	}
 
 	if shrinkMode {
-		runShrink(sc, *shrinkSeed, *shrinkSteps, *shrinkOut)
+		runShrink(sc, *shrinkSeed, *shrinkSteps, *shrinkOut, *shrinkJSON, *annotate)
 		return
 	}
 	if *sweep > 0 {
-		runSweep(sc, *seed, *sweep, *workers, *shrinkInline, *shrinkSteps)
+		runSweep(sc, *seed, *sweep, *workers, *shrinkInline, *shrinkSteps, sweepObs{
+			metrics:  *metrics,
+			traceOut: *traceOut,
+			progress: *progress,
+		})
 		return
 	}
-	runOne(sc, *seed, *showTrace)
+	runOne(sc, *seed, *showTrace, *metrics, *metricsJSON, *traceOut)
 }
 
-func runOne(sc scenario.Scenario, seed int64, showTrace bool) {
-	o := scenario.Execute(sc, seed)
+func runOne(sc scenario.Scenario, seed int64, showTrace, metrics bool, metricsJSON, traceOut string) {
+	run := &obs.Run{}
+	if metrics || metricsJSON != "" {
+		run.Metrics = obs.NewMetrics()
+	}
+	if traceOut != "" {
+		run.Trace = obs.NewTrace(0)
+	}
+	o := scenario.ExecuteObserved(sc, seed, run)
+	if metrics {
+		fmt.Println("metrics:")
+		for _, line := range nonEmptyLines(o.Obs.String()) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	if metricsJSON != "" {
+		writeJSONFile(metricsJSON, func(w io.Writer) error {
+			j, err := o.Obs.MarshalJSON()
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(append(j, '\n'))
+			return err
+		})
+		fmt.Printf("metrics written to %s\n", metricsJSON)
+	}
+	if traceOut != "" {
+		writeJSONFile(traceOut, run.Trace.WriteJSON)
+		fmt.Printf("trace written to %s (%d events, %d dropped)\n",
+			traceOut, run.Trace.Len(), run.Trace.Dropped())
+	}
 	if showTrace {
 		fmt.Println("history:")
 		for _, e := range o.History {
@@ -169,13 +219,47 @@ func runOne(sc scenario.Scenario, seed int64, showTrace bool) {
 	fmt.Printf("x-able: %v  replied: %v\n", o.XAble, o.Replied)
 }
 
-func runSweep(sc scenario.Scenario, seed int64, n, workers int, shrinkFailing bool, budget int) {
-	d := scenario.SweepWithOptions(sc, scenario.Seeds(seed, n), scenario.SweepOptions{
+// sweepObs bundles the sweep-mode observability flags.
+type sweepObs struct {
+	metrics  bool
+	traceOut string
+	progress bool
+}
+
+func runSweep(sc scenario.Scenario, seed int64, n, workers int, shrinkFailing bool, budget int, ob sweepObs) {
+	opts := scenario.SweepOptions{
 		Workers:       workers,
 		ShrinkFailing: shrinkFailing,
 		ShrinkBudget:  budget,
-	})
+		Metrics:       ob.metrics,
+		TraceFailing:  ob.traceOut != "",
+	}
+	if ob.progress {
+		opts.Progress = progressPrinter(n)
+	}
+	start := time.Now() //xvet:ok walltime CLI-edge throughput report; the runs themselves are virtual-time
+	d := scenario.SweepWithOptions(sc, scenario.Seeds(seed, n), opts)
+	if ob.progress {
+		elapsed := time.Since(start) //xvet:ok walltime CLI-edge throughput report
+		fmt.Fprintf(os.Stderr, "sweep: %d seeds in %v (%.1f seeds/s)\n",
+			n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	}
 	fmt.Println(d)
+	// Failing-seed traces land next to the requested prefix, one file per
+	// re-run seed, in seed order.
+	traced := make([]int64, 0, len(d.Traces))
+	for seed := range d.Traces {
+		traced = append(traced, seed)
+	}
+	sort.Slice(traced, func(i, j int) bool { return traced[i] < traced[j] })
+	for _, seed := range traced {
+		path := fmt.Sprintf("%s.seed%d.json", ob.traceOut, seed)
+		if err := os.WriteFile(path, d.Traces[seed], 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "xsim: write %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("failing-seed trace written to %s\n", path)
+	}
 	// For the x-ability protocol any failing seed falsifies the paper's
 	// claim; baselines are swept for their distributions only.
 	if sc.Protocol == scenario.XAbility && (d.XAbleRate() < 1 || d.RepliedRate() < 1) {
@@ -183,8 +267,91 @@ func runSweep(sc scenario.Scenario, seed int64, n, workers int, shrinkFailing bo
 	}
 }
 
-func runShrink(sc scenario.Scenario, seed int64, budget int, out string) {
-	mt, err := shrink.Shrink(sc, seed, shrink.Options{MaxSteps: budget})
+// progressPrinter returns a concurrency-safe sweep callback that prints a
+// one-line status at most every 500ms of wall time (plus the final line).
+// The wall clock stays at the CLI edge: it rate-limits printing only and
+// never feeds a run.
+func progressPrinter(total int) func(done, total int) {
+	var mu sync.Mutex
+	last := time.Time{}
+	return func(done, _ int) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now() //xvet:ok walltime CLI-edge print rate limiting only
+		if done < total && now.Sub(last) < 500*time.Millisecond {
+			return
+		}
+		last = now
+		fmt.Fprintf(os.Stderr, "sweep: %d/%d seeds (%.0f%%)\n",
+			done, total, 100*float64(done)/float64(total))
+	}
+}
+
+func runReplay(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsim: %v\n", err)
+		os.Exit(2)
+	}
+	sl, err := shrink.LoadShrinkLog(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsim: %v\n", err)
+		os.Exit(2)
+	}
+	o, err := sl.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsim: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("replayed %s seed %d: x-able=%v replied=%v effects-in-force=%d executions=%d timed-out=%v\n",
+		sl.Scenario, sl.Seed, o.XAble, o.Replied, o.EffectsInForce, o.Executions, o.TimedOut)
+	if o.XAble && o.Replied {
+		fmt.Println("replay did NOT reproduce the failure (registered scenario drifted?)")
+		os.Exit(1)
+	}
+	fmt.Println("failure reproduced")
+}
+
+func writeJSONFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "xsim: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "xsim: close %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}
+
+// nonEmptyLines splits a rendered block into its non-empty lines for
+// indented reprinting.
+func nonEmptyLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		if i > 0 {
+			out = append(out, s[:i])
+		}
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}
+
+func runShrink(sc scenario.Scenario, seed int64, budget int, out, jsonOut string, annotate bool) {
+	mt, err := shrink.Shrink(sc, seed, shrink.Options{MaxSteps: budget, Annotate: annotate})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xsim: shrink %s seed %d: %v\n", sc.Name, seed, err)
 		if mt.Log == nil {
@@ -203,6 +370,10 @@ func runShrink(sc scenario.Scenario, seed int64, budget int, out string) {
 			os.Exit(1)
 		}
 		fmt.Printf("trace written to %s\n", out)
+	}
+	if jsonOut != "" {
+		writeJSONFile(jsonOut, mt.WriteJSON)
+		fmt.Printf("shrink artifact written to %s (re-run with -replay %s)\n", jsonOut, jsonOut)
 	}
 	if err != nil {
 		os.Exit(1)

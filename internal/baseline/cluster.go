@@ -8,6 +8,7 @@ import (
 	"xability/internal/action"
 	"xability/internal/env"
 	"xability/internal/fd"
+	"xability/internal/obs"
 	"xability/internal/simnet"
 	"xability/internal/trace"
 	"xability/internal/vclock"
@@ -63,9 +64,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if net == nil {
 		net = simnet.New(cfg.Net)
 	}
-	obs := trace.New()
-	world := env.New(obs, cfg.Seed)
-	c := &Cluster{Net: net, Observer: obs, Env: world, dets: make(map[simnet.ProcessID]*fd.Scripted)}
+	observer := trace.New()
+	world := env.New(observer, cfg.Seed)
+	c := &Cluster{Net: net, Observer: observer, Env: world, dets: make(map[simnet.ProcessID]*fd.Scripted)}
 
 	ids := make([]simnet.ProcessID, cfg.Replicas)
 	for i := range ids {
@@ -103,6 +104,8 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		replicas: ids,
 		det:      c.cdet,
 		poll:     200 * time.Microsecond,
+		m:        clientEP.Metrics(),
+		tr:       clientEP.Trace(),
 	}
 	return c
 }
@@ -176,6 +179,8 @@ type Client struct {
 	replicas []simnet.ProcessID
 	det      *fd.Scripted
 	poll     time.Duration
+	m        *obs.Metrics // nil-safe run metrics
+	tr       *obs.Trace   // nil-safe span recorder
 
 	i        int
 	seq      int
@@ -197,6 +202,7 @@ func (c *Client) Submit(req action.Request) (action.Value, error) {
 	defer c.clk.Exit()
 	target := c.replicas[c.i]
 	c.attempts++
+	c.m.Inc(obs.ReqSubmitted)
 	c.ep.Send(target, msgSubmit, submitPayload{Req: req, Client: c.id})
 	for {
 		for {
@@ -216,6 +222,7 @@ func (c *Client) Submit(req action.Request) (action.Value, error) {
 		}
 		if c.det.Suspect(target) {
 			c.i = (c.i + 1) % len(c.replicas)
+			c.m.Inc(obs.ReqFailovers)
 			return "", ErrSubmitFailed
 		}
 		// Event-driven await: a delivery wakes the wait immediately; the
@@ -231,11 +238,17 @@ func (c *Client) SubmitUntilSuccess(req action.Request) action.Value {
 	defer c.clk.Exit()
 	c.seq++
 	req = req.WithID(fmt.Sprintf("%s-%d", c.id, c.seq))
+	start := c.clk.Now()
+	span := c.tr.Begin(start, string(c.id), "request", req.ID)
 	for {
 		v, err := c.Submit(req)
 		if err == nil {
 			c.requests = append(c.requests, req)
 			c.replies = append(c.replies, v)
+			now := c.clk.Now()
+			c.m.Observe(now - start)
+			c.m.Inc(obs.ReqReplied)
+			c.tr.End(now, string(c.id), "request", span)
 			return v
 		}
 		if errors.Is(err, ErrClientClosed) {

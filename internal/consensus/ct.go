@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xability/internal/fd"
+	"xability/internal/obs"
 	"xability/internal/simnet"
 	"xability/internal/vclock"
 	"xability/internal/wal"
@@ -43,7 +44,8 @@ type Node struct {
 	ep    *simnet.Endpoint
 	det   fd.Detector
 	clk   vclock.Clock
-	log   *wal.Log // nil: in-memory acceptor (no crash-recovery)
+	log   *wal.Log     // nil: in-memory acceptor (no crash-recovery)
+	m     *obs.Metrics // nil-safe run metrics, pulled from the endpoint
 
 	mu        sync.Mutex
 	instances map[Key]*ctInstance
@@ -65,6 +67,7 @@ func NewNode(self simnet.ProcessID, ep *simnet.Endpoint, peers []simnet.ProcessI
 		ep:        ep,
 		det:       det,
 		clk:       ep.Clock(),
+		m:         ep.Metrics(),
 		instances: make(map[Key]*ctInstance),
 		stop:      make(chan struct{}),
 	}
@@ -298,6 +301,7 @@ func (n *Node) recvLoop() {
 			}
 			inst.mu.Unlock()
 			if first {
+				n.m.Inc(obs.ConsDecisions)
 				// Persist before relaying (a decision, once forwarded, must
 				// survive this node's crash), then reliable-broadcast: relay
 				// the decision once.
@@ -397,6 +401,7 @@ func (n *Node) roundLoop(inst *ctInstance) {
 		default:
 		}
 		coord := n.peers[round%len(n.peers)]
+		n.m.Inc(obs.ConsRounds)
 
 		// Phase 1: send the estimate to every peer, not only the
 		// coordinator. The coordinator is the only consumer, but the
@@ -608,6 +613,7 @@ func (n *Node) waitCond(inst *ctInstance, round int, ready func() bool, abort fu
 		// expected reordering (the network is not FIFO), not proof that
 		// this phase can no longer complete.
 		if n.clk.Now()-start >= ctCatchUpAfter && inst.catchUp(round) {
+			n.m.Inc(obs.ConsCatchUps)
 			return true, true
 		}
 		if abort != nil {
@@ -631,6 +637,7 @@ func (n *Node) waitCond(inst *ctInstance, round int, ready func() bool, abort fu
 		if resend != nil {
 			if now := n.clk.Now(); now-last >= ctResendAfter {
 				last = now
+				n.m.Inc(obs.ConsRetransmits)
 				inst.mu.Unlock()
 				resend()
 				inst.mu.Lock()
@@ -648,6 +655,7 @@ func (n *Node) decide(inst *ctInstance, v any) {
 	}
 	inst.mu.Unlock()
 	if first {
+		n.m.Inc(obs.ConsDecisions)
 		// Persist before announcing: a coordinator that told anyone and
 		// then forgot could coordinate a later round to a different value.
 		n.persistDecision(inst.key, v)

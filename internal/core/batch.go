@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"xability/internal/action"
+	"xability/internal/obs"
 	"xability/internal/vclock"
 )
 
@@ -190,7 +191,12 @@ func (s *Server) batcher() {
 		n := ss.next
 		ss.next++
 		ss.inflight++
+		depth := ss.inflight
 		ss.mu.Unlock()
+		s.m.Inc(obs.BatchSlots)
+		s.m.Add(obs.BatchReqs, int64(len(batch)))
+		s.m.SetMax(obs.GaugeBatchMax, int64(len(batch)))
+		s.m.SetMax(obs.GaugePipelineDepth, int64(depth))
 
 		s.wg.Add(1)
 		s.clk.Go(func() {
@@ -538,6 +544,8 @@ func (s *Server) cleanSlot() {
 		return
 	}
 	// Cleaning mode: prevent the suspected owner from enforcing a commit.
+	s.m.Inc(obs.Takeovers)
+	s.tr.Instant(s.clk.Now(), string(s.id), "takeover", id)
 	out := s.slotCoordination(n, lastRound, od.Batch, nil, slotOutcome{Outcome: "abort"})
 	if s.isStopped() {
 		return

@@ -8,6 +8,7 @@ import (
 
 	"xability/internal/action"
 	"xability/internal/fd"
+	"xability/internal/obs"
 	"xability/internal/simnet"
 	"xability/internal/vclock"
 )
@@ -36,6 +37,8 @@ type Client struct {
 	replicas []simnet.ProcessID
 	det      fd.Detector
 	poll     time.Duration
+	m        *obs.Metrics // nil-safe run metrics
+	tr       *obs.Trace   // nil-safe span recorder
 
 	mu       sync.Mutex
 	i        int // next replica to contact (Figure 5's i)
@@ -78,6 +81,8 @@ func NewClient(cfg ClientConfig) *Client {
 		replicas: append([]simnet.ProcessID(nil), cfg.Replicas...),
 		det:      cfg.Detector,
 		poll:     poll,
+		m:        cfg.Endpoint.Metrics(),
+		tr:       cfg.Endpoint.Trace(),
 		awaiting: make(map[string]bool),
 		stash:    make(map[string]action.Value),
 	}
@@ -115,6 +120,7 @@ func (c *Client) Submit(req action.Request) (action.Value, error) {
 		c.mu.Unlock()
 	}()
 
+	c.m.Inc(obs.ReqSubmitted)
 	c.ep.Send(target, MsgSubmit, SubmitPayload{Req: req, Client: c.id})
 	for {
 		// A concurrent Submit may have drained this request's reply on our
@@ -165,6 +171,7 @@ func (c *Client) Submit(req action.Request) (action.Value, error) {
 			c.mu.Lock()
 			c.i = (c.i + 1) % len(c.replicas)
 			c.mu.Unlock()
+			c.m.Inc(obs.ReqFailovers)
 			return "", ErrSubmitFailed
 		}
 		// Event-driven await: a delivery wakes the wait immediately; the
@@ -186,6 +193,8 @@ func (c *Client) SubmitUntilSuccess(req action.Request) action.Value {
 	c.clk.Enter()
 	defer c.clk.Exit()
 	req = c.Tag(req)
+	start := c.clk.Now()
+	span := c.tr.Begin(start, string(c.id), "request", req.ID)
 	for {
 		v, err := c.Submit(req)
 		if err == nil {
@@ -193,6 +202,10 @@ func (c *Client) SubmitUntilSuccess(req action.Request) action.Value {
 			c.requests = append(c.requests, req)
 			c.replies = append(c.replies, v)
 			c.mu.Unlock()
+			now := c.clk.Now()
+			c.m.Observe(now - start)
+			c.m.Inc(obs.ReqReplied)
+			c.tr.End(now, string(c.id), "request", span)
 			return v
 		}
 		if errors.Is(err, ErrClientClosed) {

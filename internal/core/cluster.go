@@ -8,6 +8,7 @@ import (
 	"xability/internal/consensus"
 	"xability/internal/env"
 	"xability/internal/fd"
+	"xability/internal/obs"
 	"xability/internal/simnet"
 	"xability/internal/sm"
 	"xability/internal/trace"
@@ -114,18 +115,18 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if net == nil {
 		net = simnet.New(cfg.Net)
 	}
-	obs := trace.New()
-	world := env.New(obs, cfg.Seed)
+	observer := trace.New()
+	world := env.New(observer, cfg.Seed)
 
 	c := &Cluster{
 		Net:      net,
-		Observer: obs,
+		Observer: observer,
 		Env:      world,
 		scripted: make(map[simnet.ProcessID]*fd.Scripted),
 		cfg:      cfg,
 	}
 	if cfg.Durable {
-		c.walStore = wal.NewStore(net.Clock(), wal.Config{SyncLatency: cfg.WALSync})
+		c.walStore = wal.NewStore(net.Clock(), wal.Config{SyncLatency: cfg.WALSync, Metrics: net.Metrics()})
 	}
 
 	ids := make([]simnet.ProcessID, cfg.Replicas)
@@ -308,6 +309,8 @@ func (c *Cluster) RestartServer(i int) bool {
 	c.Net.Restart(id)
 	c.Net.Restart(fd.FDEndpoint(id))
 	c.Net.Restart(consensus.ConsEndpoint(id))
+	c.Net.Metrics().Inc(obs.Restarts)
+	c.Net.Trace().Instant(c.Clock().Now(), string(id), "restart", "")
 
 	det := c.detFor[id]
 	if len(c.hbs) > i {

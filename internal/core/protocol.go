@@ -44,6 +44,7 @@ import (
 	"xability/internal/consensus"
 	"xability/internal/env"
 	"xability/internal/fd"
+	"xability/internal/obs"
 	"xability/internal/simnet"
 	"xability/internal/sm"
 	"xability/internal/vclock"
@@ -139,7 +140,9 @@ type Server struct {
 	costs         CostModel
 	cpu           *vcpu
 	batch         BatchConfig
-	log           *wal.Log // stable storage; nil runs in-memory (no restart)
+	log           *wal.Log     // stable storage; nil runs in-memory (no restart)
+	m             *obs.Metrics // nil-safe run metrics
+	tr            *obs.Trace   // nil-safe span recorder
 
 	mu      sync.Mutex
 	stopped bool
@@ -216,6 +219,8 @@ func NewServer(cfg ServerConfig) *Server {
 		costs:         cfg.Costs,
 		batch:         cfg.Batch.withDefaults(),
 		log:           cfg.Log,
+		m:             cfg.Network.Metrics(),
+		tr:            cfg.Network.Trace(),
 		active:        make(map[string]*requestState),
 		rounds:        make(map[consensus.Key]bool),
 		inflight:      make(map[consensus.Key]bool),
@@ -235,6 +240,7 @@ func NewServer(cfg ServerConfig) *Server {
 // through here, so T11's before/after comparison charges them identically.
 func (s *Server) propose(key consensus.Key, val any) any {
 	s.cpu.charge(s.costs.Consensus)
+	s.m.Inc(obs.ConsProposals)
 	return s.cons.Object(key).Propose(val)
 }
 
@@ -402,6 +408,7 @@ func (s *Server) mainLoop() {
 		case MsgAnnounce:
 			if p, ok := msg.Payload.(SubmitPayload); ok {
 				if _, first := s.noteRequest(p.Req, p.Client); first {
+					s.tr.Instant(s.clk.Now(), string(s.id), "announce", p.Req.ID)
 					s.persistRequest(p.Req, p.Client)
 				}
 			}
@@ -472,14 +479,18 @@ func (s *Server) processRequest(req action.Request, round int, client simnet.Pro
 	s.mu.Lock()
 	s.inflight[key] = true
 	s.mu.Unlock()
+	span := s.tr.Begin(s.clk.Now(), string(s.id), "own-round", req.ID)
 	defer func() {
 		s.mu.Lock()
 		delete(s.inflight, key)
 		s.mu.Unlock()
+		s.tr.End(s.clk.Now(), string(s.id), "own-round", span)
 	}()
 	s.replayEarlier(req.ID)
 	exec := s.taggedFor(req, round)
+	eSpan := s.tr.Begin(s.clk.Now(), string(s.id), "execute", req.ID)
 	res, ok := s.executeUntilSuccess(exec)
+	s.tr.End(s.clk.Now(), string(s.id), "execute", eSpan)
 	if !ok {
 		// Crashed mid-execution, or a cleaner fenced the round (decided
 		// abort) while we retried — either way the aborting side owns the
@@ -627,6 +638,8 @@ func (s *Server) cleanRequest(st *requestState) {
 		return
 	}
 	// Cleaning mode: prevent the suspected owner from enforcing a result.
+	s.m.Inc(obs.Takeovers)
+	s.tr.Instant(s.clk.Now(), string(s.id), "takeover", reqID)
 	res := s.resultCoordination(od.Req, lastRound, EmptyResult)
 	if s.isStopped() {
 		return
@@ -660,6 +673,7 @@ func (s *Server) resumeOwnRound(od ownerDecision, round int) {
 	}
 	s.inflight[key] = true
 	s.mu.Unlock()
+	s.tr.Instant(s.clk.Now(), string(s.id), "resume", req.ID)
 	defer func() {
 		s.mu.Lock()
 		delete(s.inflight, key)
@@ -733,6 +747,7 @@ func (s *Server) resultCoordination(req action.Request, round int, val action.Va
 		}
 		exec := s.taggedFor(req, round)
 		if dec.Outcome == "abort" {
+			s.tr.Instant(s.clk.Now(), string(s.id), "cancel", req.ID)
 			// Fence before cancelling (testcancel, §5.3): the abort decision
 			// means this round's effect must never be in force. The cancel
 			// alone only rolls back — without the fence, an owner still
@@ -744,6 +759,7 @@ func (s *Server) resultCoordination(req action.Request, round int, val action.Va
 			s.executeUntilSuccess(exec.Cancel())
 			return EmptyResult
 		}
+		s.tr.Instant(s.clk.Now(), string(s.id), "commit", req.ID)
 		s.executeUntilSuccess(exec.Commit())
 		return dec.Value
 	}

@@ -6,6 +6,7 @@ import (
 
 	"xability/internal/action"
 	"xability/internal/fd"
+	"xability/internal/obs"
 	"xability/internal/simnet"
 	"xability/internal/vclock"
 )
@@ -31,6 +32,8 @@ type Station struct {
 	det      fd.Detector
 	poll     time.Duration
 	resend   time.Duration
+	m        *obs.Metrics // nil-safe run metrics
+	tr       *obs.Trace   // nil-safe span recorder
 
 	mu       sync.Mutex
 	cond     vclock.Cond
@@ -82,6 +85,8 @@ func NewStation(cfg StationConfig) *Station {
 		det:      cfg.Detector,
 		poll:     poll,
 		resend:   resend,
+		m:        cfg.Endpoint.Metrics(),
+		tr:       cfg.Endpoint.Trace(),
 		waiting:  make(map[string]*stationCall),
 	}
 	st.cond = st.clk.NewCond(&st.mu)
@@ -124,6 +129,8 @@ func (st *Station) pump() {
 // network closed first. Safe for arbitrary concurrency.
 func (st *Station) Submit(req action.Request) (action.Value, bool) {
 	start := st.clk.Now()
+	st.m.Inc(obs.ReqSubmitted)
+	span := st.tr.Begin(start, string(st.id), "request", req.ID)
 	c := &stationCall{}
 	st.mu.Lock()
 	st.open++
@@ -150,10 +157,14 @@ func (st *Station) Submit(req action.Request) (action.Value, bool) {
 			st.mu.Lock()
 			if c.done {
 				val := c.val
+				now := st.clk.Now()
 				st.requests = append(st.requests, req)
 				st.replies = append(st.replies, val)
-				st.latencies = append(st.latencies, st.clk.Now()-start)
+				st.latencies = append(st.latencies, now-start)
 				st.mu.Unlock()
+				st.m.Observe(now - start)
+				st.m.Inc(obs.ReqReplied)
+				st.tr.End(now, string(st.id), "request", span)
 				return val, true
 			}
 			if st.stopped {
@@ -163,6 +174,7 @@ func (st *Station) Submit(req action.Request) (action.Value, bool) {
 			st.mu.Unlock()
 			if st.det.Suspect(target) {
 				i++
+				st.m.Inc(obs.ReqFailovers)
 				break // fail over (Figure 5's advance)
 			}
 			if st.clk.Now() >= deadline {

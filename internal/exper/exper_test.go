@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"reflect"
 	"testing"
 
 	"xability/internal/workload"
@@ -309,5 +310,50 @@ func TestT12RecoveryMatrix(t *testing.T) {
 	if sync[len(sync)-1].MeanSimTime <= sync[0].MeanSimTime {
 		t.Errorf("1ms tariff sim time %v not above free-append sim time %v — durability priced at nothing",
 			sync[len(sync)-1].MeanSimTime, sync[0].MeanSimTime)
+	}
+}
+
+// TestT13CoverageShape pins the observability table's qualitative
+// asymmetry (claim E16): deterministic fault plans collapse to a few
+// interleaving classes while the randomized/partitioned rows saturate at
+// (nearly) one class per seed with a hot tail — the signal that says
+// where sweep budget buys new coverage.
+func TestT13CoverageShape(t *testing.T) {
+	const seeds = 48
+	rows := TableT13(1, seeds, 0)
+	if len(rows) < 4 {
+		t.Fatalf("T13 rows = %d, want at least 4", len(rows))
+	}
+	byName := map[string]T13Row{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+		if r.Seeds != seeds {
+			t.Errorf("%s: folded %d runs, want %d", r.Scenario, r.Seeds, seeds)
+		}
+		if r.Classes < 1 || r.Classes > r.Seeds {
+			t.Errorf("%s: %d classes out of range [1,%d]", r.Scenario, r.Classes, r.Seeds)
+		}
+		if r.SubmitsP50 < 1 {
+			t.Errorf("%s: submit counter silent (p50 %d)", r.Scenario, r.SubmitsP50)
+		}
+		if r.LatP50 <= 0 {
+			t.Errorf("%s: no latency mass (p50 %v)", r.Scenario, r.LatP50)
+		}
+	}
+	nice, rand := byName["nice"], byName["random-faults"]
+	if nice.Classes*2 >= seeds {
+		t.Errorf("nice visits %d/%d classes — deterministic plan should collapse", nice.Classes, seeds)
+	}
+	if rand.Classes*2 <= seeds {
+		t.Errorf("random-faults visits %d/%d classes — randomized plan should spread", rand.Classes, seeds)
+	}
+	if rand.TailNewRate <= nice.TailNewRate {
+		t.Errorf("tail new-class rate: random-faults %.2f not above nice %.2f",
+			rand.TailNewRate, nice.TailNewRate)
+	}
+	// The table is a deterministic function of (seed, seeds).
+	again := TableT13(1, seeds, 1)
+	if !reflect.DeepEqual(rows, again) {
+		t.Errorf("T13 not deterministic across worker counts:\n%+v\nvs\n%+v", rows, again)
 	}
 }

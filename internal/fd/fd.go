@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"xability/internal/obs"
 	"xability/internal/simnet"
 	"xability/internal/vclock"
 )
@@ -40,20 +41,31 @@ type Scripted struct {
 	mu        sync.RWMutex
 	suspected map[simnet.ProcessID]bool
 	net       *simnet.Network
+	m         *obs.Metrics
 }
 
 // NewScripted returns an empty scripted detector. If net is non-nil,
 // crashed processes are always suspected (strong completeness comes for
 // free in tests).
 func NewScripted(net *simnet.Network) *Scripted {
-	return &Scripted{suspected: make(map[simnet.ProcessID]bool), net: net}
+	s := &Scripted{suspected: make(map[simnet.ProcessID]bool), net: net}
+	if net != nil {
+		s.m = net.Metrics()
+	}
+	return s
 }
 
 // SetSuspected marks p as suspected (true) or trusted (false).
 func (s *Scripted) SetSuspected(p simnet.ProcessID, v bool) {
 	s.mu.Lock()
+	was := s.suspected[p]
 	s.suspected[p] = v
 	s.mu.Unlock()
+	if v && !was {
+		s.m.Inc(obs.FDSuspicions)
+	} else if !v && was {
+		s.m.Inc(obs.FDUnsuspicions)
+	}
 }
 
 // Suspect implements Detector.
@@ -79,8 +91,11 @@ type Heartbeat struct {
 	mu       sync.Mutex
 	lastSeen map[simnet.ProcessID]time.Duration
 	timeout  map[simnet.ProcessID]time.Duration
+	overdue  map[simnet.ProcessID]bool // last Suspect verdict, for transition counting
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	m *obs.Metrics
 }
 
 // HeartbeatConfig tunes the detector.
@@ -111,7 +126,9 @@ func NewHeartbeat(self simnet.ProcessID, ep *simnet.Endpoint, peers []simnet.Pro
 		interval: cfg.Interval,
 		lastSeen: make(map[simnet.ProcessID]time.Duration),
 		timeout:  make(map[simnet.ProcessID]time.Duration),
+		overdue:  make(map[simnet.ProcessID]bool),
 		stop:     make(chan struct{}),
+		m:        ep.Metrics(),
 	}
 	now := h.clk.Now()
 	for _, p := range peers {
@@ -173,22 +190,39 @@ func (h *Heartbeat) recvLoop() {
 		h.mu.Lock()
 		// A heartbeat from a previously suspected process proves the
 		// suspicion false: double its timeout (eventual strong accuracy).
+		unsuspected := false
 		if now-h.lastSeen[from] > h.timeout[from] {
 			h.timeout[from] *= 2
+			unsuspected = h.overdue[from]
 		}
 		h.lastSeen[from] = now
+		h.overdue[from] = false
 		h.mu.Unlock()
+		if unsuspected {
+			h.m.Inc(obs.FDUnsuspicions)
+		}
 	}
 }
 
 // Suspect implements Detector: true when the peer's heartbeat is overdue.
+// The trusted→suspected transition is counted once per episode (the
+// overdue flag resets when a heartbeat arrives), not per query.
 func (h *Heartbeat) Suspect(p simnet.ProcessID) bool {
 	now := h.clk.Now()
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	last, ok := h.lastSeen[p]
 	if !ok {
+		h.mu.Unlock()
 		return false
 	}
-	return now-last > h.timeout[p]
+	over := now-last > h.timeout[p]
+	fresh := over && !h.overdue[p]
+	if over {
+		h.overdue[p] = true
+	}
+	h.mu.Unlock()
+	if fresh {
+		h.m.Inc(obs.FDSuspicions)
+	}
+	return over
 }

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestHotPathAllocFree pins the metrics hot path at zero allocations:
+// counter increment, gauge max, histogram observe, and coverage mix are
+// the operations that run inside simnet sends and protocol loops, so
+// any allocation here multiplies by every message of every run.
+func TestHotPathAllocFree(t *testing.T) {
+	m := NewMetrics()
+	if avg := testing.AllocsPerRun(1000, func() { m.Inc(MsgCons) }); avg != 0 {
+		t.Errorf("Inc allocates %.1f objects/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { m.Add(BatchReqs, 7) }); avg != 0 {
+		t.Errorf("Add allocates %.1f objects/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { m.SetMax(GaugeBatchMax, 9) }); avg != 0 {
+		t.Errorf("SetMax allocates %.1f objects/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { m.Observe(123 * time.Microsecond) }); avg != 0 {
+		t.Errorf("Observe allocates %.1f objects/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { m.Cover(1, 2, 5) }); avg != 0 {
+		t.Errorf("Cover allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestNilRegistryAllocFree pins the off-by-default contract: every
+// operation on a nil registry and nil trace is a no-op with zero
+// allocations, so instrumented code needs no enabled-checks.
+func TestNilRegistryAllocFree(t *testing.T) {
+	var m *Metrics
+	var tr *Trace
+	if avg := testing.AllocsPerRun(1000, func() {
+		m.Inc(MsgSubmit)
+		m.Add(WALSyncNS, 100)
+		m.SetMax(GaugePipelineDepth, 3)
+		m.Observe(time.Millisecond)
+		m.Cover(0, 1, 2)
+		id := tr.Begin(0, "p0", "req", "r1")
+		tr.Instant(0, "p0", "commit", "r1")
+		tr.End(0, "p0", "req", id)
+		tr.FlowEnd(0, "p0", "msg", tr.FlowStart(0, "p1", "msg"))
+	}); avg != 0 {
+		t.Errorf("nil obs ops allocate %.1f objects/op, want 0", avg)
+	}
+	if m.Snapshot() != nil {
+		t.Error("nil Metrics snapshot should be nil")
+	}
+	m.Reset()
+	tr.Reset()
+}
+
+// TestSnapshotArithmetic checks the derived histogram stats: bucketed
+// percentiles are upper power-of-two bounds, count/sum/max exact.
+func TestSnapshotArithmetic(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 99; i++ {
+		m.Observe(1 * time.Microsecond) // bucket [2^10, 2^11)
+	}
+	m.Observe(1 * time.Millisecond) // the tail
+	s := m.Snapshot()
+	if s.LatCount != 100 {
+		t.Fatalf("count = %d, want 100", s.LatCount)
+	}
+	if want := int64(99*1000 + 1000000); s.LatSumNS != want {
+		t.Errorf("sum = %d, want %d", s.LatSumNS, want)
+	}
+	if s.LatMaxNS != 1000000 {
+		t.Errorf("max = %d, want 1000000", s.LatMaxNS)
+	}
+	if s.LatP50NS < 1000 || s.LatP50NS > 2048 {
+		t.Errorf("p50 = %d, want the [1µs, 2048ns] bucket bound", s.LatP50NS)
+	}
+	if s.LatP99NS > 2048 {
+		t.Errorf("p99 = %d, want <= 2048 (99th observation is still 1µs)", s.LatP99NS)
+	}
+
+	m.Reset()
+	if s2 := m.Snapshot(); s2.LatCount != 0 || s2.Counters[MsgSubmit] != 0 || s2.Coverage != 0 {
+		t.Errorf("Reset left residue: %+v", s2)
+	}
+}
+
+// TestCoverageOrderDependence checks the fingerprint separates
+// different delivery orders but matches identical ones.
+func TestCoverageOrderDependence(t *testing.T) {
+	a, b, c := NewMetrics(), NewMetrics(), NewMetrics()
+	a.Cover(0, 1, 5)
+	a.Cover(1, 0, 5)
+	b.Cover(1, 0, 5)
+	b.Cover(0, 1, 5)
+	c.Cover(0, 1, 5)
+	c.Cover(1, 0, 5)
+	if a.Snapshot().Coverage == b.Snapshot().Coverage {
+		t.Error("swapped delivery order should change the fingerprint")
+	}
+	if a.Snapshot().Coverage != c.Snapshot().Coverage {
+		t.Error("identical delivery order should match")
+	}
+}
+
+// TestTraceJSONValid checks the exporter emits parseable Chrome
+// trace-event JSON with the span, flow, and metadata shapes Perfetto
+// expects, and that equal recordings are byte-equal.
+func TestTraceJSONValid(t *testing.T) {
+	record := func() *Trace {
+		tr := NewTrace(64)
+		id := tr.Begin(10*time.Microsecond, "c0", "req", "c0-1")
+		f := tr.FlowStart(11*time.Microsecond, "c0", "submit")
+		tr.FlowEnd(15*time.Microsecond, "p0", "submit", f)
+		tr.Instant(20*time.Microsecond, "p0", "commit", "c0-1")
+		tr.End(30*time.Microsecond, "c0", "req", id)
+		return tr
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := record().WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := record().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Error("equal recordings should export byte-equal JSON")
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf1.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf1.String())
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		phases[ph]++
+		if _, ok := e["ts"]; ph != "M" && !ok {
+			t.Errorf("event missing ts: %v", e)
+		}
+	}
+	// 2 thread_name metadata (c0, p0) + b/e + s/f + i.
+	for _, want := range []string{"M", "b", "e", "s", "f", "i"} {
+		if phases[want] == 0 {
+			t.Errorf("no %q events in export: %v", want, phases)
+		}
+	}
+	if phases["M"] != 2 {
+		t.Errorf("want 2 thread metadata events, got %d", phases["M"])
+	}
+}
+
+// TestTraceCapDrops checks the ring never grows past capacity and
+// counts the overflow.
+func TestTraceCapDrops(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant(time.Duration(i), "p0", "tick", "")
+	}
+	if tr.Len() != 4 {
+		t.Errorf("ring holds %d events, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+// TestRollup checks the sweep fold: per-metric nearest-rank stats and
+// the coverage class counts, deterministic in seed order.
+func TestRollup(t *testing.T) {
+	var snaps []*Snapshot
+	for i := 0; i < 10; i++ {
+		s := &Snapshot{Coverage: uint64(i % 3)} // 3 classes, none singleton... 0,1,2 repeat
+		s.Counters[MsgCons] = int64(i + 1)      // 1..10
+		snaps = append(snaps, s)
+	}
+	snaps = append(snaps, nil) // skipped
+	r := NewRollup(snaps)
+	if r.Runs != 10 {
+		t.Fatalf("runs = %d, want 10", r.Runs)
+	}
+	var cons *Stat
+	for i := range r.Stats {
+		if r.Stats[i].Name == "msg.cons" {
+			cons = &r.Stats[i]
+		}
+	}
+	if cons == nil {
+		t.Fatal("no msg.cons stat")
+	}
+	if cons.P50 != 5 || cons.Max != 10 || cons.Mean != 5.5 {
+		t.Errorf("msg.cons stat = %+v, want p50 5 max 10 mean 5.5", cons)
+	}
+	if r.Classes != 3 {
+		t.Errorf("classes = %d, want 3", r.Classes)
+	}
+	if r.Singletons != 0 {
+		t.Errorf("singletons = %d, want 0", r.Singletons)
+	}
+	// Tail = last 1 run (ceil(10/10)); its class (coverage 0) was seen
+	// before, so no new class in the tail.
+	if r.TailNewRate != 0 {
+		t.Errorf("tail new-class rate = %v, want 0", r.TailNewRate)
+	}
+	if r.String() == "" {
+		t.Error("rollup render should be non-empty")
+	}
+}

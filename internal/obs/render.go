@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// String renders the snapshot's non-zero slots, one per line — the
+// single-run -metrics table. Zero counters are elided so a quiet run
+// prints a short table, not the whole schema.
+func (s *Snapshot) String() string {
+	if s == nil {
+		return "(no metrics)"
+	}
+	var b strings.Builder
+	for c := Counter(0); c < NumCounters; c++ {
+		if v := s.Counters[c]; v != 0 {
+			fmt.Fprintf(&b, "%-26s %12d\n", c.Name(), v)
+		}
+	}
+	for g := Gauge(0); g < NumGauges; g++ {
+		if v := s.Gauges[g]; v != 0 {
+			fmt.Fprintf(&b, "%-26s %12d\n", g.Name(), v)
+		}
+	}
+	if s.LatCount > 0 {
+		fmt.Fprintf(&b, "%-26s %12d\n", "lat.count", s.LatCount)
+		fmt.Fprintf(&b, "%-26s %12v\n", "lat.p50", time.Duration(s.LatP50NS))
+		fmt.Fprintf(&b, "%-26s %12v\n", "lat.p99", time.Duration(s.LatP99NS))
+		fmt.Fprintf(&b, "%-26s %12v\n", "lat.max", time.Duration(s.LatMaxNS))
+	}
+	fmt.Fprintf(&b, "%-26s %16x\n", "coverage.class", s.Coverage)
+	return b.String()
+}
+
+// MarshalJSON emits a self-describing object keyed by slot name.
+// encoding/json sorts map keys, so equal snapshots marshal to byte-equal
+// JSON — the property the determinism gates diff on.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	m := make(map[string]any, int(NumCounters)+int(NumGauges)+6)
+	for c := Counter(0); c < NumCounters; c++ {
+		m[c.Name()] = s.Counters[c]
+	}
+	for g := Gauge(0); g < NumGauges; g++ {
+		m[g.Name()] = s.Gauges[g]
+	}
+	m["lat.count"] = s.LatCount
+	m["lat.sum_ns"] = s.LatSumNS
+	m["lat.max_ns"] = s.LatMaxNS
+	m["lat.p50_ns"] = s.LatP50NS
+	m["lat.p99_ns"] = s.LatP99NS
+	m["coverage.class"] = fmt.Sprintf("%016x", s.Coverage)
+	return json.Marshal(m)
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stat is one metric's distribution across a sweep's runs: nearest-rank
+// percentiles and extremes over the per-seed values, folded in seed
+// order so the rollup is deterministic.
+type Stat struct {
+	Name string
+	P50  int64
+	P99  int64
+	Max  int64
+	Mean float64
+}
+
+// Rollup aggregates per-run snapshots across a sweep: a Stat per
+// counter/gauge/latency series, plus the schedule-space coverage
+// report.
+type Rollup struct {
+	Runs  int
+	Stats []Stat
+
+	// Coverage: how much schedule space the sweep visited. Classes is
+	// the number of distinct interleaving fingerprints, Singletons how
+	// many were seen exactly once, and TailNewRate the fraction of the
+	// last 10% of runs (in seed order) that still discovered a new
+	// class — a saturation signal: near 0 means more seeds are revisits,
+	// near 1 means the space is far from exhausted.
+	Classes     int
+	Singletons  int
+	TailNewRate float64
+}
+
+// quantile is nearest-rank over a sorted slice.
+func quantile(sorted []int64, q int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (len(sorted)*q + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func statOf(name string, vals []int64) Stat {
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	sorted := make([]int64, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := Stat{Name: name, P50: quantile(sorted, 50), P99: quantile(sorted, 99)}
+	if n := len(sorted); n > 0 {
+		s.Max = sorted[n-1]
+		s.Mean = float64(sum) / float64(n)
+	}
+	return s
+}
+
+// NewRollup folds per-run snapshots (in seed order; nils are skipped)
+// into the sweep-level distribution per metric plus the coverage
+// report.
+func NewRollup(snaps []*Snapshot) *Rollup {
+	runs := make([]*Snapshot, 0, len(snaps))
+	for _, s := range snaps {
+		if s != nil {
+			runs = append(runs, s)
+		}
+	}
+	r := &Rollup{Runs: len(runs)}
+	if len(runs) == 0 {
+		return r
+	}
+
+	vals := make([]int64, len(runs))
+	for c := Counter(0); c < NumCounters; c++ {
+		for i, s := range runs {
+			vals[i] = s.Counters[c]
+		}
+		r.Stats = append(r.Stats, statOf(c.Name(), vals))
+	}
+	for g := Gauge(0); g < NumGauges; g++ {
+		for i, s := range runs {
+			vals[i] = s.Gauges[g]
+		}
+		r.Stats = append(r.Stats, statOf(g.Name(), vals))
+	}
+	for _, series := range []struct {
+		name string
+		get  func(*Snapshot) int64
+	}{
+		{"lat.p50_ns", func(s *Snapshot) int64 { return s.LatP50NS }},
+		{"lat.p99_ns", func(s *Snapshot) int64 { return s.LatP99NS }},
+		{"lat.max_ns", func(s *Snapshot) int64 { return s.LatMaxNS }},
+	} {
+		for i, s := range runs {
+			vals[i] = series.get(s)
+		}
+		r.Stats = append(r.Stats, statOf(series.name, vals))
+	}
+
+	// Coverage: distinct fingerprints, singletons, and the new-class
+	// rate over the last 10% of runs in seed order.
+	seen := make(map[uint64]int, len(runs))
+	tailStart := len(runs) - (len(runs)+9)/10
+	tailNew := 0
+	for i, s := range runs {
+		if seen[s.Coverage] == 0 && i >= tailStart {
+			tailNew++
+		}
+		seen[s.Coverage]++
+	}
+	r.Classes = len(seen)
+	for _, n := range seen {
+		if n == 1 {
+			r.Singletons++
+		}
+	}
+	if tail := len(runs) - tailStart; tail > 0 {
+		r.TailNewRate = float64(tailNew) / float64(tail)
+	}
+	return r
+}
+
+// Stat returns the named metric's sweep distribution, or a zero Stat
+// when the rollup is nil or the name unknown — table generators pick
+// columns by schema name without caring whether the series fired.
+func (r *Rollup) Stat(name string) Stat {
+	if r != nil {
+		for _, s := range r.Stats {
+			if s.Name == name {
+				return s
+			}
+		}
+	}
+	return Stat{Name: name}
+}
+
+// String renders the rollup as the sweep summary's metrics section:
+// one aligned row per metric with non-zero mass, then the coverage
+// line.
+func (r *Rollup) String() string {
+	if r == nil || r.Runs == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics over %d runs (p50 / p99 / max / mean):\n", r.Runs)
+	for _, s := range r.Stats {
+		if s.Max == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-26s %10d %10d %10d %12.1f\n", s.Name, s.P50, s.P99, s.Max, s.Mean)
+	}
+	fmt.Fprintf(&b, "coverage: %d distinct interleaving classes (%d singletons), tail new-class rate %.2f\n",
+		r.Classes, r.Singletons, r.TailNewRate)
+	return b.String()
+}

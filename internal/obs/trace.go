@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// EventKind discriminates trace events. Spans are async-style (matched
+// by ID, not stack nesting) because one server interleaves many
+// requests: Chrome's synchronous B/E stack would mis-nest them, the
+// async b/e pairs render each request as its own track row.
+type EventKind uint8
+
+const (
+	KindBegin EventKind = iota
+	KindEnd
+	KindInstant
+	KindFlowStart
+	KindFlowEnd
+)
+
+// Event is one flat trace record: a virtual timestamp, the process it
+// happened on, a constant operation name, an optional argument (request
+// ID, round number — strings that already exist at the call site, so
+// recording allocates nothing), and the span/flow pairing ID.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	Proc string
+	Name string
+	Arg  string
+	ID   int64
+}
+
+// DefaultTraceCap bounds the event ring. A nice closed-loop run emits a
+// few hundred events; a saturated open-loop run a few tens of
+// thousands. Past the cap events are counted as dropped, never
+// reallocated — tracing has a fixed memory bill.
+const DefaultTraceCap = 1 << 16
+
+// Trace is the per-run span recorder. Like Metrics it is
+// nil-receiver-safe: a nil *Trace records nothing at zero cost. When
+// installed, appends go into a preallocated ring under a mutex — the
+// virtual clock executes events one at a time, so the mutex is -race
+// hygiene and the append order (and therefore the export) is
+// deterministic per seed.
+type Trace struct {
+	mu      sync.Mutex
+	events  []Event
+	dropped int64
+	nextID  int64
+}
+
+// NewTrace returns an installed recorder with the given event capacity
+// (DefaultTraceCap if n <= 0).
+func NewTrace(n int) *Trace {
+	if n <= 0 {
+		n = DefaultTraceCap
+	}
+	return &Trace{events: make([]Event, 0, n)}
+}
+
+// Reset clears the ring for reuse across runs. Safe on nil.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.dropped = 0
+	t.nextID = 0
+	t.mu.Unlock()
+}
+
+func (t *Trace) push(e Event) {
+	t.mu.Lock()
+	if len(t.events) < cap(t.events) {
+		t.events = append(t.events, e)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Begin opens a span and returns its pairing ID (0 on a nil trace).
+func (t *Trace) Begin(at time.Duration, proc, name, arg string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	if len(t.events) < cap(t.events) {
+		t.events = append(t.events, Event{At: at, Kind: KindBegin, Proc: proc, Name: name, Arg: arg, ID: id})
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+	return id
+}
+
+// End closes the span opened under id. Safe on nil.
+func (t *Trace) End(at time.Duration, proc, name string, id int64) {
+	if t == nil {
+		return
+	}
+	t.push(Event{At: at, Kind: KindEnd, Proc: proc, Name: name, ID: id})
+}
+
+// Instant records a point event. Safe on nil.
+func (t *Trace) Instant(at time.Duration, proc, name, arg string) {
+	if t == nil {
+		return
+	}
+	t.push(Event{At: at, Kind: KindInstant, Proc: proc, Name: name, Arg: arg})
+}
+
+// FlowStart opens a message-delivery edge at the sender and returns its
+// pairing ID (0 on a nil trace).
+func (t *Trace) FlowStart(at time.Duration, proc, name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	if len(t.events) < cap(t.events) {
+		t.events = append(t.events, Event{At: at, Kind: KindFlowStart, Proc: proc, Name: name, ID: id})
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+	return id
+}
+
+// FlowEnd closes a delivery edge at the receiver. Safe on nil (and on
+// id 0, the nil-trace sentinel).
+func (t *Trace) FlowEnd(at time.Duration, proc, name string, id int64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.push(Event{At: at, Kind: KindFlowEnd, Proc: proc, Name: name, ID: id})
+}
+
+// Len reports recorded events; Dropped reports events past capacity.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped reports events discarded at the capacity cap.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// jsonEscape is the minimal JSON string encoder for the writer —
+// strconv.Quote's escaping rules are a superset of JSON's for the
+// ASCII identifiers that appear in traces.
+func jsonEscape(s string) string { return strconv.Quote(s) }
+
+// WriteJSON exports the recording as Chrome trace-event JSON (the
+// Perfetto-loadable "JSON Array with metadata" form). Timestamps are
+// virtual microseconds with nanosecond decimals; processes become
+// named threads under one pid in first-appearance order; spans are
+// async b/e pairs and delivery edges are s/f flow pairs. The output is
+// a pure function of the recording, so equal seeds yield byte-equal
+// files.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		if _, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`); err != nil {
+			return err
+		}
+		return nil
+	}
+	t.mu.Lock()
+	events := t.events
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	// Thread IDs: interned per process in first-appearance order.
+	tids := make(map[string]int)
+	var order []string
+	for i := range events {
+		if _, ok := tids[events[i].Proc]; !ok {
+			tids[events[i].Proc] = len(tids) + 1
+			order = append(order, events[i].Proc)
+		}
+	}
+
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		_, err := fmt.Fprintf(w, sep+format, args...)
+		return err
+	}
+	for _, p := range order {
+		if err := emit(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			tids[p], jsonEscape(p)); err != nil {
+			return err
+		}
+	}
+	for i := range events {
+		e := &events[i]
+		ts := int64(e.At) / 1e3
+		frac := int64(e.At) % 1e3
+		tid := tids[e.Proc]
+		var err error
+		switch e.Kind {
+		case KindBegin:
+			err = emit(`{"ph":"b","cat":"req","id":"0x%x","pid":1,"tid":%d,"ts":%d.%03d,"name":%s,"args":{"arg":%s}}`,
+				e.ID, tid, ts, frac, jsonEscape(e.Name), jsonEscape(e.Arg))
+		case KindEnd:
+			err = emit(`{"ph":"e","cat":"req","id":"0x%x","pid":1,"tid":%d,"ts":%d.%03d,"name":%s}`,
+				e.ID, tid, ts, frac, jsonEscape(e.Name))
+		case KindInstant:
+			err = emit(`{"ph":"i","s":"t","pid":1,"tid":%d,"ts":%d.%03d,"name":%s,"args":{"arg":%s}}`,
+				tid, ts, frac, jsonEscape(e.Name), jsonEscape(e.Arg))
+		case KindFlowStart:
+			err = emit(`{"ph":"s","cat":"msg","id":"0x%x","pid":1,"tid":%d,"ts":%d.%03d,"name":%s}`,
+				e.ID, tid, ts, frac, jsonEscape(e.Name))
+		case KindFlowEnd:
+			err = emit(`{"ph":"f","bp":"e","cat":"msg","id":"0x%x","pid":1,"tid":%d,"ts":%d.%03d,"name":%s}`,
+				e.ID, tid, ts, frac, jsonEscape(e.Name))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":\"%d\"}}", dropped)
+	return err
+}
+
+// kindNames renders event kinds for the text form.
+var kindNames = [...]string{
+	KindBegin:     "begin",
+	KindEnd:       "end",
+	KindInstant:   "!",
+	KindFlowStart: "send",
+	KindFlowEnd:   "recv",
+}
+
+// RenderText returns the recording as compact text lines, one per
+// event, in timestamp order (stable on record order for ties) — the
+// form the shrinker splices into MinTrace renders.
+func (t *Trace) RenderText() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	events := make([]Event, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	lines := make([]string, 0, len(events))
+	for i := range events {
+		e := &events[i]
+		line := fmt.Sprintf("t=%-12v %-4s %-5s %s", e.At, e.Proc, kindNames[e.Kind], e.Name)
+		if e.Arg != "" {
+			line += " " + e.Arg
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}

@@ -88,7 +88,7 @@ func genSpecs(rng *rand.Rand, n int) []opSpec {
 		case 2:
 			specs = append(specs, opSpec{func(pl *Plan) { pl.ClientSuspectAt(at, p) }})
 		default:
-			specs = append(specs, opSpec{func(pl *Plan) { pl.RecoverAt(at, p) }})
+			specs = append(specs, opSpec{func(pl *Plan) { pl.UnsuspectAt(at, p) }})
 		}
 	}
 	return specs

@@ -27,7 +27,7 @@ func TestLostReplyResubmissionAnswered(t *testing.T) {
 		Plan: NewPlan().
 			DropLinkAt(time.Millisecond, "client", r0).
 			ClientSuspectAt(time.Millisecond, r0).
-			RecoverAt(2*time.Millisecond, r0).
+			UnsuspectAt(2*time.Millisecond, r0).
 			HealAt(8 * time.Millisecond),
 		Settle: 20 * time.Millisecond,
 		// Fail fast instead of hanging the test if the watcher regresses.

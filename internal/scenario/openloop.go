@@ -88,6 +88,7 @@ func executeOpenLoop(sc Scenario, seed int64, scratch *runScratch) Outcome {
 	h := c.Observer.History()
 	effects := auditEffects(reqs, c.Env.InForceTotal)
 	lat := workload.SummarizeLatencies(st.Latencies())
+	snap := sc.Net.Metrics.Snapshot()
 	c.Stop()
 	clk.Exit()
 	c.Net.Quiesce()
@@ -110,6 +111,7 @@ func executeOpenLoop(sc Scenario, seed int64, scratch *runScratch) Outcome {
 	o.SimTime = simTime
 	o.EffectsInForce = effects
 	o.Latency = lat
+	o.Obs = snap
 	return o
 }
 
@@ -194,6 +196,7 @@ func executeOpenLoopSharded(sc Scenario, seed int64, scratch *runScratch) Outcom
 	for _, st := range stations {
 		lats = append(lats, st.Latencies()...)
 	}
+	snap := sc.Net.Metrics.Snapshot()
 	c.Stop()
 	clk.Exit()
 	c.Quiesce()
@@ -216,6 +219,7 @@ func executeOpenLoopSharded(sc Scenario, seed int64, scratch *runScratch) Outcom
 	o.SimTime = simTime
 	o.EffectsInForce = effects
 	o.Latency = workload.SummarizeLatencies(lats)
+	o.Obs = snap
 	return o
 }
 

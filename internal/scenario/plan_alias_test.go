@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"xability/internal/simnet"
+)
+
+// TestRecoverAtAliasesUnsuspectAt pins the deprecated RecoverAt name as a
+// pure forwarder: same rendered plan, same op identity (the shrink
+// artifact matches ops by (At, Name), so the alias must not mint a
+// distinct name), and the same run outcome. Existing plans and serialized
+// shrink logs that used the old name keep replaying bit-for-bit.
+func TestRecoverAtAliasesUnsuspectAt(t *testing.T) {
+	r0 := simnet.ProcessID("replica-0")
+	old := NewPlan().SuspectAt(time.Millisecond, r0).RecoverAt(3*time.Millisecond, r0)
+	cur := NewPlan().SuspectAt(time.Millisecond, r0).UnsuspectAt(3*time.Millisecond, r0)
+
+	if old.String() != cur.String() {
+		t.Errorf("alias renders a different plan:\nRecoverAt:   %s\nUnsuspectAt: %s", old, cur)
+	}
+	oo, co := old.Ops(), cur.Ops()
+	if len(oo) != len(co) {
+		t.Fatalf("op counts differ: %d vs %d", len(oo), len(co))
+	}
+	for i := range oo {
+		if oo[i].At != co[i].At || oo[i].Name != co[i].Name {
+			t.Errorf("op %d identity differs: %v %q vs %v %q", i, oo[i].At, oo[i].Name, co[i].At, co[i].Name)
+		}
+	}
+
+	mk := func(p *Plan) Scenario {
+		return Scenario{
+			Name:     "recoverat-alias",
+			Failures: []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+			Plan:     p,
+			Settle:   20 * time.Millisecond,
+			Deadline: 200 * time.Millisecond,
+		}
+	}
+	a, b := Execute(mk(old), 1), Execute(mk(cur), 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("alias changes the run outcome:\nRecoverAt:   %+v\nUnsuspectAt: %+v", a, b)
+	}
+	if !a.Replied || !a.XAble {
+		t.Errorf("alias scenario did not complete cleanly: %+v", a)
+	}
+}

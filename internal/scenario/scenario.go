@@ -10,6 +10,7 @@ import (
 	"xability/internal/baseline"
 	"xability/internal/core"
 	"xability/internal/event"
+	"xability/internal/obs"
 	"xability/internal/reduce"
 	"xability/internal/schedule"
 	"xability/internal/simnet"
@@ -276,6 +277,12 @@ type Outcome struct {
 	ShardReports []verify.Report
 	RoutingExact bool
 
+	// Obs is the run's metrics snapshot, read at the same pinned settle
+	// instant as the other observations. Nil unless the run was executed
+	// with the observability plane armed (ExecuteObserved, or a sweep with
+	// SweepOptions.Metrics).
+	Obs *obs.Snapshot
+
 	// History is the observed event trace (dropped by Sweep to bound
 	// memory).
 	History event.History
@@ -304,6 +311,25 @@ func Execute(sc Scenario, seed int64) Outcome {
 // the record/replay/shrink pipeline's entry point. Either may be nil.
 func ExecuteTraced(sc Scenario, seed int64, record *schedule.Log, replay *schedule.Replay) Outcome {
 	return executeTracedWith(sc, seed, record, replay, nil)
+}
+
+// ExecuteObserved is Execute with the observability plane armed: the run's
+// networks stamp counters and latency observations into run.Metrics and
+// request-lifecycle spans into run.Trace (either may be nil), and the
+// metrics snapshot — read at the same pinned settle-horizon instant as the
+// run's other observations — lands in Outcome.Obs. Observation does not
+// perturb the schedule: an observed run's verdict fields are byte-equal to
+// its unobserved twin's.
+func ExecuteObserved(sc Scenario, seed int64, run *obs.Run) Outcome {
+	return executeObservedWith(sc, seed, nil, nil, nil, run)
+}
+
+// ExecuteReplayObserved is ExecuteTraced under observation: the run
+// re-executes the given schedule log while stamping run's metrics and
+// trace. The shrinker uses it to annotate a minimal counterexample with
+// the request timeline of exactly the minimized schedule.
+func ExecuteReplayObserved(sc Scenario, seed int64, replay *schedule.Replay, run *obs.Run) Outcome {
+	return executeObservedWith(sc, seed, nil, replay, nil, run)
 }
 
 // runScratch is a sweep worker's reusable substrate: one network — with
@@ -342,8 +368,20 @@ func (s *runScratch) take(cfg simnet.Config) *simnet.Network {
 // executeTracedWith is the common run path: ExecuteTraced with an optional
 // per-worker scratch (sweep runs pass one; single runs pass nil).
 func executeTracedWith(sc Scenario, seed int64, record *schedule.Log, replay *schedule.Replay, scratch *runScratch) Outcome {
+	return executeObservedWith(sc, seed, record, replay, scratch, nil)
+}
+
+// executeObservedWith is executeTracedWith with the observability plane:
+// run's metrics and trace are handed to the run's network(s) exactly as
+// record/replay are (the sharded runtime keeps them — its groups share one
+// clock, so one registry folds their deliveries deterministically — even
+// though it drops the schedule hooks).
+func executeObservedWith(sc Scenario, seed int64, record *schedule.Log, replay *schedule.Replay, scratch *runScratch, run *obs.Run) Outcome {
 	sc = sc.withDefaults().Materialize(seed)
 	sc.Net.Record, sc.Net.Replay = record, replay
+	if run != nil {
+		sc.Net.Metrics, sc.Net.Trace = run.Metrics, run.Trace
+	}
 	reqs := sc.Requests
 	if sc.Workload != nil {
 		reqs = workload.Generate(*sc.Workload, seed)
@@ -474,6 +512,7 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request, scratch *ru
 	effects := auditEffects(reqs, c.Env.InForceTotal)
 	dups := auditDuplicates(reqs, c.Env.InForceTotal)
 	wstats := c.WALStats()
+	snap := sc.Net.Metrics.Snapshot() // nil-safe; nil when unobserved
 	// Stop the cluster while still attached: once this goroutine Exits, a
 	// live cluster's periodic loops (cleaners, heartbeats) would free-run
 	// on the virtual clock at CPU speed, racing the verdict computation
@@ -503,6 +542,7 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request, scratch *ru
 	o.ReplayDuplicates = dups
 	o.WALAppends = wstats.Appends
 	o.WALSyncTime = wstats.SyncTime
+	o.Obs = snap
 	return o
 }
 
@@ -540,6 +580,7 @@ func executeBaseline(sc Scenario, seed int64, reqs []action.Request, scratch *ru
 	simTime := clk.Now() - start
 	clk.Sleep(settleFor(sc))
 	msgs := c.Net.TotalSent() // fixed virtual instant; see executeXAbility
+	snap := sc.Net.Metrics.Snapshot()
 	clk.Exit()
 	c.Net.Quiesce()
 
@@ -579,6 +620,7 @@ func executeBaseline(sc Scenario, seed int64, reqs []action.Request, scratch *ru
 	o.Messages = msgs
 	o.SimTime = simTime
 	o.EffectsInForce = effects
+	o.Obs = snap
 	return o
 }
 

@@ -157,6 +157,7 @@ func executeSharded(sc Scenario, seed int64, reqs []action.Request, scratch *run
 	// the effect, and a mis-routed duplicate applied by a non-owner
 	// inflates the count instead of hiding.
 	effects := auditEffects(reqs, c.EffectsInForce)
+	snap := sc.Net.Metrics.Snapshot()
 	// Stop while attached so the groups' periodic loops cannot free-run
 	// against the (expensive) merged verification below — see
 	// executeXAbility.
@@ -179,5 +180,6 @@ func executeSharded(sc Scenario, seed int64, reqs []action.Request, scratch *run
 	o.Messages = msgs
 	o.SimTime = simTime
 	o.EffectsInForce = effects
+	o.Obs = snap
 	return o
 }

@@ -1,11 +1,15 @@
 package scenario
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"xability/internal/obs"
 )
 
 // VerdictDistribution aggregates the outcomes of one scenario across a
@@ -50,6 +54,14 @@ type VerdictDistribution struct {
 	// SweepOptions.ShrinkFailing (and the shrinker is linked; see
 	// RegisterShrinker).
 	Counterexamples map[int64]string
+	// Rollup folds the per-run metrics snapshots (p50/p99/max/mean per
+	// counter, distinct interleaving-class coverage). Filled only when
+	// sweeping with SweepOptions.Metrics.
+	Rollup *obs.Rollup
+	// Traces maps failing seeds to their exported Chrome trace-event JSON,
+	// from a deterministic re-run under tracing. Filled only when sweeping
+	// with SweepOptions.TraceFailing.
+	Traces map[int64][]byte
 }
 
 // XAbleRate is the fraction of runs that verified x-able.
@@ -79,6 +91,9 @@ func (d VerdictDistribution) String() string {
 	if d.WALAppends > 0 || d.ReplayDuplicates > 0 {
 		fmt.Fprintf(&b, "\n  wal appends %d  duplicate-replay runs %d",
 			d.WALAppends, d.ReplayDuplicates)
+	}
+	if d.Rollup != nil {
+		fmt.Fprintf(&b, "\n%s", indent(d.Rollup.String(), "  "))
 	}
 	if len(d.Failing) > 0 {
 		n := len(d.Failing)
@@ -151,6 +166,22 @@ type SweepOptions struct {
 	// (0 selects 3). Shrinking is sequential and costs many re-executions
 	// per seed; a sweep with hundreds of failing seeds wants a bound.
 	MaxCounterexamples int
+	// Metrics arms the observability plane for every run: each worker
+	// keeps one obs.Metrics registry, reset per seed, and the per-run
+	// snapshots fold (in seed order, so deterministically) into
+	// VerdictDistribution.Rollup.
+	Metrics bool
+	// TraceFailing re-runs up to MaxCounterexamples failing seeds under
+	// request tracing and stores the exported Chrome trace-event JSON in
+	// VerdictDistribution.Traces. The re-run is deterministic — same
+	// (scenario, seed), observation does not perturb the schedule — so the
+	// trace depicts exactly the failing run.
+	TraceFailing bool
+	// Progress, when non-nil, is called after each completed run with the
+	// number of runs done so far and the total. Workers call it
+	// concurrently; the callback must be safe for that (the CLI's is a
+	// mutex-guarded rate-limited printer).
+	Progress func(done, total int)
 }
 
 // shrinkHook is the registered shrinker (see RegisterShrinker). It returns
@@ -191,6 +222,7 @@ func SweepWithOptions(sc Scenario, seeds []int64, opts SweepOptions) VerdictDist
 	}
 	outcomes := make([]Outcome, len(seeds))
 	idx := make(chan int)
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -203,10 +235,22 @@ func SweepWithOptions(sc Scenario, seeds []int64, opts SweepOptions) VerdictDist
 			// bit-equal to fresh-world runs (pinned by the determinism
 			// regressions).
 			scratch := &runScratch{}
+			// One registry per worker, reset per seed: counters are read
+			// only through the per-run snapshot, so reuse is invisible.
+			var run *obs.Run
+			if opts.Metrics {
+				run = &obs.Run{Metrics: obs.NewMetrics()}
+			}
 			for i := range idx {
-				o := executeTracedWith(sc, seeds[i], nil, nil, scratch)
+				if run != nil {
+					run.Metrics.Reset()
+				}
+				o := executeObservedWith(sc, seeds[i], nil, nil, scratch, run)
 				o.History = nil // bound sweep memory to the verdicts
 				outcomes[i] = o
+				if opts.Progress != nil {
+					opts.Progress(int(done.Add(1)), len(seeds))
+				}
 			}
 		}()
 	}
@@ -239,6 +283,31 @@ func SweepWithOptions(sc Scenario, seeds []int64, opts SweepOptions) VerdictDist
 		d.WALAppends += o.WALAppends
 		if !o.XAble || !o.Replied {
 			d.Failing = append(d.Failing, o.Seed)
+		}
+	}
+	if opts.Metrics {
+		snaps := make([]*obs.Snapshot, len(outcomes))
+		for i := range outcomes {
+			snaps[i] = outcomes[i].Obs
+		}
+		d.Rollup = obs.NewRollup(snaps)
+	}
+	if opts.TraceFailing && len(d.Failing) > 0 {
+		max := opts.MaxCounterexamples
+		if max <= 0 {
+			max = 3
+		}
+		d.Traces = make(map[int64][]byte)
+		for _, seed := range d.Failing {
+			if len(d.Traces) >= max {
+				break
+			}
+			tr := obs.NewTrace(0)
+			ExecuteObserved(sc, seed, &obs.Run{Trace: tr})
+			var buf bytes.Buffer
+			if err := tr.WriteJSON(&buf); err == nil {
+				d.Traces[seed] = buf.Bytes()
+			}
 		}
 	}
 	if opts.ShrinkFailing && shrinkHook != nil && len(d.Failing) > 0 {

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"xability/internal/obs"
 	"xability/internal/scenario"
 	"xability/internal/schedule"
 )
@@ -38,6 +39,11 @@ type Options struct {
 	// duplicated effect); a run that failed by not answering must keep
 	// not answering.
 	Failing func(scenario.Outcome) bool
+	// Annotate re-runs the minimal replay once more under request tracing
+	// (internal/obs) and attaches the rendered span timeline to the trace
+	// (MinTrace.Spans; Render appends it). Off by default so golden
+	// renders are unchanged.
+	Annotate bool
 }
 
 // ErrBudget reports that MaxSteps ran out before the trace was verified
@@ -82,6 +88,14 @@ type MinTrace struct {
 	// single kept delivery, or removing any single kept op, makes the
 	// failure disappear (within the run deadline).
 	Minimal bool
+	// Deadline is the virtual-time cap edited runs executed under (the
+	// scenario's own, or the one derived from the baseline's span). A
+	// cross-process re-run of the artifact needs it: without the cap, an
+	// edit-stalled await would hang instead of reporting TimedOut.
+	Deadline time.Duration
+	// Spans is the minimal run's rendered request timeline (one line per
+	// span event, virtual-time ordered). Filled only by Options.Annotate.
+	Spans []string
 
 	// Outcome is the minimal run's outcome, with Counterexample set to
 	// the rendered trace.
@@ -124,6 +138,12 @@ func (m MinTrace) Render() string {
 		m.Deliveries, m.BaseDeliveries, suppressed)
 	for _, e := range kept {
 		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	if len(m.Spans) > 0 {
+		fmt.Fprintf(&b, "request timeline (%d events):\n", len(m.Spans))
+		for _, s := range m.Spans {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
 	}
 	if !m.Minimal {
 		b.WriteString("note: step budget exhausted; trace still fails but is not verified 1-minimal\n")
@@ -298,7 +318,19 @@ func Shrink(sc scenario.Scenario, seed int64, opt Options) (MinTrace, error) {
 	mt.Ops = len(plan.Ops())
 	mt.Steps = steps
 	mt.Minimal = verified
+	mt.Deadline = sc.Deadline
 	mt.Outcome = outcome
+	if opt.Annotate {
+		// One more replay of the adopted log, this time under tracing: runs
+		// are deterministic, so the timeline depicts exactly the minimal
+		// run already committed (the annotated outcome is discarded —
+		// observation does not perturb the schedule).
+		tr := obs.NewTrace(0)
+		s := sc
+		s.Plan = plan
+		scenario.ExecuteReplayObserved(s, seed, mt.Replay(), &obs.Run{Trace: tr})
+		mt.Spans = tr.RenderText()
+	}
 	mt.Outcome.Counterexample = mt.Render()
 	if !verified {
 		return mt, ErrBudget

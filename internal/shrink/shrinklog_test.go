@@ -1,0 +1,100 @@
+package shrink
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xability/internal/scenario"
+)
+
+// TestShrinkLogRoundTrip pins the machine-readable artifact: a shrink
+// serialized to JSON, parsed back, and rebuilt must replay to the same
+// failure — the exact cross-process re-run the artifact exists for.
+func TestShrinkLogRoundTrip(t *testing.T) {
+	sc, ok := scenario.Get("pb-crash-failover")
+	if !ok {
+		t.Fatal("pb-crash-failover not registered")
+	}
+	mt, err := Shrink(sc, 1, Options{})
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := mt.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	// Determinism: equal shrinks produce byte-equal artifacts.
+	var again bytes.Buffer
+	if err := mt.WriteJSON(&again); err != nil {
+		t.Fatalf("second WriteJSON: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("artifact encoding is not deterministic")
+	}
+
+	loaded, err := LoadShrinkLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadShrinkLog: %v", err)
+	}
+	if loaded.Scenario != mt.Scenario || loaded.Seed != mt.Seed {
+		t.Errorf("identity drifted: %s/%d vs %s/%d", loaded.Scenario, loaded.Seed, mt.Scenario, mt.Seed)
+	}
+	if len(loaded.Ops) != mt.Ops || loaded.BaseOps != mt.BaseOps {
+		t.Errorf("ops drifted: %d/%d vs %d/%d", len(loaded.Ops), loaded.BaseOps, mt.Ops, mt.BaseOps)
+	}
+	if len(loaded.Entries) != mt.Log.Len() {
+		t.Errorf("entries drifted: %d vs %d", len(loaded.Entries), mt.Log.Len())
+	}
+
+	o, err := loaded.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if o.XAble || !o.Replied {
+		t.Errorf("rebuilt replay no longer fails: %+v", o)
+	}
+	if o.EffectsInForce != mt.Outcome.EffectsInForce || o.Executions != mt.Outcome.Executions {
+		t.Errorf("rebuilt replay diverged from the minimal run:\nrebuilt: %+v\noriginal: %+v",
+			o, mt.Outcome)
+	}
+}
+
+// TestShrinkLogUnknownScenario pins the loader's drift guard.
+func TestShrinkLogUnknownScenario(t *testing.T) {
+	if _, err := LoadShrinkLog(strings.NewReader(`{"scenario":""}`)); err == nil {
+		t.Error("empty scenario name accepted")
+	}
+	s := &ShrinkLog{Scenario: "no-such-scenario"}
+	if _, _, err := s.Rebuild(); err == nil {
+		t.Error("unregistered scenario rebuilt")
+	}
+}
+
+// TestShrinkAnnotate pins the span annotation: with Annotate set the
+// minimal trace carries a request timeline and Render shows it; without,
+// renders are unchanged (the golden test pins that side).
+func TestShrinkAnnotate(t *testing.T) {
+	sc, _ := scenario.Get("pb-crash-failover")
+	mt, err := Shrink(sc, 1, Options{Annotate: true})
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	if len(mt.Spans) == 0 {
+		t.Fatal("Annotate produced no spans")
+	}
+	r := mt.Render()
+	if !strings.Contains(r, "request timeline") {
+		t.Errorf("render misses the timeline:\n%s", r)
+	}
+	// The annotation replays the committed minimal schedule, so it is
+	// deterministic too.
+	again, err := Shrink(sc, 1, Options{Annotate: true})
+	if err != nil {
+		t.Fatalf("second Shrink: %v", err)
+	}
+	if r != again.Render() {
+		t.Errorf("annotated renders differ:\n--- first\n%s\n--- second\n%s", r, again.Render())
+	}
+}

@@ -67,6 +67,7 @@ import (
 	"sync"
 	"time"
 
+	"xability/internal/obs"
 	"xability/internal/schedule"
 	"xability/internal/vclock"
 )
@@ -140,6 +141,15 @@ type Config struct {
 	// back to the seeded generator. Record and Replay compose: recording a
 	// replayed run yields the effective schedule of the edited run.
 	Replay *schedule.Replay
+	// Metrics, when non-nil, receives per-message counters (type counts,
+	// drops) and the delivery-order coverage fingerprint. Components built
+	// on the network pull the registry via Network.Metrics so one Config
+	// choice instruments the whole deployment. Nil costs nothing.
+	Metrics *obs.Metrics
+	// Trace, when non-nil, records message-delivery flow edges (and, via
+	// Network.Trace, the protocol layers' request spans) into the run's
+	// span recorder. Nil costs nothing.
+	Trace *obs.Trace
 }
 
 // Network connects endpoints. Create with New, then Register each process.
@@ -174,6 +184,10 @@ type Network struct {
 	// Schedule record/replay plane (cfg.Record / cfg.Replay).
 	record *schedule.Log
 	replay *schedule.Cursor
+
+	// Observability plane (cfg.Metrics / cfg.Trace); both nil-safe.
+	metrics *obs.Metrics
+	trace   *obs.Trace
 
 	// Pools.
 	dfree []*delivery // recycled delivery events
@@ -212,6 +226,8 @@ func (n *Network) apply(cfg Config) {
 	n.delayScale = 1
 	n.record = cfg.Record
 	n.replay = schedule.NewCursor(cfg.Replay)
+	n.metrics = cfg.Metrics
+	n.trace = cfg.Trace
 	for i, base := range n.bases {
 		n.streams[i].Seed(streamSeed(cfg.Seed, base))
 	}
@@ -265,6 +281,23 @@ func (n *Network) ensureBaseLocked(base ProcessID) int32 {
 // Config.Clock choice switches the whole deployment between virtual and
 // real time.
 func (n *Network) Clock() vclock.Clock { return n.clk }
+
+// Metrics returns the run's metrics registry (nil when observability is
+// off — every registry method is nil-safe, so components store the
+// result and call through unconditionally). Like Clock, one Config
+// choice instruments the whole deployment.
+func (n *Network) Metrics() *obs.Metrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.metrics
+}
+
+// Trace returns the run's span recorder (nil when tracing is off).
+func (n *Network) Trace() *obs.Trace {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.trace
+}
 
 // Endpoint is one process's attachment to the network: an unbounded mailbox
 // with blocking receive. The mailbox is a ring buffer, so steady-state
@@ -622,6 +655,8 @@ type delivery struct {
 	msg      Message
 	fromBase int32
 	entry    int32
+	class    uint8 // obs coverage class (0 when metrics are off)
+	flow     int64 // obs trace flow ID (0 when tracing is off)
 }
 
 // Run implements vclock.Runner: it completes one scheduled delivery. A
@@ -631,8 +666,9 @@ type delivery struct {
 func (d *delivery) Run() {
 	n := d.n
 	dst, msg, fromBase, entry := d.dst, d.msg, d.fromBase, d.entry
+	class, flow := d.class, d.flow
 	n.mu.Lock()
-	d.dst, d.msg = nil, Message{}
+	d.dst, d.msg, d.class, d.flow = nil, Message{}, 0, 0
 	n.dfree = append(n.dfree, d)
 	dead := n.crashed[dst.idx] || n.closed || n.blockedLocked(fromBase, dst.base)
 	if n.record != nil && entry >= 0 {
@@ -641,6 +677,16 @@ func (d *delivery) Run() {
 		} else {
 			n.record.Resolve(int(entry), schedule.Delivered)
 		}
+	}
+	if dead {
+		n.metrics.Inc(obs.MsgDropped)
+	} else {
+		// The coverage fingerprint folds actual deliveries in execution
+		// order — deliveries run one at a time on the virtual clock's
+		// pump, so the fold order (and the fingerprint) is a pure
+		// function of the seed.
+		n.metrics.Cover(fromBase, dst.base, class)
+		n.trace.FlowEnd(n.clk.Now(), string(dst.id), msg.Type, flow)
 	}
 	n.mu.Unlock()
 	if !dead {
@@ -681,6 +727,15 @@ func (e *Endpoint) Send(to ProcessID, typ string, payload any) {
 		panic(fmt.Sprintf("simnet: send to unknown process %q", to))
 	}
 	n.sent[e.idx]++
+	// Classify once for the type counter (send side) and the coverage
+	// fold (delivery side). The switch is a few constant-string compares;
+	// with observability off this is one branch.
+	var class uint8
+	if n.metrics != nil || n.trace != nil {
+		var ctr obs.Counter
+		class, ctr = obs.ClassOf(typ)
+		n.metrics.Inc(ctr)
+	}
 	delay := n.drawDelayLocked(e, dst)
 	// Replay plane: a send matched against the recorded log takes the
 	// log's (possibly edited) decision instead of the seeded draw. The
@@ -716,8 +771,16 @@ func (e *Endpoint) Send(to ProcessID, typ string, payload any) {
 		// The message is black-holed: by the link fault plane at send
 		// time, or by a replay edit (the shrinker suppressing one
 		// delivery).
+		n.metrics.Inc(obs.MsgDropped)
 		n.mu.Unlock()
 		return
+	}
+	// Trace a delivery edge for protocol traffic (submit/result/announce);
+	// heartbeat and consensus fan-out would flood the ring without adding
+	// request-lifecycle causality.
+	var flow int64
+	if n.trace != nil && class >= 1 && class <= 3 {
+		flow = n.trace.FlowStart(n.clk.Now(), string(e.id), typ)
 	}
 	n.inflight++
 	var d *delivery
@@ -729,6 +792,7 @@ func (e *Endpoint) Send(to ProcessID, typ string, payload any) {
 		d = &delivery{n: n}
 	}
 	d.dst, d.fromBase, d.entry = dst, e.base, int32(entry)
+	d.class, d.flow = class, flow
 	d.msg = Message{From: e.id, To: to, Type: typ, Payload: payload}
 	n.mu.Unlock()
 
@@ -811,6 +875,13 @@ func (e *Endpoint) ID() ProcessID { return e.id }
 
 // Clock returns the network clock this endpoint lives on.
 func (e *Endpoint) Clock() vclock.Clock { return e.net.clk }
+
+// Metrics returns the run's metrics registry (nil when off); components
+// constructed around an endpoint pull their instrumentation from here.
+func (e *Endpoint) Metrics() *obs.Metrics { return e.net.Metrics() }
+
+// Trace returns the run's span recorder (nil when off).
+func (e *Endpoint) Trace() *obs.Trace { return e.net.Trace() }
 
 // Close shuts the whole network down, unblocking all receivers. Intended
 // for the end of a run.

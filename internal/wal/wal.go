@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"xability/internal/obs"
 	"xability/internal/vclock"
 )
 
@@ -61,6 +62,9 @@ type Config struct {
 	// default) makes appends free and schedule-invisible: runs with and
 	// without an idle WAL stay byte-identical.
 	SyncLatency time.Duration
+	// Metrics, when non-nil, receives per-append counters (wal.appends,
+	// wal.sync_ns) in the run's registry. Nil costs nothing.
+	Metrics *obs.Metrics
 }
 
 // Stats aggregates the store's activity for cost-curve experiments.
@@ -139,6 +143,8 @@ func (l *Log) Append(r Record) {
 	s.appends++
 	s.synced += d
 	s.mu.Unlock()
+	s.cfg.Metrics.Inc(obs.WALAppends)
+	s.cfg.Metrics.Add(obs.WALSyncNS, int64(d))
 	if d > 0 {
 		s.clk.Sleep(d)
 	}
