@@ -1,5 +1,5 @@
 // Command xbench regenerates the experiment tables of EXPERIMENTS.md
-// (T1–T4, T3d, T6, T7, T9, T10, T11, T12, T13; T5 is produced by
+// (T1–T4, T3d, T6, T7, T9, T10, T11, T12, T13, T14; T5 is produced by
 // examples/threetier). Each table validates one of the paper's claims —
 // see DESIGN.md §3 for the claim-to-table map. T9 is the shard-scaling
 // table; T10 is the sweep-throughput table that tracks the repo's perf
@@ -8,7 +8,9 @@
 // crash-recovery table of the durable-state plane (failure density with
 // restarts on/off, plus the sync-latency cost curve); T13 is the
 // observability table (schedule-space coverage and metric rollups per
-// scenario — see DESIGN.md §10).
+// scenario — see DESIGN.md §10); T14 is the total-loss table (x-able
+// rate vs failure density across minority/majority/total outage regimes
+// with WAL compaction armed, plus the snapshot-tariff cost curve).
 //
 // With -json, the requested tables are additionally written to a JSON
 // file (default BENCH_6.json) with per-table wall time and allocation
@@ -81,7 +83,7 @@ func timed(rep *report, name string, f func() any) any {
 func main() {
 	var (
 		seed      = flag.Int64("seed", 1, "base seed for all experiments")
-		tables    = flag.String("tables", "1,2,3,3d,4,6,7,9,10,11,12,13", "comma-separated table numbers to run")
+		tables    = flag.String("tables", "1,2,3,3d,4,6,7,9,10,11,12,13,14", "comma-separated table numbers to run")
 		reqs      = flag.Int("requests", 200, "requests per cost measurement (T3)")
 		insts     = flag.Int("instances", 500, "consensus instances (T4)")
 		sweep     = flag.Int("sweep", 2000, "seeds per scenario sweep (T7)")
@@ -89,6 +91,7 @@ func main() {
 		t10seeds  = flag.Int("t10seeds", 512, "seeds per throughput row (T10; 512 matches the recorded baselines)")
 		t12seeds  = flag.Int("t12seeds", 64, "seeds per failure-density cell (T12; the sync curve uses a quarter)")
 		t13seeds  = flag.Int("t13seeds", 256, "seeds per observability row (T13)")
+		t14seeds  = flag.Int("t14seeds", 64, "seeds per outage-regime cell (T14; the snapshot curve uses a quarter)")
 		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		shardReqs = flag.Int("shard-requests", 0, "requests per shard-scaling row (T9; 0 = default)")
 		jsonOut   = flag.Bool("json", false, "also write the requested tables as JSON")
@@ -286,6 +289,30 @@ func main() {
 			fmt.Printf("  %-18s %-8d %-9d %-11d %-9.2f %-12d %-12d %-12d %-12d %-12v %-12v\n",
 				r.Scenario, r.Seeds, r.Classes, r.Singletons, r.TailNewRate,
 				r.SubmitsP50, r.AnnounceP50, r.DroppedP50, r.SuspectP50, r.LatP50, r.LatMax)
+		}
+		fmt.Println()
+	}
+
+	if want["14"] {
+		rows := timed(rep, "14", func() any { return exper.TableT14(*seed, *t14seeds, *workers) }).([]exper.T14Row)
+		fmt.Printf("T14 — total-loss recovery: x-able rate vs failure density across outage regimes, compaction armed (%d seeds per cell)\n", *t14seeds)
+		fmt.Printf("  %-10s %-6s %-8s %-8s %-8s %-10s %-10s %-10s %-10s\n",
+			"regime", "ops", "x-able", "replied", "dup-runs", "wal/run", "compact", "live/run", "seeds")
+		for _, r := range rows {
+			fmt.Printf("  %-10s %-6d %-8.4f %-8.4f %-8d %-10.1f %-10.1f %-10.1f %-10d\n",
+				r.Regime, r.Ops, r.XAbleRate, r.RepliedRate, r.DupRuns,
+				r.MeanWALAppends, r.MeanCompactions, r.MeanLiveRecords, r.Seeds)
+		}
+		snapSeeds := *t14seeds / 4
+		if snapSeeds < 1 {
+			snapSeeds = 1
+		}
+		snapRows := timed(rep, "14snap", func() any { return exper.TableT14Snap(*seed, snapSeeds) }).([]exper.T14SnapRow)
+		fmt.Printf("  bounded-log price — snapshot tariff vs virtual-time cost (power-cycle, compact threshold 8, %d seeds per point)\n", snapSeeds)
+		fmt.Printf("  %-10s %-8s %-10s %-14s %-14s\n", "snap", "x-able", "compact", "sync-t/run", "sim-t/run")
+		for _, r := range snapRows {
+			fmt.Printf("  %-10v %-8.4f %-10.1f %-14v %-14v\n",
+				r.Snap, r.XAbleRate, r.MeanCompactions, r.MeanSyncTime, r.MeanSimTime)
 		}
 		fmt.Println()
 	}

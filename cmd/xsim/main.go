@@ -23,12 +23,18 @@
 // Scenarios come from the registry (-list prints them): nice,
 // crash-failover, partition, delay-storm, delay-storm-hb, partition-hb,
 // suspect, failures, sequence, random-faults, the spectrum-N pulse
-// sweeps, the throughput-plane rows (batch-nice, batch-crash-failover,
+// sweeps, the durable-state rows (restart-minority, restart-random, and
+// the total-loss regimes restart-majority, power-cycle,
+// restart-random-majority, restart-random-total, where a majority or
+// the whole cluster power-cycles and recovery climbs out of the
+// write-ahead logs alone), the throughput-plane rows (batch-nice, batch-crash-failover,
 // batch-storm-hb on the batched slot protocol; open-loop-nice,
 // open-loop-batch, shard-open-loop driving arrival-rate load through
 // stations — open-loop runs also print a session-latency summary), the
 // sharded rows (shard-nice, shard-crash-failover, shard-split-brain,
-// shard-storm, shard-random — the keyspace-router deployment of
+// shard-storm, shard-random, plus the group-scoped restart family
+// shard-restart-minority, shard-power-cycle, shard-restart-random —
+// the keyspace-router deployment of
 // internal/shard; -shards N redeploys any x-ability scenario across N
 // groups), and the baseline contrast rows (pb-nice, pb-crash-failover,
 // active-nice).

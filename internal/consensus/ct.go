@@ -88,8 +88,65 @@ const (
 // before the message that reveals it is sent. Quorum intersection on
 // acked estimates is what carries agreement across a crash; an acceptor
 // that acked in memory only and restarted amnesiac could let two rounds
-// decide differently. Call before Start.
-func (n *Node) SetLog(l *wal.Log) { n.log = l }
+// decide differently. Call before Start. The log's compactor is
+// installed here too: the acceptor's snapshot is its promise set, one
+// record per instance.
+func (n *Node) SetLog(l *wal.Log) {
+	n.log = l
+	if l != nil {
+		l.SetCompactor(ctCompact)
+	}
+}
+
+// ctCompact is the acceptor's snapshot fold (wal.Compactor): the durable
+// state an acceptor must carry is, per instance, the last adopted
+// (estimate, ts) pair — or just the decision once one is learned, since
+// a decided instance answers every later message with the decision and
+// never consults its estimate again. Replaying the fold's output yields
+// exactly the state of replaying the full prefix: est/dec records are
+// last-writer-wins per instance.
+func ctCompact(prefix []wal.Record) []wal.Record {
+	type ik struct {
+		space uint8
+		id    string
+		round int32
+	}
+	type lastIdx struct{ est, dec int }
+	last := make(map[ik]lastIdx, len(prefix))
+	for i, r := range prefix {
+		k := ik{r.Space, r.Key, r.Round}
+		s, ok := last[k]
+		if !ok {
+			s = lastIdx{est: -1, dec: -1}
+		}
+		switch r.Kind {
+		case recEstimate:
+			s.est = i
+		case recDecision:
+			s.dec = i
+		default:
+			continue // snapshot markers and foreign kinds fold away
+		}
+		last[k] = s
+	}
+	keep := make([]bool, len(prefix))
+	// Map-order walk is safe here: it only sets order-independent keep
+	// flags; output order comes from the prefix scan below.
+	for _, s := range last {
+		if s.dec >= 0 {
+			keep[s.dec] = true
+		} else if s.est >= 0 {
+			keep[s.est] = true
+		}
+	}
+	out := make([]wal.Record, 0, len(last))
+	for i, r := range prefix {
+		if keep[i] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
 
 // Recover rebuilds acceptor state from the node's log: the instance map
 // is repopulated with each instance's last adopted (estimate, ts) and any
@@ -100,7 +157,12 @@ func (n *Node) Recover() {
 	if n.log == nil {
 		return
 	}
+	replayed := int64(0)
 	n.log.Replay(func(r wal.Record) {
+		if r.Kind != recEstimate && r.Kind != recDecision {
+			return // snapshot markers carry no acceptor state
+		}
+		replayed++
 		key := Key{Space: Space(r.Space), ID: r.Key, Round: r.Round}
 		inst := n.instance(key)
 		inst.mu.Lock()
@@ -115,6 +177,7 @@ func (n *Node) Recover() {
 		}
 		inst.mu.Unlock()
 	})
+	n.m.Add(obs.WALReplayed, replayed)
 }
 
 // persistEstimate forces an adopted (estimate, ts) pair to the log before
@@ -192,7 +255,7 @@ type ctInstance struct {
 	// The acceptor's durable state (xvet:durable): writes must be paired
 	// with a WAL persist — the durablewrite analyzer flags any assignment
 	// in a function that never persists.
-	estimate any //xvet:durable
+	estimate any  //xvet:durable
 	hasEst   bool //xvet:durable
 	ts       int  //xvet:durable
 	decided  bool //xvet:durable

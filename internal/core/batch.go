@@ -424,7 +424,7 @@ func (s *Server) applySlot(n int, batch []SubmitPayload, vals []action.Value, ow
 		s.mu.Lock()
 		dupEarlier := st.done && st.doneSlot >= 0 && st.doneSlot < n
 		if !dupEarlier {
-			st.done = true     //xvet:ok durablewrite batched plane is an in-memory baseline: restart is unsupported there, nothing to persist
+			st.done = true      //xvet:ok durablewrite batched plane is an in-memory baseline: restart is unsupported there, nothing to persist
 			st.result = vals[i] //xvet:ok durablewrite batched plane is an in-memory baseline: restart is unsupported there, nothing to persist
 			st.applied = true
 			st.doneSlot = n

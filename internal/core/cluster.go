@@ -74,6 +74,13 @@ type ClusterConfig struct {
 	// WALSync is the per-append sync tariff charged on the clock when
 	// Durable is set (zero: appends are free and schedule-invisible).
 	WALSync time.Duration
+	// WALSnapshotSync is the per-record tariff for compaction snapshot
+	// writes (zero derives WALSync/4; negative is explicitly free).
+	WALSnapshotSync time.Duration
+	// WALCompact triggers log compaction once a log has grown this many
+	// synced records past its last snapshot (zero: logs grow unboundedly,
+	// the pre-compaction behavior).
+	WALCompact int
 }
 
 // Cluster is an assembled service: n server replicas, one client stub, a
@@ -101,6 +108,7 @@ type Cluster struct {
 	detFor    map[simnet.ProcessID]fd.Detector
 	localCons consensus.Provider // shared provider in ConsensusLocal mode
 	walStore  *wal.Store         // nil unless cfg.Durable
+	crashAt   []time.Duration    // virtual crash instant per replica; -1 when live
 }
 
 // NewCluster assembles and starts a service.
@@ -126,7 +134,16 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		cfg:      cfg,
 	}
 	if cfg.Durable {
-		c.walStore = wal.NewStore(net.Clock(), wal.Config{SyncLatency: cfg.WALSync, Metrics: net.Metrics()})
+		c.walStore = wal.NewStore(net.Clock(), wal.Config{
+			SyncLatency:      cfg.WALSync,
+			SnapshotSync:     cfg.WALSnapshotSync,
+			CompactThreshold: cfg.WALCompact,
+			Metrics:          net.Metrics(),
+		})
+	}
+	c.crashAt = make([]time.Duration, cfg.Replicas)
+	for i := range c.crashAt {
+		c.crashAt[i] = -1
 	}
 
 	ids := make([]simnet.ProcessID, cfg.Replicas)
@@ -267,8 +284,21 @@ func (c *Cluster) ClientSuspect(target simnet.ProcessID, v bool) {
 }
 
 // CrashServer crashes replica i. Scripted detectors treat crashed
-// processes as suspected automatically (strong completeness).
-func (c *Cluster) CrashServer(i int) { c.Servers[i].Crash() }
+// processes as suspected automatically (strong completeness). With
+// stable storage, the crash instant also tears the replica's unsynced
+// WAL suffix: a record whose sync was still in flight was never durable
+// (torn-tail semantics), so the next incarnation must not replay it.
+func (c *Cluster) CrashServer(i int) {
+	id := c.ids[i]
+	first := !c.Net.Crashed(id)
+	c.Servers[i].Crash()
+	if c.walStore != nil {
+		c.walStore.Crash(string(id), consLogName(id))
+	}
+	if first && c.crashAt != nil {
+		c.crashAt[i] = c.Clock().Now()
+	}
+}
 
 // consLogName names a replica's consensus-acceptor log in the WAL store,
 // kept distinct from the server log so the two layers replay independently.
@@ -352,6 +382,10 @@ func (c *Cluster) RestartServer(i int) bool {
 	srv.Recover()
 	srv.Start()
 	c.Servers[i] = srv
+	if c.crashAt != nil && c.crashAt[i] >= 0 {
+		c.Net.Metrics().ObserveRecovery(c.Clock().Now() - c.crashAt[i])
+		c.crashAt[i] = -1
+	}
 	return true
 }
 

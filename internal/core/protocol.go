@@ -232,7 +232,65 @@ func NewServer(cfg ServerConfig) *Server {
 	if s.batch.Enabled {
 		s.slots = newSlotState(s.clk)
 	}
+	if s.log != nil {
+		s.log.SetCompactor(serverCompact)
+	}
 	return s
+}
+
+// serverCompact is the server's snapshot fold (wal.Compactor): the
+// durable state per request is its first req record, then — for an
+// unfinished request — the round records guarding re-attempts, or — for
+// a finished one — just its fin record. Round records of a finished
+// request are dead weight: the guard exists to stop a restarted replica
+// from re-attempting a round and double-executing, and a recovered
+// done/result answers every later touch of the request before any round
+// is attempted. Request order is preserved (it is the replay order of
+// s.order); replaying the fold's output yields state the server cannot
+// distinguish from replaying the full prefix.
+func serverCompact(prefix []wal.Record) []wal.Record {
+	fin := make(map[string]int, len(prefix)) // last fin index per request
+	for i, r := range prefix {
+		if r.Kind == recFinish {
+			fin[r.Key] = i
+		}
+	}
+	out := make([]wal.Record, 0, len(prefix))
+	seenReq := make(map[string]bool, len(prefix))
+	type roundKey struct {
+		id    string
+		round int32
+	}
+	seenRound := make(map[roundKey]bool)
+	for i, r := range prefix {
+		switch r.Kind {
+		case recRequest:
+			if seenReq[r.Key] {
+				continue
+			}
+			seenReq[r.Key] = true
+			out = append(out, r)
+			if fi, done := fin[r.Key]; done {
+				out = append(out, prefix[fi])
+			}
+		case recRound:
+			if _, done := fin[r.Key]; done {
+				continue
+			}
+			rk := roundKey{r.Key, r.Round}
+			if seenRound[rk] {
+				continue
+			}
+			seenRound[rk] = true
+			out = append(out, r)
+		case recFinish:
+			// Emitted beside its req above. A fin whose req record is
+			// missing is unreachable on replay (Recover ignores it) — and
+			// cannot occur, since persistRequest precedes every finish.
+			_ = i
+		}
+	}
+	return out
 }
 
 // propose issues a consensus proposal, charging the cost model's per-proposal
@@ -322,7 +380,12 @@ func (s *Server) Recover() {
 	if s.log == nil {
 		return
 	}
+	replayed := int64(0)
 	s.log.Replay(func(r wal.Record) {
+		if r.Kind != recRequest && r.Kind != recRound && r.Kind != recFinish {
+			return // snapshot markers carry no server state
+		}
+		replayed++
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		switch r.Kind {
@@ -339,11 +402,12 @@ func (s *Server) Recover() {
 			s.rounds[consensus.Key{Space: consensus.SpaceOwner, ID: r.Key, Round: r.Round}] = true //xvet:ok durablewrite recovery replays the log; re-persisting here would double every record
 		case recFinish:
 			if st := s.active[r.Key]; st != nil {
-				st.done = true                 //xvet:ok durablewrite recovery replays the log; re-persisting here would double every record
+				st.done = true                  //xvet:ok durablewrite recovery replays the log; re-persisting here would double every record
 				st.result = action.Value(r.Str) //xvet:ok durablewrite recovery replays the log; re-persisting here would double every record
 			}
 		}
 	})
+	s.m.Add(obs.WALReplayed, replayed)
 }
 
 func (s *Server) isStopped() bool {
@@ -621,6 +685,29 @@ func (s *Server) cleanRequest(st *requestState) {
 		lastRound = r
 		od = v.(ownerDecision)
 	}
+	// An attempt record for the round after last-round is an ownership
+	// proposal some incarnation of this replica wrote ahead and then never
+	// learned the decision of — it crashed inside the propose. The quorum
+	// may have decided the round — possibly electing this replica owner —
+	// while the restarted replica's consensus state knows nothing of it.
+	// Nobody else will resolve that: correct detectors never suspect a
+	// live restarted replica, so every other cleaner defers forever to an
+	// owner that does not know it owns the round (found by the
+	// restart-majority sweep, seed 12; pinned by
+	// TestRestartForgottenOwnershipResolved). Re-proposing the recovered
+	// attempt makes this node learn — or, if the quorum never formed,
+	// force — the round's decision; the next cleaner pass then acts on it
+	// through the normal resume/takeover paths.
+	if lastRound < MaxRound {
+		key := ownerKey(reqID, lastRound+1)
+		s.mu.Lock()
+		dangling := s.rounds[key] && !s.inflight[key]
+		s.mu.Unlock()
+		if dangling {
+			s.propose(key, ownerDecision{Owner: s.id, Req: st.req, Client: st.client})
+			return
+		}
+	}
 	if lastRound == 0 {
 		return // nobody owns round 1 yet; the client's retry handles it
 	}
@@ -654,15 +741,15 @@ func (s *Server) cleanRequest(st *requestState) {
 	s.ep.Send(od.Client, MsgResult, ResultPayload{ReqID: reqID, Value: res})
 }
 
-// resumeOwnRound re-drives a round this replica owns but has no live
+// resumeOwnRound settles a round this replica owns but has no live
 // goroutine for — the crash-recovery gap the write-ahead log alone cannot
 // close. Recovery restores the round-attempt record, but the executing
 // goroutine died with the old incarnation, and cleanRequest's takeover
 // path requires suspicion of the owner, which a live restarted replica
-// never draws. Re-execution is safe: the environment's transaction replays
-// a completed effect idempotently, a fenced (aborted) round refuses to
-// re-execute, and result coordination arbitrates against any concurrent
-// cleaner.
+// never draws. The resume acts as this round's own cleaner: forward a
+// result the quorum already fixed, or abort the round and drive a
+// successor — never re-execute the round itself (see the comment at the
+// coordination call below).
 func (s *Server) resumeOwnRound(od ownerDecision, round int) {
 	req := od.Req
 	key := ownerKey(req.ID, round)
@@ -686,34 +773,23 @@ func (s *Server) resumeOwnRound(od ownerDecision, round int) {
 		s.ep.Send(od.Client, MsgResult, ResultPayload{ReqID: req.ID, Value: v})
 		return
 	}
-	// A round already decided abort needs no re-execution, only a
-	// successor — and only if the aborting cleaner died before starting
-	// one (the ownership array is the evidence either way).
-	if s.mach.IsUndoable(req) {
-		if v, ok := s.cons.Object(outcomeKey(req.ID, round)).Read(); ok {
-			if dec, good := v.(outcomeDecision); good && dec.Outcome == "abort" {
-				if _, started := s.cons.Object(ownerKey(req.ID, round+1)).Read(); !started {
-					s.processRequest(req, round+1, od.Client)
-				}
-				return
-			}
-		}
-	}
-	exec := s.taggedFor(req, round)
-	res, ok := s.executeUntilSuccess(exec)
-	if !ok {
-		if s.isStopped() {
-			return
-		}
-		res = EmptyResult // fenced mid-resume: join the abort below
-	}
-	res = s.resultCoordination(req, round, res)
+	// The crash may have hit anywhere between execution and the reply, and
+	// the local consensus state cannot tell: the old incarnation may have
+	// executed, proposed commit, and died in the narrow window before
+	// learning the decision — which the quorum then fixed and applied
+	// while this replica was down. Re-executing on local evidence would
+	// put a second completed execution of an already-committed round into
+	// the history, a duplicate the calculus cannot reduce (found by the
+	// restart-random-majority sweep, seed 114; pinned by the power-cycle
+	// sweeps). So resume cleans its own round instead: coordination in
+	// cleaning mode learns a fixed result if one exists — the reply then
+	// goes out — and otherwise aborts the round like any cleaner would,
+	// letting the successor round re-execute under a fresh tag.
+	res := s.resultCoordination(req, round, EmptyResult)
 	if s.isStopped() {
 		return
 	}
 	if res == EmptyResult {
-		// The round aborted under us; drive the successor round like an
-		// aborting cleaner would.
 		s.processRequest(req, round+1, od.Client)
 		return
 	}

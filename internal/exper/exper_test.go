@@ -357,3 +357,64 @@ func TestT13CoverageShape(t *testing.T) {
 		t.Errorf("T13 not deterministic across worker counts:\n%+v\nvs\n%+v", rows, again)
 	}
 }
+
+// TestT14TotalLossMatrix pins the total-loss plane's headline (claim
+// E17): deepening the outage regime from minority to majority to total
+// moves none of the verdict columns — x-able 1.0, replied 1.0, zero
+// duplicate-replay runs — while compaction visibly fires (live records
+// strictly below appends). The snapshot curve must price the bound in
+// virtual time only.
+func TestT14TotalLossMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("total-loss sweep skipped in -short mode")
+	}
+	rows := TableT14(1, 16, 0)
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(rows))
+	}
+	regimes := map[string]bool{}
+	for _, r := range rows {
+		regimes[r.Regime] = true
+		if r.XAbleRate != 1 || r.RepliedRate != 1 {
+			t.Errorf("%s ops %d: x-able %.4f replied %.4f, want 1.0",
+				r.Regime, r.Ops, r.XAbleRate, r.RepliedRate)
+		}
+		if r.DupRuns != 0 {
+			t.Errorf("%s ops %d: %d duplicate-replay runs, want 0", r.Regime, r.Ops, r.DupRuns)
+		}
+		if r.MeanWALAppends <= 0 {
+			t.Errorf("%s ops %d: no WAL activity in a durable sweep", r.Regime, r.Ops)
+		}
+		if r.MeanCompactions <= 0 {
+			t.Errorf("%s ops %d: compaction never fired at threshold 8", r.Regime, r.Ops)
+		}
+		if r.MeanLiveRecords >= r.MeanWALAppends {
+			t.Errorf("%s ops %d: live records %.1f not below appends %.1f — the log is not bounded",
+				r.Regime, r.Ops, r.MeanLiveRecords, r.MeanWALAppends)
+		}
+	}
+	for _, want := range []string{"minority", "majority", "total"} {
+		if !regimes[want] {
+			t.Errorf("regime %q missing from the matrix", want)
+		}
+	}
+	snap := TableT14Snap(1, 6)
+	if len(snap) != 4 {
+		t.Fatalf("snap rows = %d, want 4", len(snap))
+	}
+	for _, r := range snap {
+		if r.XAbleRate != 1 {
+			t.Errorf("snap %v: x-able %.4f, want 1.0 — the tariff may cost time, never correctness", r.Snap, r.XAbleRate)
+		}
+		if r.MeanCompactions <= 0 {
+			t.Errorf("snap %v: compaction never fired", r.Snap)
+		}
+	}
+	if snap[0].MeanSyncTime != 0 {
+		t.Errorf("zero tariff charged %v of sync time, want 0", snap[0].MeanSyncTime)
+	}
+	if last := snap[len(snap)-1]; last.MeanSimTime <= snap[0].MeanSimTime || last.MeanSyncTime <= 0 {
+		t.Errorf("1ms snapshot tariff (sync %v, sim %v) not priced above the free point (sim %v)",
+			last.MeanSyncTime, last.MeanSimTime, snap[0].MeanSimTime)
+	}
+}

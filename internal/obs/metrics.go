@@ -52,9 +52,16 @@ const (
 	BatchSlots
 	BatchReqs
 
-	// Durable plane: WAL appends and total sync-tariff time (ns).
+	// Durable plane: WAL appends, total sync-tariff time (ns), snapshot
+	// installs and the bytes they wrote/reclaimed, torn-tail drops, and
+	// records replayed at recovery.
 	WALAppends
 	WALSyncNS
+	WALCompactions
+	WALSnapshotBytes
+	WALCompactedBytes
+	WALTorn
+	WALReplayed
 
 	// Failure-detector transitions.
 	FDSuspicions
@@ -74,29 +81,34 @@ const (
 // counterNames is indexed by Counter and is the stable, human- and
 // machine-readable schema for snapshots and rollups.
 var counterNames = [NumCounters]string{
-	MsgSubmit:       "msg.submit",
-	MsgResult:       "msg.result",
-	MsgAnnounce:     "msg.announce",
-	MsgHeartbeat:    "msg.heartbeat",
-	MsgCons:         "msg.cons",
-	MsgOther:        "msg.other",
-	MsgDropped:      "msg.dropped",
-	ConsRounds:      "cons.rounds",
-	ConsRetransmits: "cons.retransmits",
-	ConsCatchUps:    "cons.catchups",
-	ConsProposals:   "cons.proposals",
-	ConsDecisions:   "cons.decisions",
-	BatchSlots:      "batch.slots",
-	BatchReqs:       "batch.reqs",
-	WALAppends:      "wal.appends",
-	WALSyncNS:       "wal.sync_ns",
-	FDSuspicions:    "fd.suspicions",
-	FDUnsuspicions:  "fd.unsuspicions",
-	ReqSubmitted:    "req.submitted",
-	ReqReplied:      "req.replied",
-	ReqFailovers:    "req.failovers",
-	Takeovers:       "req.takeovers",
-	Restarts:        "srv.restarts",
+	MsgSubmit:         "msg.submit",
+	MsgResult:         "msg.result",
+	MsgAnnounce:       "msg.announce",
+	MsgHeartbeat:      "msg.heartbeat",
+	MsgCons:           "msg.cons",
+	MsgOther:          "msg.other",
+	MsgDropped:        "msg.dropped",
+	ConsRounds:        "cons.rounds",
+	ConsRetransmits:   "cons.retransmits",
+	ConsCatchUps:      "cons.catchups",
+	ConsProposals:     "cons.proposals",
+	ConsDecisions:     "cons.decisions",
+	BatchSlots:        "batch.slots",
+	BatchReqs:         "batch.reqs",
+	WALAppends:        "wal.appends",
+	WALSyncNS:         "wal.sync_ns",
+	WALCompactions:    "wal.compactions",
+	WALSnapshotBytes:  "wal.snapshot_bytes",
+	WALCompactedBytes: "wal.compacted_bytes",
+	WALTorn:           "wal.torn",
+	WALReplayed:       "wal.replayed",
+	FDSuspicions:      "fd.suspicions",
+	FDUnsuspicions:    "fd.unsuspicions",
+	ReqSubmitted:      "req.submitted",
+	ReqReplied:        "req.replied",
+	ReqFailovers:      "req.failovers",
+	Takeovers:         "req.takeovers",
+	Restarts:          "srv.restarts",
 }
 
 // Name returns the counter's schema name.
@@ -138,6 +150,13 @@ type Metrics struct {
 	latSum    atomic.Int64
 	latCount  atomic.Int64
 	latMax    atomic.Int64
+
+	// Crash→recovered latency (virtual time from CrashServer to the
+	// restarted replica's Start returning), same bucket scheme.
+	recBucket [latBuckets]atomic.Int64
+	recSum    atomic.Int64
+	recCount  atomic.Int64
+	recMax    atomic.Int64
 
 	// Schedule-space coverage: a streaming order-dependent hash over the
 	// run's delivery sequence. Deliveries execute one at a time on the
@@ -203,6 +222,27 @@ func (m *Metrics) Observe(d time.Duration) {
 	}
 }
 
+// ObserveRecovery records one crash→recovered latency. Safe on a nil
+// receiver (no-op).
+func (m *Metrics) ObserveRecovery(d time.Duration) {
+	if m == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	m.recBucket[bits.Len64(uint64(ns))&(latBuckets-1)].Add(1)
+	m.recSum.Add(ns)
+	m.recCount.Add(1)
+	for {
+		cur := m.recMax.Load()
+		if ns <= cur || m.recMax.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
 // Cover folds one delivery event into the run's interleaving-class
 // fingerprint: the interned sender index, receiver index, and message
 // class, mixed with a splitmix64-style step. Order-dependent by design —
@@ -242,6 +282,12 @@ func (m *Metrics) Reset() {
 	m.latSum.Store(0)
 	m.latCount.Store(0)
 	m.latMax.Store(0)
+	for i := range m.recBucket {
+		m.recBucket[i].Store(0)
+	}
+	m.recSum.Store(0)
+	m.recCount.Store(0)
+	m.recMax.Store(0)
 	m.covMu.Lock()
 	m.cov = 0
 	m.covMu.Unlock()
@@ -281,6 +327,13 @@ type Snapshot struct {
 	LatP50NS int64
 	LatP99NS int64
 
+	// Crash→recovered latency distribution (zero when nothing restarted).
+	RecCount int64
+	RecSumNS int64
+	RecMaxNS int64
+	RecP50NS int64
+	RecP99NS int64
+
 	Coverage uint64
 }
 
@@ -301,8 +354,13 @@ func (m *Metrics) Snapshot() *Snapshot {
 	s.LatCount = m.latCount.Load()
 	s.LatSumNS = m.latSum.Load()
 	s.LatMaxNS = m.latMax.Load()
-	s.LatP50NS = m.latQuantile(50, s.LatCount)
-	s.LatP99NS = m.latQuantile(99, s.LatCount)
+	s.LatP50NS = m.latQuantile(&m.latBucket, m.latMax.Load(), 50, s.LatCount)
+	s.LatP99NS = m.latQuantile(&m.latBucket, m.latMax.Load(), 99, s.LatCount)
+	s.RecCount = m.recCount.Load()
+	s.RecSumNS = m.recSum.Load()
+	s.RecMaxNS = m.recMax.Load()
+	s.RecP50NS = m.latQuantile(&m.recBucket, m.recMax.Load(), 50, s.RecCount)
+	s.RecP99NS = m.latQuantile(&m.recBucket, m.recMax.Load(), 99, s.RecCount)
 	m.covMu.Lock()
 	s.Coverage = m.cov
 	m.covMu.Unlock()
@@ -311,7 +369,7 @@ func (m *Metrics) Snapshot() *Snapshot {
 
 // latQuantile returns the upper bound of the bucket holding the q-th
 // percentile observation (nearest-rank over the bucketed counts).
-func (m *Metrics) latQuantile(q, count int64) int64 {
+func (m *Metrics) latQuantile(buckets *[latBuckets]atomic.Int64, max, q, count int64) int64 {
 	if count == 0 {
 		return 0
 	}
@@ -320,8 +378,8 @@ func (m *Metrics) latQuantile(q, count int64) int64 {
 		rank = 1
 	}
 	var seen int64
-	for i := range m.latBucket {
-		seen += m.latBucket[i].Load()
+	for i := range buckets {
+		seen += buckets[i].Load()
 		if seen >= rank {
 			if i == 0 {
 				return 0
@@ -329,7 +387,7 @@ func (m *Metrics) latQuantile(q, count int64) int64 {
 			return 1 << i // upper bound of [2^(i-1), 2^i)
 		}
 	}
-	return m.latMax.Load()
+	return max
 }
 
 // Run bundles the optional per-run observability handles threaded

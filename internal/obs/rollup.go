@@ -98,6 +98,10 @@ func NewRollup(snaps []*Snapshot) *Rollup {
 		{"lat.p50_ns", func(s *Snapshot) int64 { return s.LatP50NS }},
 		{"lat.p99_ns", func(s *Snapshot) int64 { return s.LatP99NS }},
 		{"lat.max_ns", func(s *Snapshot) int64 { return s.LatMaxNS }},
+		{"recovery.count", func(s *Snapshot) int64 { return s.RecCount }},
+		{"recovery.p50_ns", func(s *Snapshot) int64 { return s.RecP50NS }},
+		{"recovery.p99_ns", func(s *Snapshot) int64 { return s.RecP99NS }},
+		{"recovery.max_ns", func(s *Snapshot) int64 { return s.RecMaxNS }},
 	} {
 		for i, s := range runs {
 			vals[i] = series.get(s)

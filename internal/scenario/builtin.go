@@ -223,6 +223,73 @@ func init() {
 		Settle:       20 * time.Millisecond,
 	})
 
+	// restart-majority: two of three replicas crash — a quorum is gone and
+	// agreement stalls — then both restart from stable storage. The one
+	// survivor bridges the outage in memory; the revived acceptors must
+	// rejoin with their logged votes intact so the post-restart quorum
+	// cannot contradict anything decided before the crashes.
+	MustRegister(Scenario{
+		Name:        "restart-majority",
+		Description: "a majority crashes mid-execution and restarts from stable storage; one survivor bridges the outage",
+		Consensus:   core.ConsensusCT,
+		Durable:     true,
+		Failures:    []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		Plan: NewPlan().
+			CrashAt(2*time.Millisecond, 0).
+			CrashAt(2500*time.Microsecond, 1).
+			RestartAt(6*time.Millisecond, 0).
+			RestartAt(7*time.Millisecond, 1),
+		Settle: 25 * time.Millisecond,
+	})
+
+	// power-cycle: the total-loss schedule — every replica crashes at one
+	// virtual instant, so for a window the deployment exists only as bytes
+	// on stable storage. Staggered restarts bring the replicas back one by
+	// one; every decision, acceptor vote, and applied effect must come
+	// back from the logs alone (no live replica bridged the outage), and
+	// the client's retries across the blackout must still land
+	// exactly-once.
+	MustRegister(Scenario{
+		Name:        "power-cycle",
+		Description: "all replicas crash simultaneously and restart staggered from stable storage; no live state bridges the outage",
+		Consensus:   core.ConsensusCT,
+		Durable:     true,
+		Failures:    []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		Plan: NewPlan().
+			CrashAt(2*time.Millisecond, 0).
+			CrashAt(2*time.Millisecond, 1).
+			CrashAt(2*time.Millisecond, 2).
+			RestartAt(5*time.Millisecond, 2).
+			RestartAt(6*time.Millisecond, 1).
+			RestartAt(7*time.Millisecond, 0),
+		Settle: 25 * time.Millisecond,
+	})
+
+	// restart-random-majority: the generator with the minority guard
+	// lifted to all-but-one — drawn schedules may take down a quorum as
+	// long as every crash pairs with a restart inside the horizon.
+	MustRegister(Scenario{
+		Name:         "restart-random-majority",
+		Description:  "seeded random schedules that may crash a majority; paired restarts are the liveness guard",
+		Consensus:    core.ConsensusCT,
+		Durable:      true,
+		Failures:     []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		RandomFaults: &RandomOptions{Ops: 5, MajorityCrashes: true},
+		Settle:       25 * time.Millisecond,
+	})
+
+	// restart-random-total: the generator with the guard lifted entirely —
+	// a drawn schedule may power-cycle the whole deployment.
+	MustRegister(Scenario{
+		Name:         "restart-random-total",
+		Description:  "seeded random schedules that may crash every replica; recovery runs from the logs alone",
+		Consensus:    core.ConsensusCT,
+		Durable:      true,
+		Failures:     []Failure{{Action: "debit", Prob: 1, Budget: 6}},
+		RandomFaults: &RandomOptions{Ops: 6, TotalLoss: true},
+		Settle:       25 * time.Millisecond,
+	})
+
 	// random-faults: every seed draws its own fault schedule from the
 	// generator (Plan.Random) — crashes, pulses, cuts, storms at random
 	// instants — so a sweep covers a different adversarial schedule per
@@ -248,6 +315,66 @@ func init() {
 		Failures:     shardFailures,
 		RandomFaults: &RandomOptions{Ops: 6},
 		Settle:       20 * time.Millisecond,
+	})
+
+	// shard-restart-minority: the durable plane composed with sharding —
+	// one group's round-1 owner crashes mid-execution and later restarts
+	// from that group's own store, while the other three groups keep
+	// serving undisturbed. Pins that per-group stable storage is really
+	// per-group: the restarted replica recovers exactly its shard's state,
+	// and the router's exactly-once audit still closes globally.
+	MustRegister(Scenario{
+		Name:        "shard-restart-minority",
+		Description: "one group's owner crashes then restarts from its group's stable storage; other shards undisturbed",
+		Shards:      4,
+		Consensus:   core.ConsensusCT,
+		Durable:     true,
+		Workload:    shardWL,
+		Failures:    shardFailures,
+		Plan: NewPlan().
+			CrashShardAt(2*time.Millisecond, 1, 0).
+			RestartShardAt(6*time.Millisecond, 1, 0),
+		Settle: 25 * time.Millisecond,
+	})
+
+	// shard-power-cycle: a whole group blacks out — every replica of
+	// shard 2 crashes at one instant, so for a window that slice of the
+	// keyspace exists only on stable storage — then restarts staggered.
+	// The other groups serve their keys throughout (graceful degradation,
+	// not cluster-wide stall), and the revived group must answer its
+	// clients' retries exactly-once from the logs alone.
+	MustRegister(Scenario{
+		Name:        "shard-power-cycle",
+		Description: "every replica of one group crashes simultaneously and restarts staggered; other shards serve throughout",
+		Shards:      4,
+		Consensus:   core.ConsensusCT,
+		Durable:     true,
+		Workload:    shardWL,
+		Failures:    shardFailures,
+		Plan: NewPlan().
+			CrashShardAt(2*time.Millisecond, 2, 0).
+			CrashShardAt(2*time.Millisecond, 2, 1).
+			CrashShardAt(2*time.Millisecond, 2, 2).
+			RestartShardAt(5*time.Millisecond, 2, 2).
+			RestartShardAt(6*time.Millisecond, 2, 1).
+			RestartShardAt(7*time.Millisecond, 2, 0),
+		Settle: 25 * time.Millisecond,
+	})
+
+	// shard-restart-random: the generator's group-scoped crash→restart
+	// class with the guard lifted entirely — a drawn schedule may
+	// power-cycle whole groups (each on its own store), on top of the
+	// usual group-scoped pulses, storms, and cuts.
+	MustRegister(Scenario{
+		Name:         "shard-restart-random",
+		Description:  "4-shard deployment under random group-scoped schedules that may power-cycle whole groups",
+		Shards:       4,
+		Consensus:    core.ConsensusCT,
+		Durable:      true,
+		Workload:     shardWL,
+		Failures:     shardFailures,
+		RandomFaults: &RandomOptions{Ops: 6, TotalLoss: true},
+		Settle:       25 * time.Millisecond,
 	})
 
 	// The throughput-plane rows: the batched/pipelined slot protocol

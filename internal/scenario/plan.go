@@ -110,6 +110,45 @@ type Op struct {
 	// Do performs the operation. It must not block: each op runs as a
 	// single discrete event of the schedule.
 	Do func(Target)
+	// Kind, Replica, and Shard are the op's structural identity, set by
+	// the builders for crash and restart ops (Kind is OpCrash or
+	// OpRestart; zero for everything else). The shrinker reads them to
+	// treat a crash and its paired restart as one edit unit: dropping a
+	// crash but keeping its restart (or vice versa) would change the
+	// schedule's liveness class, not just shrink it.
+	Kind OpKind
+	// Replica is the replica index a crash/restart addresses.
+	Replica int
+	// Shard is the group a crash/restart addresses, or AllShards for
+	// unqualified ops that fan out to every group.
+	Shard int
+}
+
+// OpKind classifies the ops the shrinker must edit structurally.
+type OpKind uint8
+
+const (
+	// OpOther is every op without pairing semantics.
+	OpOther OpKind = iota
+	// OpCrash marks CrashAt / CrashShardAt ops.
+	OpCrash
+	// OpRestart marks RestartAt / RestartShardAt ops.
+	OpRestart
+)
+
+// AllShards is the Op.Shard value of unqualified crash/restart ops,
+// which strike replica i of every group.
+const AllShards = -1
+
+// Paired reports whether o and q are the two halves of one
+// crash→restart pair: one crash and one restart addressing the same
+// replica of the same shard scope. The shrinker removes such pairs as
+// single edit units.
+func (o Op) Paired(q Op) bool {
+	if o.Kind == OpOther || q.Kind == OpOther || o.Kind == q.Kind {
+		return false
+	}
+	return o.Replica == q.Replica && o.Shard == q.Shard
 }
 
 // Plan is an ordered fault schedule built with the *At methods and applied
@@ -138,7 +177,14 @@ type Plan struct {
 func NewPlan() *Plan { return &Plan{} }
 
 func (p *Plan) add(at time.Duration, name string, do func(Target)) *Plan {
-	p.ops = append(p.ops, Op{At: at, Name: name, Do: do})
+	p.ops = append(p.ops, Op{At: at, Name: name, Do: do, Shard: AllShards})
+	return p
+}
+
+// addIdentified appends an op carrying structural identity (crash and
+// restart builders route through it so the shrinker can pair them).
+func (p *Plan) addIdentified(at time.Duration, name string, kind OpKind, shard, replica int, do func(Target)) *Plan {
+	p.ops = append(p.ops, Op{At: at, Name: name, Do: do, Kind: kind, Replica: replica, Shard: shard})
 	return p
 }
 
@@ -147,7 +193,7 @@ func (p *Plan) add(at time.Duration, name string, do func(Target)) *Plan {
 // companion suspicion op is needed. On a sharded target the crash is
 // correlated: replica i of every group crashes at that instant.
 func (p *Plan) CrashAt(at time.Duration, replica int) *Plan {
-	return p.add(at, fmt.Sprintf("crash replica %d", replica), func(t Target) {
+	return p.addIdentified(at, fmt.Sprintf("crash replica %d", replica), OpCrash, AllShards, replica, func(t Target) {
 		eachGroup(t, func(g Target) { g.CrashServer(replica) })
 	})
 }
@@ -202,7 +248,7 @@ func (p *Plan) RecoverAt(at time.Duration, target simnet.ProcessID) *Plan {
 // On a sharded target the restart, like CrashAt, is correlated: replica i
 // of every group restarts at that instant.
 func (p *Plan) RestartAt(at time.Duration, replica int) *Plan {
-	return p.add(at, fmt.Sprintf("restart replica %d", replica), func(t Target) {
+	return p.addIdentified(at, fmt.Sprintf("restart replica %d", replica), OpRestart, AllShards, replica, func(t Target) {
 		eachGroup(t, func(g Target) {
 			if r, ok := g.(Restarter); ok {
 				r.RestartServer(replica)

@@ -98,8 +98,10 @@ type Scenario struct {
 	// acceptors their estimates and decisions, and Plan.RestartAt can
 	// revive a crashed replica from its log. Without it a crash is
 	// permanent (the paper's §5.2 no-recovery model) and RestartAt is a
-	// no-op. Baselines and the sharded runtime ignore it — they have no
-	// restart surface.
+	// no-op. Sharded runs give every group its own store, recycled with
+	// the group, so shard-scoped restarts (Plan.RestartShardAt) recover
+	// from per-group logs. Baselines ignore it — they have no restart
+	// surface.
 	Durable bool
 	// WALSync is the virtual-time sync tariff charged per WAL append when
 	// Durable is set. Zero keeps stable storage schedule-invisible, so a
@@ -107,6 +109,15 @@ type Scenario struct {
 	// twin; a positive tariff prices the paper's stable-storage writes
 	// and shifts the whole schedule (T12's cost curve).
 	WALSync time.Duration
+	// WALSnapshotSync is the per-record sync tariff charged while writing
+	// a compaction snapshot (zero: inherit WALSync). Snapshots write many
+	// records back-to-back, so pricing them separately lets T14's cost
+	// curve distinguish steady-state appends from compaction stalls.
+	WALSnapshotSync time.Duration
+	// WALCompact, when positive, compacts each replica's log whenever its
+	// dead-record count reaches the threshold (see wal.Store). Zero never
+	// compacts.
+	WALCompact int
 
 	// Accounts and Opening size the bank the replicas serve (defaults 1
 	// account, 100 opening balance).
@@ -250,9 +261,14 @@ type Outcome struct {
 
 	// WALAppends and WALSyncTime report stable-storage activity for
 	// durable runs (zero otherwise): records appended across all logs,
-	// and total virtual time spent in sync tariffs.
-	WALAppends  int
-	WALSyncTime time.Duration
+	// and total virtual time spent in sync tariffs. WALCompactions counts
+	// compaction passes across all logs and WALLiveRecords the records
+	// still live at the settle instant — together they pin that a
+	// compacting log stays bounded by live state, not by history length.
+	WALAppends     int
+	WALSyncTime    time.Duration
+	WALCompactions int
+	WALLiveRecords int
 
 	// Requests, Attempts, and Messages are the run's volume counters.
 	Requests int
@@ -477,6 +493,8 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request, scratch *ru
 		Durable:   sc.Durable,
 		WALSync:   sc.WALSync,
 
+		WALSnapshotSync:   sc.WALSnapshotSync,
+		WALCompact:        sc.WALCompact,
 		HeartbeatInterval: sc.HeartbeatInterval,
 	})
 	defer c.Stop()
@@ -542,6 +560,8 @@ func executeXAbility(sc Scenario, seed int64, reqs []action.Request, scratch *ru
 	o.ReplayDuplicates = dups
 	o.WALAppends = wstats.Appends
 	o.WALSyncTime = wstats.SyncTime
+	o.WALCompactions = wstats.Compactions
+	o.WALLiveRecords = wstats.LiveRecords
 	o.Obs = snap
 	return o
 }

@@ -110,6 +110,10 @@ func shardConfig(sc Scenario, seed int64, scratch *runScratch, accounts int) sha
 		Setup:             func(s int) func(m *sm.Machine) { return banks[s].Setup() },
 		Batch:             sc.Batch,
 		Costs:             sc.Costs,
+		Durable:           sc.Durable,
+		WALSync:           sc.WALSync,
+		WALSnapshotSync:   sc.WALSnapshotSync,
+		WALCompact:        sc.WALCompact,
 	}
 }
 
@@ -157,6 +161,7 @@ func executeSharded(sc Scenario, seed int64, reqs []action.Request, scratch *run
 	// the effect, and a mis-routed duplicate applied by a non-owner
 	// inflates the count instead of hiding.
 	effects := auditEffects(reqs, c.EffectsInForce)
+	wstats := c.WALStats()
 	snap := sc.Net.Metrics.Snapshot()
 	// Stop while attached so the groups' periodic loops cannot free-run
 	// against the (expensive) merged verification below — see
@@ -180,6 +185,10 @@ func executeSharded(sc Scenario, seed int64, reqs []action.Request, scratch *run
 	o.Messages = msgs
 	o.SimTime = simTime
 	o.EffectsInForce = effects
+	o.WALAppends = wstats.Appends
+	o.WALSyncTime = wstats.SyncTime
+	o.WALCompactions = wstats.Compactions
+	o.WALLiveRecords = wstats.LiveRecords
 	o.Obs = snap
 	return o
 }

@@ -20,8 +20,24 @@ import (
 // never notice.
 func (p *Plan) CrashShardAt(at time.Duration, shard, replica int) *Plan {
 	p.shardBound = true
-	return p.add(at, fmt.Sprintf("shard %d: crash replica %d", shard, replica), func(t Target) {
+	return p.addIdentified(at, fmt.Sprintf("shard %d: crash replica %d", shard, replica), OpCrash, shard, replica, func(t Target) {
 		shardOf(t, shard).CrashServer(replica)
+	})
+}
+
+// RestartShardAt revives crashed replica r of group shard at the given
+// virtual time, on targets whose groups support it (see Restarter): the
+// replica's endpoints reopen and a fresh incarnation recovers its durable
+// state from the group's write-ahead log. Like RestartAt it is a no-op on
+// a never-crashed replica and on groups without stable storage — so a
+// whole-shard power cycle is just CrashShardAt × replicas followed by
+// staggered RestartShardAts.
+func (p *Plan) RestartShardAt(at time.Duration, shard, replica int) *Plan {
+	p.shardBound = true
+	return p.addIdentified(at, fmt.Sprintf("shard %d: restart replica %d", shard, replica), OpRestart, shard, replica, func(t Target) {
+		if r, ok := shardOf(t, shard).(Restarter); ok {
+			r.RestartServer(replica)
+		}
 	})
 }
 
@@ -100,9 +116,16 @@ func (p *Plan) OnShard(shard int, sub *Plan) *Plan {
 	}
 	for _, op := range sub.Ops() {
 		op := op
-		p.add(op.At, fmt.Sprintf("shard %d: %s", shard, op.Name), func(t Target) {
-			op.Do(shardOf(t, shard))
-		})
+		requalified := op
+		requalified.Name = fmt.Sprintf("shard %d: %s", shard, op.Name)
+		requalified.Do = func(t Target) { op.Do(shardOf(t, shard)) }
+		// Re-addressing scopes the op's identity too: a crash that fanned
+		// out to every group now names this one, so the shrinker pairs it
+		// with restarts of the same scope only.
+		if requalified.Kind != OpOther {
+			requalified.Shard = shard
+		}
+		p.ops = append(p.ops, requalified)
 	}
 	return p
 }

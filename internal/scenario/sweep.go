@@ -44,8 +44,12 @@ type VerdictDistribution struct {
 	// protocol this is zero even under crash→restart schedules.
 	ReplayDuplicates int
 	// WALAppends totals stable-storage appends over the sweep (zero for
-	// non-durable scenarios).
-	WALAppends int
+	// non-durable scenarios). WALCompactions totals compaction passes and
+	// WALLiveRecords the per-run live-record counts at settle — the sweep
+	// view of "a compacting log is bounded by live state".
+	WALAppends     int
+	WALCompactions int
+	WALLiveRecords int
 	// Failing lists the seeds whose run was not x-able or went
 	// unanswered — the inputs a schedule-shrinking pass starts from.
 	Failing []int64
@@ -91,6 +95,10 @@ func (d VerdictDistribution) String() string {
 	if d.WALAppends > 0 || d.ReplayDuplicates > 0 {
 		fmt.Fprintf(&b, "\n  wal appends %d  duplicate-replay runs %d",
 			d.WALAppends, d.ReplayDuplicates)
+		if d.WALCompactions > 0 {
+			fmt.Fprintf(&b, "  compactions %d  live records %d",
+				d.WALCompactions, d.WALLiveRecords)
+		}
 	}
 	if d.Rollup != nil {
 		fmt.Fprintf(&b, "\n%s", indent(d.Rollup.String(), "  "))
@@ -281,6 +289,8 @@ func SweepWithOptions(sc Scenario, seeds []int64, opts SweepOptions) VerdictDist
 			d.ReplayDuplicates++
 		}
 		d.WALAppends += o.WALAppends
+		d.WALCompactions += o.WALCompactions
+		d.WALLiveRecords += o.WALLiveRecords
 		if !o.XAble || !o.Replied {
 			d.Failing = append(d.Failing, o.Seed)
 		}

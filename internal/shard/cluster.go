@@ -9,6 +9,7 @@ import (
 	"xability/internal/simnet"
 	"xability/internal/sm"
 	"xability/internal/vclock"
+	"xability/internal/wal"
 )
 
 // Config describes a sharded deployment: N replica groups, each an
@@ -51,6 +52,15 @@ type Config struct {
 	// Batch and Costs configure every group's replicas (see core).
 	Batch core.BatchConfig
 	Costs core.CostModel
+	// Durable gives every group its own stable storage (one wal.Store per
+	// group, recycled with the group across restarts): group replicas can
+	// then crash and restart — including a whole-shard power cycle — and
+	// recover from their logs. WALSync, WALSnapshotSync, and WALCompact
+	// tune each group's store exactly as in core.ClusterConfig.
+	Durable         bool
+	WALSync         time.Duration
+	WALSnapshotSync time.Duration
+	WALCompact      int
 }
 
 // Cluster is the cluster-of-clusters runtime: the groups, the ring, and
@@ -112,6 +122,10 @@ func New(cfg Config) *Cluster {
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			Batch:             cfg.Batch,
 			Costs:             cfg.Costs,
+			Durable:           cfg.Durable,
+			WALSync:           cfg.WALSync,
+			WALSnapshotSync:   cfg.WALSnapshotSync,
+			WALCompact:        cfg.WALCompact,
 		}))
 	}
 	c.Router = newRouter(c.ring, key, c.groups, clk)
@@ -206,6 +220,16 @@ func (c *Cluster) EffectsInForce(a action.Name, iv action.Value) int {
 		total += g.Env.InForceTotal(a, iv)
 	}
 	return total
+}
+
+// WALStats sums stable-storage activity across the groups' stores (zero
+// when the deployment is not durable).
+func (c *Cluster) WALStats() wal.Stats {
+	var st wal.Stats
+	for _, g := range c.groups {
+		st = st.Plus(g.WALStats())
+	}
+	return st
 }
 
 // Stop shuts every group down.

@@ -85,8 +85,9 @@ type MinTrace struct {
 	// Steps is the number of scenario executions spent.
 	Steps int
 	// Minimal reports that 1-minimality was verified: suppressing any
-	// single kept delivery, or removing any single kept op, makes the
-	// failure disappear (within the run deadline).
+	// single kept delivery, or removing any single kept edit unit (an op,
+	// or a crash together with its paired restart), makes the failure
+	// disappear (within the run deadline).
 	Minimal bool
 	// Deadline is the virtual-time cap edited runs executed under (the
 	// scenario's own, or the one derived from the baseline's span). A
@@ -242,13 +243,14 @@ func Shrink(sc scenario.Scenario, seed int64, opt Options) (MinTrace, error) {
 	for left() > 0 {
 		removed := false
 
-		// Fault-plan ops: greedy one-at-a-time removal to fixpoint. Plans
+		// Fault-plan ops: greedy removal to fixpoint, one edit unit at a
+		// time — an op plus its crash/restart partner (see pairSet). Plans
 		// are short; greedy is 1-minimal by construction. Deliveries stay
 		// pinned to the recorded schedule while ops are tested, so a
-		// removed op means the op itself was unnecessary, not that the
+		// removed unit means the unit itself was unnecessary, not that the
 		// timing shifted.
 		for i := 0; i < len(plan.Ops()) && left() > 0; {
-			if try(plan.Without(map[int]bool{i: true}), nil) {
+			if try(plan.Without(pairSet(plan.Ops(), i)), nil) {
 				removed = true
 				continue // the next op slid into slot i
 			}
@@ -302,7 +304,7 @@ func Shrink(sc scenario.Scenario, seed int64, opt Options) (MinTrace, error) {
 				verified = false
 				break
 			}
-			if try(plan.Without(map[int]bool{i: true}), nil) {
+			if try(plan.Without(pairSet(plan.Ops(), i)), nil) {
 				pass = true
 				break
 			}
@@ -336,6 +338,36 @@ func Shrink(sc scenario.Scenario, seed int64, opt Options) (MinTrace, error) {
 		return mt, ErrBudget
 	}
 	return mt, nil
+}
+
+// pairSet returns the removal unit for op i: the op itself plus its
+// crash/restart partner, when it has one. A crash and its restart are one
+// atomic edit — removing the restart alone would turn a
+// crash→restart schedule into a permanent crash (a different failure
+// class the schedule's liveness guard forbids), and removing the crash
+// alone would leave a restart of a never-crashed replica. A crash pairs
+// forward to the nearest restart of the same replica under the same
+// shard scope; a restart pairs backward. Ops without crash/restart
+// identity (scenario.OpOther) shrink alone, as before.
+func pairSet(ops []scenario.Op, i int) map[int]bool {
+	set := map[int]bool{i: true}
+	switch ops[i].Kind {
+	case scenario.OpCrash:
+		for j := i + 1; j < len(ops); j++ {
+			if ops[j].Paired(ops[i]) {
+				set[j] = true
+				return set
+			}
+		}
+	case scenario.OpRestart:
+		for j := i - 1; j >= 0; j-- {
+			if ops[j].Paired(ops[i]) {
+				set[j] = true
+				return set
+			}
+		}
+	}
+	return set
 }
 
 // deliveredIndices lists the log entries that resolved to Delivered — the

@@ -212,3 +212,122 @@ func TestShrinkBatchedDeadline(t *testing.T) {
 		t.Errorf("renders differ:\n--- first\n%s\n--- second\n%s", mt.Render(), again.Render())
 	}
 }
+
+// TestShrinkPowerCycleGolden runs the shrink pipeline over a failing
+// total-loss run: the registered power-cycle scenario under a deadline
+// that strikes mid-blackout fails by not answering. The honest minimum
+// for a starvation failure is message suppression, not the crash ops —
+// with the reply path suppressed and no suspicion, the client starves no
+// matter what the replicas do — so the golden pins exactly that: a
+// near-empty schedule explaining the timeout, byte-stable run to run.
+func TestShrinkPowerCycleGolden(t *testing.T) {
+	sc, ok := scenario.Get("power-cycle")
+	if !ok {
+		t.Fatal("power-cycle not registered")
+	}
+	sc.Deadline = 4 * time.Millisecond
+	base := scenario.Execute(sc, 1)
+	if base.Replied || !base.TimedOut {
+		t.Fatalf("power-cycle under a 4ms deadline does not fail on seed 1: %+v", base)
+	}
+	// The failure under investigation is "the client starves
+	// mid-protocol": stable storage must have been written, so the submit
+	// reaching a replica survives the shrink.
+	mt, err := Shrink(sc, 1, Options{Failing: func(o scenario.Outcome) bool {
+		return !o.Replied && o.TimedOut && o.WALAppends > 0
+	}})
+	if err != nil {
+		t.Fatalf("Shrink: %v (steps=%d)", err, mt.Steps)
+	}
+	if !mt.Minimal {
+		t.Error("trace not verified 1-minimal")
+	}
+	if mt.Deliveries == 0 {
+		t.Errorf("empty minimal schedule; the predicate should keep the submit delivery")
+	}
+	// The minimal trace still reproduces the deadline failure.
+	o := scenario.ExecuteTraced(sc, 1, nil, mt.Replay())
+	if o.Replied || !o.TimedOut {
+		t.Errorf("replayed minimal trace no longer fails by deadline: %+v", o)
+	}
+
+	got := mt.Render()
+	path := filepath.Join("testdata", "power_cycle_deadline_seed1.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendered trace drifted from golden:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
+// TestShrinkKeepsCrashRestartPairs pins the atomic edit unit. The planted
+// primary-backup duplication needs its crash op; a restart paired onto
+// that crash (inert on the baseline runtime — no restart surface) must
+// survive the shrink anyway, because removal is by pair: stripping the
+// restart alone would present a crash→restart schedule as a permanent
+// crash, a different schedule class than the one that failed. The
+// un-paired shrinker removed exactly that restart.
+func TestShrinkKeepsCrashRestartPairs(t *testing.T) {
+	sc, ok := scenario.Get("pb-crash-failover")
+	if !ok {
+		t.Fatal("pb-crash-failover not registered")
+	}
+	base := sc.Plan.Ops()
+	if len(base) != 1 || base[0].Kind != scenario.OpCrash {
+		t.Fatalf("pb-crash-failover plan changed shape: %+v", base)
+	}
+	sc.Plan = sc.Plan.Clone().RestartAt(base[0].At+2*time.Millisecond, base[0].Replica)
+	mt, err := Shrink(sc, 1, Options{})
+	if err != nil {
+		t.Fatalf("Shrink: %v (steps=%d)", err, mt.Steps)
+	}
+	if mt.Ops != 2 {
+		t.Fatalf("minimal plan keeps %d ops, want the crash/restart pair:\n%s", mt.Ops, mt.Plan.String())
+	}
+	ops := mt.Plan.Ops()
+	if ops[0].Kind != scenario.OpCrash || ops[1].Kind != scenario.OpRestart || !ops[0].Paired(ops[1]) {
+		t.Errorf("minimal plan is not a crash/restart pair: %+v", ops)
+	}
+	// The pair-shrunk trace still reproduces the duplication.
+	o := scenario.ExecuteTraced(sc, 1, nil, mt.Replay())
+	if o.XAble || !o.Replied {
+		t.Errorf("replayed minimal trace no longer fails: %+v", o)
+	}
+}
+
+// TestPairSet pins the pairing rule on a hand-built plan, shard scopes
+// included: a crash pairs forward to the nearest restart of the same
+// replica under the same shard scope, a restart pairs backward, and ops
+// of other kinds (or with no partner) shrink alone.
+func TestPairSet(t *testing.T) {
+	p := scenario.NewPlan().
+		CrashAt(1*time.Millisecond, 0).             // 0: pairs with 3
+		CrashShardAt(1*time.Millisecond, 2, 0).     // 1: same replica, shard scope — pairs with 4
+		SuspectAt(2*time.Millisecond, "replica-1"). // 2: alone
+		RestartAt(5*time.Millisecond, 0).           // 3
+		RestartShardAt(6*time.Millisecond, 2, 0).   // 4
+		CrashAt(7*time.Millisecond, 1)              // 5: no restart — alone
+	ops := p.Ops()
+	want := map[int][]int{
+		0: {0, 3}, 1: {1, 4}, 2: {2}, 3: {0, 3}, 4: {1, 4}, 5: {5},
+	}
+	for i, idxs := range want {
+		set := pairSet(ops, i)
+		if len(set) != len(idxs) {
+			t.Errorf("pairSet(%d) = %v, want %v", i, set, idxs)
+			continue
+		}
+		for _, j := range idxs {
+			if !set[j] {
+				t.Errorf("pairSet(%d) = %v, want %v", i, set, idxs)
+			}
+		}
+	}
+}

@@ -87,3 +87,191 @@ func TestAppendAllocBudget(t *testing.T) {
 		t.Fatalf("Append allocates %.2f objects/op, want 0", avg)
 	}
 }
+
+// A crash between Append and the end of the sync wait durably drops the
+// unsynced suffix: the torn record must not be visible to recovery.
+func TestCrashMidSyncTearsUnsyncedTail(t *testing.T) {
+	clk := vclock.NewVirtual()
+	defer clk.Stop()
+	s := NewStore(clk, Config{SyncLatency: 100 * time.Microsecond})
+	l := s.Log("replica-0")
+
+	done := make(chan struct{})
+	clk.Go(func() {
+		defer close(done)
+		l.Append(Record{Kind: "est", Key: "durable"}) // synced at t=100µs
+		l.Append(Record{Kind: "est", Key: "torn"})    // sync in flight at crash
+	})
+	// Crash at t=150µs: the first append's sync has completed, the
+	// second's is mid-flight and must tear.
+	crashed := make(chan int, 1)
+	clk.GoAfter(150*time.Microsecond, func() {
+		crashed <- s.Crash("replica-0")
+	})
+	<-done
+	if n := <-crashed; n != 1 {
+		t.Fatalf("Crash tore %d records, want 1", n)
+	}
+	var got []Record
+	l.Replay(func(r Record) { got = append(got, r) })
+	if len(got) != 1 || got[0].Key != "durable" {
+		t.Fatalf("post-crash replay = %+v, want only the synced record", got)
+	}
+	if st := s.Stats(); st.TornRecords != 1 {
+		t.Fatalf("stats.TornRecords = %d, want 1", st.TornRecords)
+	}
+	// The new incarnation's appends land after the torn tail, durably.
+	done2 := make(chan struct{})
+	clk.Go(func() {
+		defer close(done2)
+		l.Append(Record{Kind: "est", Key: "after"})
+	})
+	<-done2
+	if n := l.Len(); n != 2 {
+		t.Fatalf("log has %d records after restart append, want 2", n)
+	}
+}
+
+// Crash exactly at the sync boundary is deterministic: the crash op and
+// the sync completion are both clock events, ordered by the schedule.
+func TestCrashWithNothingInFlightTearsNothing(t *testing.T) {
+	clk := vclock.NewVirtual()
+	defer clk.Stop()
+	s := NewStore(clk, Config{SyncLatency: 50 * time.Microsecond})
+	l := s.Log("replica-0")
+	done := make(chan struct{})
+	clk.Go(func() {
+		defer close(done)
+		l.Append(Record{Kind: "est", Key: "a"})
+	})
+	<-done
+	if n := s.Crash("replica-0"); n != 0 {
+		t.Fatalf("Crash tore %d records with nothing in flight, want 0", n)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("log length = %d, want 1", l.Len())
+	}
+}
+
+// lastPerKey is the test compactor: keep only the latest record per
+// (Kind, Key) — the shape of every writer's real fold (records are
+// last-writer-wins overwrites).
+func lastPerKey(prefix []Record) []Record {
+	type k struct{ kind, key string }
+	last := make(map[k]int, len(prefix))
+	for i, r := range prefix {
+		if r.Kind == KindSnapshot {
+			continue
+		}
+		last[k{r.Kind, r.Key}] = i
+	}
+	out := make([]Record, 0, len(last))
+	for i, r := range prefix {
+		if r.Kind == KindSnapshot {
+			continue
+		}
+		if last[k{r.Kind, r.Key}] == i {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestCompactionFoldsPrefixAndKeepsSuffix(t *testing.T) {
+	clk := vclock.NewVirtual()
+	defer clk.Stop()
+	s := NewStore(clk, Config{CompactThreshold: 8})
+	l := s.Log("replica-0")
+	l.SetCompactor(lastPerKey)
+	done := make(chan struct{})
+	clk.Go(func() {
+		defer close(done)
+		// 20 overwrites of one key: auto-compaction should keep the log
+		// from reaching 20 records.
+		for i := 0; i < 20; i++ {
+			l.Append(Record{Kind: "est", Key: "k", Aux: int32(i)})
+		}
+	})
+	<-done
+	if n := l.Len(); n >= 20 {
+		t.Fatalf("log grew to %d records, want compaction to bound it", n)
+	}
+	// Replay must see the latest overwrite regardless of folding.
+	var lastAux int32 = -1
+	l.Replay(func(r Record) {
+		if r.Kind == "est" && r.Key == "k" {
+			lastAux = r.Aux
+		}
+	})
+	if lastAux != 19 {
+		t.Fatalf("replayed latest Aux = %d, want 19", lastAux)
+	}
+	st := s.Stats()
+	if st.Compactions == 0 || st.CompactedRecords == 0 {
+		t.Fatalf("stats = %+v, want compactions recorded", st)
+	}
+	if st.LiveRecords != l.Len() {
+		t.Fatalf("stats.LiveRecords = %d, want %d", st.LiveRecords, l.Len())
+	}
+}
+
+// The snapshot write charges its size tariff on the clock, and a crash
+// during that write discards the torn snapshot: the old prefix stands.
+func TestCrashDuringSnapshotDiscardsIt(t *testing.T) {
+	clk := vclock.NewVirtual()
+	defer clk.Stop()
+	s := NewStore(clk, Config{
+		SyncLatency:  10 * time.Microsecond,
+		SnapshotSync: 100 * time.Microsecond,
+	})
+	l := s.Log("replica-0")
+	l.SetCompactor(lastPerKey)
+	done := make(chan struct{})
+	clk.Go(func() {
+		defer close(done)
+		// 6 appends at 10µs each end at t=60µs; Compact then writes a
+		// 1-record snapshot, a (1+1)×100µs = 200µs write.
+		for i := 0; i < 6; i++ {
+			l.Append(Record{Kind: "est", Key: "k", Aux: int32(i)})
+		}
+		l.Compact()
+	})
+	// Crash at t=100µs, inside the snapshot write.
+	clk.GoAfter(100*time.Microsecond, func() {
+		s.Crash("replica-0")
+	})
+	<-done
+	if got := l.Installs(); got != 0 {
+		t.Fatalf("snapshot installed despite mid-write crash (installs=%d)", got)
+	}
+	if n := l.Len(); n != 6 {
+		t.Fatalf("log has %d records, want the uncompacted 6", n)
+	}
+	if st := s.Stats(); st.Compactions != 0 {
+		t.Fatalf("stats.Compactions = %d, want 0", st.Compactions)
+	}
+}
+
+// Zero sync latency keeps the whole plane schedule-invisible even with
+// compaction on: the derived snapshot tariff is zero too.
+func TestZeroTariffCompactionIsScheduleInvisible(t *testing.T) {
+	clk := vclock.NewVirtual()
+	defer clk.Stop()
+	s := NewStore(clk, Config{CompactThreshold: 4})
+	l := s.Log("replica-0")
+	l.SetCompactor(lastPerKey)
+	done := make(chan time.Duration, 1)
+	clk.Go(func() {
+		start := clk.Now()
+		for i := 0; i < 64; i++ {
+			l.Append(Record{Kind: "est", Key: "k", Aux: int32(i)})
+		}
+		done <- clk.Now() - start
+	})
+	if d := <-done; d != 0 {
+		t.Fatalf("zero-tariff compaction advanced the clock by %v, want 0", d)
+	}
+	if s.Stats().Compactions == 0 {
+		t.Fatal("no compaction ran")
+	}
+}
